@@ -1,0 +1,69 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* projection on/off — how much Algorithm 6 buys per query (the paper's
+  motivation for Section VI);
+* bounded vs unbounded Dijkstra — the Rmax early-termination that
+  makes per-query work local;
+* PDk streaming vs re-running PDk from scratch at k+50 — isolates the
+  value of keeping the Lawler heap alive (the PD-internal version of
+  Exp-3).
+"""
+
+import math
+
+import pytest
+
+from repro.bench.harness import measure_topk
+from repro.graph.dijkstra import bounded_dijkstra
+
+
+@pytest.mark.parametrize("use_projection", (True, False),
+                         ids=("projected", "full-graph"))
+def test_ablation_projection(benchmark, imdb, use_projection):
+    params = imdb.params
+    keywords = params.query()
+
+    def once():
+        return imdb.search.top_k(keywords, 25, params.default_rmax,
+                                 use_projection=use_projection)
+
+    results = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["communities"] = len(results)
+    assert len(results) == 25
+
+
+@pytest.mark.parametrize("bounded", (True, False),
+                         ids=("bounded", "unbounded"))
+def test_ablation_bounded_dijkstra(benchmark, imdb, bounded):
+    params = imdb.params
+    seeds = imdb.search.index.nodes(params.query()[0])
+    radius = params.default_rmax if bounded else math.inf
+
+    def once():
+        return bounded_dijkstra(imdb.dbg.graph.reverse, seeds, radius)
+
+    dmap = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["settled_nodes"] = len(dmap)
+    assert len(dmap) > 0
+
+
+@pytest.mark.parametrize("mode", ("stream-continue", "recompute"))
+def test_ablation_pdk_stream_vs_recompute(benchmark, imdb, mode):
+    params = imdb.params
+    keywords = params.query()
+    k = 100
+
+    def stream_continue():
+        stream = imdb.search.top_k_stream(keywords,
+                                          params.default_rmax)
+        stream.take(k)
+        return stream.more(50)
+
+    def recompute():
+        imdb.search.top_k(keywords, k, params.default_rmax)
+        return imdb.search.top_k(keywords, k + 50,
+                                 params.default_rmax)[k:]
+
+    fn = stream_continue if mode == "stream-continue" else recompute
+    extra = benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info["extra_answers"] = len(extra)

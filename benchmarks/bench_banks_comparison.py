@@ -1,0 +1,43 @@
+"""Related-work comparison: BANKS tree search vs community search.
+
+Not a paper figure — the paper compares *models* (§I) rather than
+timing trees against communities — but the natural question for a
+reproduction is how the prior art's answer stream performs on the same
+queries. BANKS emits one rooted tree per center; PDk emits the full
+community each center belongs to.
+"""
+
+import pytest
+
+from repro.core.banks import banks_top_k
+
+
+@pytest.mark.parametrize("dataset", ("dblp", "imdb"))
+def test_banks_top_k(benchmark, dataset, dblp, imdb):
+    bundle = dblp if dataset == "dblp" else imdb
+    params = bundle.params
+    keywords = params.query(l=2)
+    projection = bundle.search.project(keywords, params.default_rmax)
+
+    def once():
+        return banks_top_k(projection.subgraph, keywords, 25,
+                           max_score=params.default_rmax,
+                           node_lists=projection.node_lists)
+
+    answers = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["answers"] = len(answers)
+    for answer in answers:
+        assert len(answer.edges) == len(answer.nodes) - 1
+
+
+@pytest.mark.parametrize("dataset", ("dblp", "imdb"))
+def test_community_top_k_same_query(benchmark, dataset, dblp, imdb):
+    bundle = dblp if dataset == "dblp" else imdb
+    params = bundle.params
+    keywords = params.query(l=2)
+
+    def once():
+        return bundle.search.top_k(keywords, 25, params.default_rmax)
+
+    results = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info["answers"] = len(results)

@@ -1,0 +1,65 @@
+"""Fig. 9(a–f) — IMDB COMM-all: average delay and peak memory for
+PDall / BUall / TDall over the KWF, l, and Rmax sweeps.
+
+Panels (a,c,e) are the timing series (the pytest-benchmark number is
+the full enumeration; ``avg_delay_ms`` in extra_info is the paper's
+metric). Panels (b,d,f) are the memory series, recorded per run in
+``extra_info["peak_kb"]`` via tracemalloc.
+
+Enumeration is capped at the harness's bench cap (identically for
+every algorithm); ``extra_info["communities"]`` records |O| per cell.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_CAPS
+from repro.bench.harness import measure_all
+
+ALGS = ("pd", "bu", "td")
+CAP = ALL_CAPS["bench"]
+BUDGET = 10.0  # censors BU/TD combinatorial cells (marked timed_out)
+
+
+def run_cell(benchmark, bundle, keywords, rmax, alg):
+    def once():
+        return measure_all(bundle.search, bundle.label, keywords, rmax,
+                           alg, max_communities=CAP,
+                           measure_memory=False,
+                           budget_seconds=BUDGET)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    memory = measure_all(bundle.search, bundle.label, keywords, rmax,
+                         alg, max_communities=CAP, measure_memory=True,
+                         budget_seconds=BUDGET)
+    benchmark.extra_info.update({
+        "communities": result.communities,
+        "capped": result.capped,
+        "timed_out": result.timed_out,
+        "avg_delay_ms": result.avg_delay_ms,
+        "peak_kb": memory.peak_kb,
+    })
+    assert result.communities > 0 or keywords  # sanity: ran
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("kwf", (0.0003, 0.0006, 0.0009, 0.0012,
+                                 0.0015))
+def test_fig9ab_kwf_sweep(benchmark, imdb, kwf, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(kwf=kwf),
+             params.default_rmax, alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("l", (2, 3, 4, 5, 6))
+def test_fig9cd_l_sweep(benchmark, imdb, l, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(l=l), params.default_rmax,
+             alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("rmax", (9.0, 10.0, 11.0, 12.0, 13.0))
+def test_fig9ef_rmax_sweep(benchmark, imdb, rmax, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(), rmax, alg)

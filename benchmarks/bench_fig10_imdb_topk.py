@@ -1,0 +1,62 @@
+"""Fig. 10(a–d) — IMDB COMM-k: total time for PDk / BUk / TDk over the
+KWF, l, Rmax, and k sweeps.
+
+This is where the polynomial-delay design pays off: PDk performs
+``k`` ``Next()`` steps while BUk/TDk must expand and enumerate *every*
+candidate core before they can prune to the top k.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_topk
+
+ALGS = ("pd", "bu", "td")
+BUDGET = 10.0  # censors BU/TD combinatorial cells (marked timed_out)
+
+
+def run_cell(benchmark, bundle, keywords, k, rmax, alg):
+    def once():
+        return measure_topk(bundle.search, bundle.label, keywords, k,
+                            rmax, alg, budget_seconds=BUDGET)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "k": k,
+        "communities": result.communities,
+        "seconds": result.seconds,
+        "timed_out": result.timed_out,
+    })
+    assert result.communities <= k
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("kwf", (0.0003, 0.0006, 0.0009, 0.0012,
+                                 0.0015))
+def test_fig10a_kwf_sweep(benchmark, imdb, kwf, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(kwf=kwf), params.default_k,
+             params.default_rmax, alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("l", (2, 3, 4, 5, 6))
+def test_fig10b_l_sweep(benchmark, imdb, l, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(l=l), params.default_k,
+             params.default_rmax, alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("rmax", (9.0, 10.0, 11.0, 12.0, 13.0))
+def test_fig10c_rmax_sweep(benchmark, imdb, rmax, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(), params.default_k, rmax,
+             alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("k", (50, 100, 150, 200, 250))
+def test_fig10d_k_sweep(benchmark, imdb, k, alg):
+    params = imdb.params
+    run_cell(benchmark, imdb, params.query(), k, params.default_rmax,
+             alg)

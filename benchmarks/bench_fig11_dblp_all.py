@@ -1,0 +1,60 @@
+"""Fig. 11(a–f) — DBLP COMM-all: average delay and peak memory for
+PDall / BUall / TDall over the KWF, l, and Rmax sweeps.
+
+Same harness as Fig. 9 on the sparse DBLP graph, where the paper
+itself reports the baselines *beating* PDall on delay (few duplicates,
+mostly single-center results) while PDall keeps the lowest memory.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_CAPS
+from repro.bench.harness import measure_all
+
+ALGS = ("pd", "bu", "td")
+CAP = ALL_CAPS["bench"]
+BUDGET = 10.0  # censors BU/TD combinatorial cells (marked timed_out)
+
+
+def run_cell(benchmark, bundle, keywords, rmax, alg):
+    def once():
+        return measure_all(bundle.search, bundle.label, keywords, rmax,
+                           alg, max_communities=CAP,
+                           measure_memory=False,
+                           budget_seconds=BUDGET)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    memory = measure_all(bundle.search, bundle.label, keywords, rmax,
+                         alg, max_communities=CAP, measure_memory=True,
+                         budget_seconds=BUDGET)
+    benchmark.extra_info.update({
+        "communities": result.communities,
+        "capped": result.capped,
+        "timed_out": result.timed_out,
+        "avg_delay_ms": result.avg_delay_ms,
+        "peak_kb": memory.peak_kb,
+    })
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("kwf", (0.0003, 0.0006, 0.0009, 0.0012,
+                                 0.0015))
+def test_fig11ab_kwf_sweep(benchmark, dblp, kwf, alg):
+    params = dblp.params
+    run_cell(benchmark, dblp, params.query(kwf=kwf),
+             params.default_rmax, alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("l", (2, 3, 4, 5, 6))
+def test_fig11cd_l_sweep(benchmark, dblp, l, alg):
+    params = dblp.params
+    run_cell(benchmark, dblp, params.query(l=l), params.default_rmax,
+             alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("rmax", (4.0, 5.0, 6.0, 7.0, 8.0))
+def test_fig11ef_rmax_sweep(benchmark, dblp, rmax, alg):
+    params = dblp.params
+    run_cell(benchmark, dblp, params.query(), rmax, alg)

@@ -1,0 +1,45 @@
+"""Fig. 12(a,b) — interactive top-k on DBLP and IMDB.
+
+The user asks for the top k, then for 50 more. PDk continues its
+stream (the paper's headline interactivity claim); BUk and TDk pruned
+their pools, so they must run the whole query again at k+50 — their
+measured time is both runs, exactly the paper's setup.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_interactive
+
+ALGS = ("pd", "bu", "td")
+K_VALUES = (50, 100, 150, 200, 250)
+BUDGET = 10.0  # per BU/TD run (each interactive cell runs them twice)
+
+
+def run_cell(benchmark, bundle, k, alg):
+    params = bundle.params
+    keywords = params.query()
+
+    def once():
+        return measure_interactive(bundle.search, bundle.label,
+                                   keywords, k, params.default_rmax,
+                                   alg, extra_k=50,
+                                   budget_seconds=BUDGET)
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "k": k,
+        "produced": result.communities,
+        "timed_out": result.timed_out,
+    })
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig12a_dblp_interactive(benchmark, dblp, k, alg):
+    run_cell(benchmark, dblp, k, alg)
+
+
+@pytest.mark.parametrize("alg", ALGS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig12b_imdb_interactive(benchmark, imdb, k, alg):
+    run_cell(benchmark, imdb, k, alg)

@@ -1,0 +1,55 @@
+"""Section VII index statistics: build time, index size, and the
+projected-graph fraction (the paper reports max/avg ~0.4–1.8 % and
+index sizes/build times for both datasets)."""
+
+import pytest
+
+from repro.datasets.dblp import DBLPConfig, dblp_graph
+from repro.datasets.imdb import IMDBConfig, imdb_graph
+from repro.text.inverted_index import CommunityIndex
+
+
+@pytest.mark.parametrize("dataset", ("dblp", "imdb"))
+def test_index_build(benchmark, dataset):
+    if dataset == "dblp":
+        _, dbg = dblp_graph(DBLPConfig(n_authors=800))
+        radius = 8.0
+    else:
+        _, dbg = imdb_graph(IMDBConfig(n_users=150, n_movies=100,
+                                       n_ratings=3_000))
+        radius = 13.0
+
+    index = benchmark.pedantic(
+        lambda: CommunityIndex.build(dbg, radius), rounds=1,
+        iterations=1)
+
+    stats = index.stats()
+    benchmark.extra_info.update({
+        "nodes": dbg.n,
+        "edges": dbg.m,
+        "index_size_bytes": stats["size_bytes"],
+        "node_postings": stats["node_postings"],
+        "edge_postings": stats["edge_postings"],
+    })
+    assert stats["node_postings"] > 0
+    assert stats["edge_postings"] > 0
+
+
+@pytest.mark.parametrize("dataset", ("dblp", "imdb"))
+def test_projection_fraction(benchmark, dataset, dblp, imdb):
+    bundle = dblp if dataset == "dblp" else imdb
+    params = bundle.params
+    keywords = params.query()
+
+    projection = benchmark.pedantic(
+        lambda: bundle.search.project(keywords, params.default_rmax),
+        rounds=1, iterations=1)
+
+    fraction = projection.fraction_of(bundle.dbg)
+    benchmark.extra_info.update({
+        "projected_nodes": projection.n,
+        "projected_edges": projection.m,
+        "fraction": fraction,
+    })
+    # the paper's headline: projections are a small slice of G_D
+    assert 0.0 < fraction < 0.5

@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures: bench-scale datasets with built indexes.
+
+Datasets are generated (and indexed) once per session; every benchmark
+then runs queries against the cached bundle, mirroring the paper's
+setup where index construction is a one-off cost reported separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import load_dataset
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """Bench-scale DBLP bundle (graph + index + paper parameter grid)."""
+    return load_dataset("dblp", "bench")
+
+
+@pytest.fixture(scope="session")
+def imdb():
+    """Bench-scale IMDB bundle (graph + index + paper parameter grid)."""
+    return load_dataset("imdb", "bench")

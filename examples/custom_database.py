@@ -1,0 +1,105 @@
+"""Bring your own schema: community search over a custom database.
+
+Shows the full substrate end to end — declare relations with primary
+and foreign keys, load rows (referential integrity enforced),
+materialize the database graph, and query communities — on a small
+bug-tracker database where the question is "how are the people and
+tickets mentioning these two components connected?".
+
+    python examples/custom_database.py
+"""
+
+from repro import (
+    Column,
+    CommunitySearch,
+    Database,
+    ForeignKey,
+    TableSchema,
+    build_database_graph,
+)
+
+
+def build_tracker() -> Database:
+    db = Database("tracker")
+    db.create_table(TableSchema(
+        "Person",
+        [Column("pid", int), Column("name", str)],
+        "pid",
+        text_columns=["name"],
+    ))
+    db.create_table(TableSchema(
+        "Ticket",
+        [Column("tid", int), Column("title", str),
+         Column("owner", int)],
+        "tid",
+        [ForeignKey("owner", "Person")],
+        text_columns=["title"],
+    ))
+    db.create_table(TableSchema(
+        "Comment",
+        [Column("cid", int), Column("tid", int), Column("author", int),
+         Column("body", str)],
+        "cid",
+        [ForeignKey("tid", "Ticket"), ForeignKey("author", "Person")],
+        text_columns=["body"],
+    ))
+
+    people = ["ana", "bora", "chen", "dai", "edda"]
+    for pid, name in enumerate(people):
+        db.insert("Person", {"pid": pid, "name": name})
+
+    tickets = [
+        (0, "parser crash on empty input", 0),
+        (1, "scheduler starves io queue", 1),
+        (2, "parser accepts invalid utf8", 2),
+        (3, "scheduler deadlock with parser lock", 1),
+        (4, "docs for scheduler api", 3),
+    ]
+    for tid, title, owner in tickets:
+        db.insert("Ticket", {"tid": tid, "title": title,
+                             "owner": owner})
+
+    comments = [
+        (0, 0, 2, "reproduced the parser crash, stack attached"),
+        (1, 0, 1, "related to the scheduler change last week"),
+        (2, 3, 0, "parser lock ordering looks wrong"),
+        (3, 3, 4, "scheduler side confirmed"),
+        (4, 2, 4, "parser fuzzing finds more cases"),
+        (5, 1, 3, "io queue metrics added"),
+    ]
+    for cid, tid, author, body in comments:
+        db.insert("Comment", {"cid": cid, "tid": tid,
+                              "author": author, "body": body})
+    return db
+
+
+def main() -> None:
+    db = build_tracker()
+    print("Loaded:", db)
+
+    dbg = build_database_graph(db, label_columns={"Person": "name",
+                                                  "Ticket": "title"})
+    print(f"Database graph: {dbg.n} tuple nodes, {dbg.m} directed "
+          f"edges (bi-directed FK references, BANKS weights)\n")
+
+    search = CommunitySearch(dbg)
+    search.build_index(radius=10.0)
+
+    query = ["parser", "scheduler"]
+    print(f"Query: {query}  — who/what connects both components?\n")
+    for rank, community in enumerate(
+            search.top_k(query, k=3, rmax=5.0), start=1):
+        print(f"#{rank}")
+        print(community.describe(dbg))
+        print()
+
+    # Integrity is enforced, like a real RDBMS:
+    try:
+        db.insert("Comment", {"cid": 99, "tid": 42, "author": 0,
+                              "body": "dangling"})
+    except Exception as error:
+        print(f"Referential integrity works: {error}")
+
+
+if __name__ == "__main__":
+    main()

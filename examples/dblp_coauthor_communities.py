@@ -1,0 +1,71 @@
+"""DBLP scenario: from relational tables to keyword communities.
+
+Builds a synthetic DBLP database (Author / Paper / Write / Cite, with
+the paper's degree statistics), materializes the database graph with
+BANKS edge weights, indexes it, and answers a multi-keyword query —
+"which author/paper neighborhoods connect these topic words?" — the
+workload of the paper's Exp-2.
+
+    python examples/dblp_coauthor_communities.py
+"""
+
+import time
+
+from repro import CommunitySearch
+from repro.datasets import DBLPConfig, query_keywords
+from repro.datasets.dblp import dblp_graph
+
+
+def main() -> None:
+    config = DBLPConfig(n_authors=1_500)
+    print(f"Generating synthetic DBLP "
+          f"(~{config.total_tuples_estimate} tuples)...")
+    db, dbg = dblp_graph(config)
+    for name, count in db.stats().items():
+        if not name.startswith("__"):
+            print(f"  {name:<8} {count:>8} rows")
+    print(f"  graph    {dbg.n:>8} nodes, {dbg.m} directed edges "
+          f"(bi-directed foreign-key references)")
+
+    search = CommunitySearch(dbg)
+    start = time.perf_counter()
+    search.build_index(radius=8.0)
+    print(f"\nInverted indexes built in "
+          f"{time.perf_counter() - start:.2f}s "
+          f"({search.index.size_bytes() / 1e6:.1f} MB)")
+
+    keywords = query_keywords(kwf=0.0009, l=3)
+    print(f"\nQuery: {keywords}  (Rmax=6, the paper's DBLP default)")
+
+    projection = search.project(keywords, rmax=6.0)
+    print(f"Projected graph: {projection.n} nodes "
+          f"({projection.fraction_of(dbg):.2%} of G_D) — "
+          f"Algorithm 6 keeps queries local.")
+
+    start = time.perf_counter()
+    communities = search.all_communities(keywords, rmax=6.0)
+    elapsed = time.perf_counter() - start
+    print(f"\nCOMM-all found {len(communities)} communities in "
+          f"{elapsed:.2f}s")
+
+    for rank, community in enumerate(communities[:3], start=1):
+        print(f"\n#{rank} cost={community.cost:.2f} "
+              f"({'multi' if community.is_multi_center() else 'single'}"
+              f"-center)")
+        for node in community.core:
+            table, pk = dbg.provenance_of(node)
+            print(f"  knode  {dbg.label_of(node)!r}  "
+                  f"[{table} pk={pk}]")
+        for node in community.centers[:3]:
+            table, pk = dbg.provenance_of(node)
+            print(f"  center {dbg.label_of(node)!r}  "
+                  f"[{table} pk={pk}]")
+
+    single = sum(1 for c in communities if not c.is_multi_center())
+    print(f"\n{single}/{len(communities)} communities are "
+          f"single-center — the sparse-DBLP behaviour the paper "
+          f"reports in Exp-2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The project is declared in ``pyproject.toml``; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(where PEP 660 editable installs are unavailable) via::
+
+    python setup.py develop
+
+``pip install -e .`` works too wherever ``wheel`` is present.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analysis utilities: dataset statistics, result statistics, exports.
+
+* :mod:`repro.analysis.graph_stats` — the dataset characterization the
+  paper's §VII text quotes (tuple counts, reference counts, degree
+  averages, weight distribution);
+* :mod:`repro.analysis.result_stats` — community result profiling
+  (multi-center rates, size/cost distributions, node overlap);
+* :mod:`repro.analysis.dot` — Graphviz DOT export for communities and
+  tree answers (renders the paper's Fig. 3/5/7-style drawings);
+* :mod:`repro.analysis.delay_profile` — per-answer delay measurement
+  (the distribution behind the paper's "polynomial delay" claim).
+"""
+
+from repro.analysis.delay_profile import DelayProfile, profile_delays
+from repro.analysis.dot import community_to_dot, tree_to_dot
+from repro.analysis.graph_stats import (
+    DatasetProfile,
+    degree_statistics,
+    profile_database,
+    profile_graph,
+)
+from repro.analysis.result_stats import ResultProfile, profile_results
+
+__all__ = [
+    "DatasetProfile",
+    "DelayProfile",
+    "ResultProfile",
+    "profile_delays",
+    "community_to_dot",
+    "degree_statistics",
+    "profile_database",
+    "profile_graph",
+    "profile_results",
+    "tree_to_dot",
+]

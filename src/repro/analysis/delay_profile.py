@@ -1,0 +1,95 @@
+"""Per-answer delay profiling — measuring the paper's core claim.
+
+"Polynomial delay" is a statement about the *gap between consecutive
+answers*: for PDall it is bounded by a polynomial in the input alone,
+while the expanding baselines' dedup work grows with the number of
+answers already produced. Average delay (total/|O|, what the paper's
+figures report) can hide that difference; this profiler records every
+inter-answer gap so the distribution itself can be inspected.
+
+``profile_delays`` drives any community iterator and returns a
+:class:`DelayProfile` with the max/percentile gaps and a simple
+first-half vs second-half drift ratio (≈1 for delay that does not grow
+with the answer index).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass
+class DelayProfile:
+    """Inter-answer delay statistics for one enumeration run."""
+
+    answers: int
+    total_seconds: float
+    delays_ms: List[float]
+
+    @property
+    def average_ms(self) -> float:
+        """The paper's metric: total time / answers."""
+        if not self.answers:
+            return float("nan")
+        return 1000.0 * self.total_seconds / self.answers
+
+    @property
+    def max_ms(self) -> float:
+        """Worst single gap — what 'polynomial delay' bounds."""
+        return max(self.delays_ms, default=float("nan"))
+
+    def percentile_ms(self, q: float) -> float:
+        """The q-th percentile gap (0 <= q <= 100)."""
+        if not self.delays_ms:
+            return float("nan")
+        ordered = sorted(self.delays_ms)
+        index = min(len(ordered) - 1,
+                    max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def drift_ratio(self) -> float:
+        """Mean gap of the second half over the first half.
+
+        ≈ 1 for enumeration whose delay does not depend on how many
+        answers were already produced (the polynomial-delay property);
+        > 1 when later answers get slower (the incremental-polynomial
+        signature of the pool-based baselines).
+        """
+        if len(self.delays_ms) < 4:
+            return float("nan")
+        half = len(self.delays_ms) // 2
+        first = sum(self.delays_ms[:half]) / half
+        second = sum(self.delays_ms[half:]) / (len(self.delays_ms)
+                                               - half)
+        if first <= 0:
+            return float("nan")
+        return second / first
+
+    def render(self) -> str:
+        """One-line summary."""
+        return (f"{self.answers} answers in "
+                f"{self.total_seconds:.2f}s; delay avg "
+                f"{self.average_ms:.2f}ms p50 "
+                f"{self.percentile_ms(50):.2f}ms p95 "
+                f"{self.percentile_ms(95):.2f}ms max {self.max_ms:.2f}"
+                f"ms; drift x{self.drift_ratio:.2f}")
+
+
+def profile_delays(iterator: Iterable, max_answers: Optional[int] = None
+                   ) -> DelayProfile:
+    """Consume a community iterator, timing each inter-answer gap."""
+    delays: List[float] = []
+    start = time.perf_counter()
+    last = start
+    count = 0
+    for _ in iterator:
+        now = time.perf_counter()
+        delays.append(1000.0 * (now - last))
+        last = now
+        count += 1
+        if max_answers is not None and count >= max_answers:
+            break
+    return DelayProfile(count, time.perf_counter() - start, delays)

@@ -1,0 +1,69 @@
+"""Graphviz DOT export for communities and tree answers.
+
+Renders the paper's figure style: knodes as doubled circles, centers
+shaded, pnodes plain; edge labels carry weights. Output is plain DOT
+text — pipe it to ``dot -Tsvg`` to draw Fig. 3/5/7-style pictures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.community import Community
+from repro.core.trees import TreeAnswer
+from repro.graph.database_graph import DatabaseGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def community_to_dot(community: Community,
+                     dbg: Optional[DatabaseGraph] = None,
+                     name: str = "community") -> str:
+    """DOT for one community (knodes doubled, centers shaded)."""
+    def label(node: int) -> str:
+        return _escape(dbg.label_of(node)) if dbg is not None \
+            else f"v{node}"
+
+    knodes = set(community.core)
+    centers = set(community.centers)
+    lines: List[str] = [f'digraph "{_escape(name)}" {{',
+                        "  rankdir=LR;",
+                        '  node [shape=ellipse, fontsize=11];']
+    for node in community.nodes:
+        attrs = [f'label="{label(node)}"']
+        if node in knodes:
+            attrs.append("peripheries=2")
+        if node in centers:
+            attrs.append('style=filled')
+            attrs.append('fillcolor="#dddddd"')
+        lines.append(f'  n{node} [{", ".join(attrs)}];')
+    for u, v, w in community.edges:
+        lines.append(f'  n{u} -> n{v} [label="{w:g}", fontsize=9];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_to_dot(tree: TreeAnswer, dbg: Optional[DatabaseGraph] = None,
+                name: str = "tree") -> str:
+    """DOT for one tree answer (root shaded, knodes doubled)."""
+    def label(node: int) -> str:
+        return _escape(dbg.label_of(node)) if dbg is not None \
+            else f"v{node}"
+
+    knodes = set(tree.core)
+    lines: List[str] = [f'digraph "{_escape(name)}" {{',
+                        '  node [shape=ellipse, fontsize=11];']
+    for node in tree.nodes:
+        attrs = [f'label="{label(node)}"']
+        if node in knodes:
+            attrs.append("peripheries=2")
+        if node == tree.root:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="#dddddd"')
+        lines.append(f'  n{node} [{", ".join(attrs)}];')
+    for u, v, w in tree.edges:
+        lines.append(f'  n{u} -> n{v} [label="{w:g}", fontsize=9];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Result-set profiling: what the answers of a query look like.
+
+The paper explains several of its measurements through result
+*structure* — DBLP answers are mostly single-center, IMDB answers are
+multi-center; result counts drive baseline memory. This module turns a
+result list into those statistics so the observations can be made (and
+tested) quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.community import Community
+
+
+@dataclass
+class ResultProfile:
+    """Aggregate statistics over one query's community list."""
+
+    count: int
+    multi_center: int
+    avg_centers: float
+    avg_size: float
+    max_size: int
+    min_cost: float
+    max_cost: float
+    avg_cost: float
+    distinct_nodes: int
+
+    @property
+    def multi_center_rate(self) -> float:
+        """Fraction of answers with more than one center."""
+        return self.multi_center / self.count if self.count else 0.0
+
+    def render(self) -> str:
+        """One-paragraph text summary."""
+        if self.count == 0:
+            return "no communities"
+        return (
+            f"{self.count} communities; "
+            f"{self.multi_center} multi-center "
+            f"({self.multi_center_rate:.0%}); "
+            f"centers/answer {self.avg_centers:.2f}; "
+            f"size avg {self.avg_size:.1f} max {self.max_size}; "
+            f"cost [{self.min_cost:g}, {self.max_cost:g}] "
+            f"avg {self.avg_cost:.2f}; "
+            f"{self.distinct_nodes} distinct nodes covered")
+
+
+def profile_results(communities: Sequence[Community]) -> ResultProfile:
+    """Profile a community result list."""
+    if not communities:
+        return ResultProfile(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0)
+    covered = set()
+    for community in communities:
+        covered.update(community.nodes)
+    costs = [c.cost for c in communities]
+    return ResultProfile(
+        count=len(communities),
+        multi_center=sum(
+            1 for c in communities if c.is_multi_center()),
+        avg_centers=sum(
+            len(c.centers) for c in communities) / len(communities),
+        avg_size=sum(c.size for c in communities) / len(communities),
+        max_size=max(c.size for c in communities),
+        min_cost=min(costs),
+        max_cost=max(costs),
+        avg_cost=sum(costs) / len(costs),
+        distinct_nodes=len(covered),
+    )
+
+
+def cost_histogram(communities: Sequence[Community], bins: int = 8
+                   ) -> List[Tuple[str, int]]:
+    """Equal-width cost histogram (for terminal reports)."""
+    if not communities:
+        return []
+    costs = sorted(c.cost for c in communities)
+    lo, hi = costs[0], costs[-1]
+    if hi <= lo:
+        return [(f"{lo:g}", len(costs))]
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for cost in costs:
+        idx = min(int((cost - lo) / width), bins - 1)
+        counts[idx] += 1
+    return [
+        (f"[{lo + i * width:.1f}, {lo + (i + 1) * width:.1f})", count)
+        for i, count in enumerate(counts)
+    ]
+
+
+def overlap_matrix(communities: Sequence[Community], top: int = 5
+                   ) -> List[List[float]]:
+    """Jaccard node-overlap between the first ``top`` answers.
+
+    High off-diagonal overlap is the redundancy story: many tree-style
+    answers would repeat the same neighborhood; communities expose the
+    overlap explicitly.
+    """
+    chosen = list(communities[:top])
+    matrix: List[List[float]] = []
+    for a in chosen:
+        row = []
+        set_a = set(a.nodes)
+        for b in chosen:
+            set_b = set(b.nodes)
+            union = set_a | set_b
+            row.append(len(set_a & set_b) / len(union) if union
+                       else 0.0)
+        matrix.append(row)
+    return matrix
+
+
+def keyword_node_usage(communities: Sequence[Community]
+                       ) -> Dict[int, int]:
+    """How many answers each knode participates in (hub detection)."""
+    usage: Dict[int, int] = {}
+    for community in communities:
+        for node in set(community.core):
+            usage[node] = usage.get(node, 0) + 1
+    return usage

@@ -1,0 +1,45 @@
+"""Benchmark harness regenerating the paper's evaluation (Section VII).
+
+Every table and figure of the paper has a target here:
+
+* Table I (+ Figs. 4/5) — ``table1_ranking`` (exact reproduction);
+* Fig. 9(a–f)  — IMDB COMM-all sweeps (``figure9``);
+* Fig. 10(a–d) — IMDB COMM-k sweeps (``figure10``);
+* Fig. 11(a–f) — DBLP COMM-all sweeps (``figure11``);
+* Fig. 12(a,b) — interactive top-k (``figure12``);
+* §VII index statistics — ``index_stats``.
+
+Run everything from the CLI::
+
+    python -m repro.bench --figure 9 --scale bench
+    python -m repro.bench --all
+
+or through pytest-benchmark (one representative bench per figure point
+lives in ``benchmarks/``).
+"""
+
+from repro.bench.harness import (
+    RunResult,
+    measure_all,
+    measure_interactive,
+    measure_topk,
+)
+from repro.bench.workloads import (
+    DBLP_PARAMS,
+    IMDB_PARAMS,
+    BenchParams,
+    DatasetBundle,
+    load_dataset,
+)
+
+__all__ = [
+    "BenchParams",
+    "DBLP_PARAMS",
+    "DatasetBundle",
+    "IMDB_PARAMS",
+    "RunResult",
+    "load_dataset",
+    "measure_all",
+    "measure_interactive",
+    "measure_topk",
+]

@@ -1,0 +1,51 @@
+"""CLI for the benchmark harness.
+
+Examples::
+
+    python -m repro.bench --figure table1
+    python -m repro.bench --figure 9 --scale bench
+    python -m repro.bench --all --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES
+
+
+def main(argv=None) -> int:
+    """Parse CLI args and regenerate the requested exhibits."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURES), action="append",
+        help="which exhibit to regenerate (repeatable)")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="regenerate every exhibit")
+    parser.add_argument(
+        "--scale", choices=("tiny", "bench", "paper"), default="bench",
+        help="dataset scale (default: bench)")
+    args = parser.parse_args(argv)
+
+    figures = list(args.figure or [])
+    if args.all:
+        figures = sorted(FIGURES)
+    if not figures:
+        parser.error("pick --figure <id> or --all")
+
+    for figure in figures:
+        start = time.perf_counter()
+        report = FIGURES[figure](args.scale)
+        elapsed = time.perf_counter() - start
+        print(report.text)
+        print(f"\n[{figure} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Measurement primitives: time, average delay, and peak memory.
+
+The paper reports *average delay* (total CPU time / number of
+communities) for the COMM-all algorithms, *total time* for the top-k
+algorithms, and peak memory for both. We measure wall time with
+``perf_counter`` and working-set peaks with ``tracemalloc``; because
+tracing roughly doubles Python runtimes, memory is taken in a separate
+pass so the timing numbers stay clean.
+
+Runs can be capped (``max_communities``) to bound benchmark time on
+result-dense IMDB configurations; the cap is recorded in the result so
+reports can say "delay over the first M answers". The cap applies
+identically to every algorithm.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.baselines.bottom_up import bu_iter, bu_top_k
+from repro.core.baselines.pool import BaselineStats
+from repro.core.baselines.top_down import td_iter, td_top_k
+from repro.core.comm_all import enumerate_all
+from repro.core.comm_k import TopKStream
+from repro.core.search import CommunitySearch
+from repro.exceptions import QueryError
+
+#: Default per-run time budget for the pool-based baselines: BU/TD
+#: candidate enumeration is combinatorial, and censored cells (marked
+#: ``timed_out``) are how the reports stay bounded, the way papers
+#: print "DNF" bars.
+DEFAULT_BUDGET_SECONDS = 60.0
+
+
+def _prepare(search: CommunitySearch, keywords, rmax: float):
+    """Project once, outside the measured region.
+
+    The paper's setup: "for all algorithms to be tested, we first
+    project a database subgraph … and test the algorithms" — so both
+    the timing and the tracemalloc peak cover the *algorithm* on the
+    projected graph, not the shared projection construction.
+    """
+    if search.index is not None:
+        projection = search.project(keywords, rmax)
+        return projection.subgraph, projection.node_lists
+    return search.dbg, None
+
+
+def _all_runner(algorithm: str, dbg, keywords, rmax, node_lists,
+                budget_seconds, stats):
+    if algorithm == "pd":
+        return enumerate_all(dbg, list(keywords), rmax,
+                             node_lists=node_lists)
+    if algorithm == "bu":
+        return bu_iter(dbg, list(keywords), rmax, node_lists=node_lists,
+                       stats=stats, budget_seconds=budget_seconds)
+    if algorithm == "td":
+        return td_iter(dbg, list(keywords), rmax, node_lists=node_lists,
+                       stats=stats, budget_seconds=budget_seconds)
+    raise QueryError(f"unknown COMM-all algorithm {algorithm!r}")
+
+
+def _topk_result(algorithm: str, dbg, keywords, k, rmax, node_lists,
+                 budget_seconds, stats):
+    if algorithm == "pd":
+        return TopKStream(dbg, list(keywords), rmax,
+                          node_lists=node_lists).take(k)
+    if algorithm == "bu":
+        return bu_top_k(dbg, list(keywords), k, rmax,
+                        node_lists=node_lists, stats=stats,
+                        budget_seconds=budget_seconds)
+    if algorithm == "td":
+        return td_top_k(dbg, list(keywords), k, rmax,
+                        node_lists=node_lists, stats=stats,
+                        budget_seconds=budget_seconds)
+    raise QueryError(f"unknown COMM-k algorithm {algorithm!r}")
+
+
+@dataclass
+class RunResult:
+    """One measured run of one algorithm on one sweep point."""
+
+    dataset: str
+    algorithm: str
+    mode: str                    # "all" | "topk" | "interactive"
+    keywords: Sequence[str]
+    rmax: float
+    seconds: float
+    communities: int
+    k: Optional[int] = None
+    capped: bool = False
+    timed_out: bool = False
+    peak_kb: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def avg_delay_ms(self) -> float:
+        """Average per-answer delay in milliseconds."""
+        if self.communities == 0:
+            return float("nan")
+        return 1000.0 * self.seconds / self.communities
+
+
+def _consume(iterator,
+             max_communities: Optional[int]) -> Tuple[int, bool]:
+    count = 0
+    for _ in iterator:
+        count += 1
+        if max_communities is not None and count >= max_communities:
+            return count, True
+    return count, False
+
+
+def measure_all(search: CommunitySearch, dataset: str,
+                keywords: Sequence[str], rmax: float, algorithm: str,
+                max_communities: Optional[int] = None,
+                measure_memory: bool = True,
+                budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS
+                ) -> RunResult:
+    """COMM-all: enumerate (up to a cap), report delay and peak memory.
+
+    ``budget_seconds`` censors BU/TD candidate enumeration (PD has
+    polynomial delay and needs no budget; the cap bounds it).
+    """
+    stats = BaselineStats()
+    dbg, node_lists = _prepare(search, keywords, rmax)
+    start = time.perf_counter()
+    count, capped = _consume(
+        _all_runner(algorithm, dbg, keywords, rmax, node_lists,
+                    budget_seconds, stats),
+        max_communities)
+    seconds = time.perf_counter() - start
+    timed_out = bool(stats.extra.get("timed_out"))
+
+    peak_kb = None
+    if measure_memory:
+        tracemalloc.start()
+        _consume(
+            _all_runner(algorithm, dbg, keywords, rmax, node_lists,
+                        budget_seconds, BaselineStats()),
+            max_communities)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_kb = peak / 1024.0
+
+    return RunResult(dataset=dataset, algorithm=algorithm, mode="all",
+                     keywords=list(keywords), rmax=rmax, seconds=seconds,
+                     communities=count, capped=capped,
+                     timed_out=timed_out, peak_kb=peak_kb)
+
+
+def measure_topk(search: CommunitySearch, dataset: str,
+                 keywords: Sequence[str], k: int, rmax: float,
+                 algorithm: str,
+                 measure_memory: bool = False,
+                 budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS
+                 ) -> RunResult:
+    """COMM-k: total time to produce the top-k (BU/TD censored by
+    ``budget_seconds``; a censored run reports the partial answer and
+    ``timed_out=True``)."""
+    stats = BaselineStats()
+    dbg, node_lists = _prepare(search, keywords, rmax)
+    start = time.perf_counter()
+    results = _topk_result(algorithm, dbg, keywords, k, rmax,
+                           node_lists, budget_seconds, stats)
+    seconds = time.perf_counter() - start
+    timed_out = bool(stats.extra.get("timed_out"))
+
+    peak_kb = None
+    if measure_memory:
+        tracemalloc.start()
+        _topk_result(algorithm, dbg, keywords, k, rmax, node_lists,
+                     budget_seconds, BaselineStats())
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_kb = peak / 1024.0
+
+    return RunResult(dataset=dataset, algorithm=algorithm, mode="topk",
+                     keywords=list(keywords), rmax=rmax, seconds=seconds,
+                     communities=len(results), k=k,
+                     timed_out=timed_out, peak_kb=peak_kb)
+
+
+def measure_interactive(search: CommunitySearch, dataset: str,
+                        keywords: Sequence[str], k: int, rmax: float,
+                        algorithm: str, extra_k: int = 50,
+                        budget_seconds: Optional[float] = DEFAULT_BUDGET_SECONDS
+                        ) -> RunResult:
+    """Exp-3: top-k, then the user asks for ``extra_k`` more.
+
+    PDk continues its stream for free; BUk/TDk must re-run the whole
+    query with ``k + extra_k`` (their pruned pools cannot resume), so
+    their reported time is *both* runs — exactly the paper's setup.
+    """
+    dbg, node_lists = _prepare(search, keywords, rmax)
+    if algorithm == "pd":
+        start = time.perf_counter()
+        stream = TopKStream(dbg, list(keywords), rmax,
+                            node_lists=node_lists)
+        first = stream.take(k)
+        more = stream.more(extra_k)
+        seconds = time.perf_counter() - start
+        produced = len(first) + len(more)
+        timed_out = False
+    elif algorithm in ("bu", "td"):
+        stats = BaselineStats()
+        start = time.perf_counter()
+        first = _topk_result(algorithm, dbg, keywords, k, rmax,
+                             node_lists, budget_seconds, stats)
+        rerun = _topk_result(algorithm, dbg, keywords, k + extra_k,
+                             rmax, node_lists, budget_seconds, stats)
+        seconds = time.perf_counter() - start
+        produced = len(rerun)
+        timed_out = bool(stats.extra.get("timed_out"))
+    else:
+        raise QueryError(
+            f"interactive mode supports pd/bu/td, got {algorithm!r}")
+    return RunResult(dataset=dataset, algorithm=algorithm,
+                     mode="interactive", keywords=list(keywords),
+                     rmax=rmax, seconds=seconds, communities=produced,
+                     k=k, timed_out=timed_out,
+                     extra={"extra_k": float(extra_k)})
+
+
+def sweep(points: Sequence, runner: Callable[[object], RunResult]
+          ) -> List[RunResult]:
+    """Apply ``runner`` across sweep points, collecting results."""
+    return [runner(point) for point in points]

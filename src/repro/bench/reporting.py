@@ -1,0 +1,71 @@
+"""Plain-text table/series rendering for benchmark output.
+
+The paper presents its evaluation as line charts; a terminal harness
+renders the same information as one row per x-value with one column per
+algorithm, which is the form EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]
+                 ) -> str:
+    """Align columns; floats get 3 significant decimals."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def series_table(title: str, x_name: str, x_values: Sequence[object],
+                 results: Dict[str, List[RunResult]],
+                 metric: str = "avg_delay_ms",
+                 unit: Optional[str] = None) -> str:
+    """One figure panel: x sweep down the rows, algorithms across.
+
+    ``metric`` is an attribute/property of :class:`RunResult`
+    (``avg_delay_ms``, ``seconds``, ``peak_kb``, ``communities``).
+    """
+    algorithms = list(results)
+    headers = [x_name] + [
+        f"{alg}[{unit}]" if unit else alg for alg in algorithms]
+    rows = []
+    for idx, x in enumerate(x_values):
+        row: List[object] = [x]
+        for alg in algorithms:
+            value = getattr(results[alg][idx], metric)
+            row.append(value if value is not None else float("nan"))
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def counts_note(results: Dict[str, List[RunResult]]) -> str:
+    """A footnote with community counts per cell (``+`` = capped,
+    ``!`` = the run was censored by the time budget)."""
+    notes = []
+    for alg, runs in results.items():
+        cells = ", ".join(
+            f"{r.communities}{'+' if r.capped else ''}"
+            f"{'!' if r.timed_out else ''}"
+            for r in runs)
+        notes.append(f"  {alg}: |O| = [{cells}]")
+    return "\n".join(notes)

@@ -1,0 +1,162 @@
+"""Command-line query tool: ``python -m repro``.
+
+Workflows:
+
+* build a demo graph+index and save them::
+
+      python -m repro build --dataset dblp --out-graph g.json.gz \
+          --out-index idx.json.gz --radius 8
+
+* query saved artifacts (or a built-in dataset directly)::
+
+      python -m repro query --graph g.json.gz --index idx.json.gz \
+          --keywords kw0009a,kw0009b --rmax 6 --k 10
+
+      python -m repro query --dataset imdb \
+          --keywords kw0009a,kw0009b,kw0009c --rmax 11 --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Tuple
+
+from repro.core.search import CommunitySearch
+from repro.exceptions import ReproError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.io import load_database_graph, save_database_graph
+from repro.text.persistence import load_index, save_index
+
+
+def _load_dataset(name: str) -> DatabaseGraph:
+    if name == "dblp":
+        from repro.datasets.dblp import DBLPConfig, dblp_graph
+        return dblp_graph(DBLPConfig(n_authors=1_500))[1]
+    if name == "imdb":
+        from repro.datasets.imdb import IMDBConfig, imdb_graph
+        return imdb_graph(IMDBConfig(n_users=300, n_movies=200,
+                                     n_ratings=8_000))[1]
+    if name == "fig4":
+        from repro.datasets.paper_example import figure4_graph
+        return figure4_graph()
+    raise ReproError(f"unknown dataset {name!r} (dblp, imdb, fig4)")
+
+
+def _resolve_search(args) -> Tuple[DatabaseGraph, CommunitySearch]:
+    if args.graph:
+        dbg = load_database_graph(args.graph)
+    elif args.dataset:
+        dbg = _load_dataset(args.dataset)
+    else:
+        raise ReproError("pass --graph FILE or --dataset NAME")
+    search = CommunitySearch(dbg)
+    if getattr(args, "index", None):
+        search.index = load_index(args.index, dbg)
+    return dbg, search
+
+
+def cmd_build(args) -> int:
+    """``build``: generate a dataset; save graph and/or index."""
+    dbg = _load_dataset(args.dataset)
+    print(f"{args.dataset}: {dbg.n} nodes, {dbg.m} edges")
+    if args.out_graph:
+        save_database_graph(dbg, args.out_graph)
+        print(f"graph -> {args.out_graph}")
+    if args.out_index:
+        search = CommunitySearch(dbg)
+        start = time.perf_counter()
+        index = search.build_index(radius=args.radius)
+        print(f"index built in {time.perf_counter() - start:.1f}s "
+              f"(R={args.radius:g}, {index.size_bytes() / 1e6:.1f} MB)")
+        save_index(index, args.out_index)
+        print(f"index -> {args.out_index}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """``query``: run a community query and print the answers."""
+    dbg, search = _resolve_search(args)
+    keywords = [kw.strip() for kw in args.keywords.split(",")
+                if kw.strip()]
+    if search.index is None:
+        print(f"no index given; building one at R={args.rmax:g} ...",
+              file=sys.stderr)
+        search.build_index(radius=args.rmax)
+
+    start = time.perf_counter()
+    if args.all:
+        results = search.all_communities(keywords, args.rmax,
+                                         algorithm=args.algorithm,
+                                         aggregate=args.aggregate)
+    else:
+        results = search.top_k(keywords, args.k, args.rmax,
+                               algorithm=args.algorithm,
+                               aggregate=args.aggregate)
+    elapsed = time.perf_counter() - start
+
+    for rank, community in enumerate(results, start=1):
+        print(f"#{rank}")
+        print(community.describe(dbg))
+        print()
+    mode = "all" if args.all else f"top-{args.k}"
+    print(f"{len(results)} communities ({mode}, Rmax={args.rmax:g}, "
+          f"{args.algorithm}) in {elapsed:.2f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Keyword community search over relational "
+                    "database graphs (Qin et al., ICDE 2009).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="generate and save a demo "
+                                         "graph and/or index")
+    build.add_argument("--dataset", required=True,
+                       choices=("dblp", "imdb", "fig4"))
+    build.add_argument("--out-graph", help="write the graph here "
+                                           "(.json or .json.gz)")
+    build.add_argument("--out-index", help="write the index here")
+    build.add_argument("--radius", type=float, default=8.0,
+                       help="index radius R (max Rmax; default 8)")
+    build.set_defaults(func=cmd_build)
+
+    query = sub.add_parser("query", help="run a community query")
+    source = query.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="a saved graph file")
+    source.add_argument("--dataset", choices=("dblp", "imdb", "fig4"),
+                        help="generate a built-in dataset instead")
+    query.add_argument("--index", help="a saved index file")
+    query.add_argument("--keywords", required=True,
+                       help="comma-separated query keywords")
+    query.add_argument("--rmax", type=float, required=True,
+                       help="community radius Rmax")
+    query.add_argument("--k", type=int, default=10,
+                       help="top-k (default 10)")
+    query.add_argument("--all", action="store_true",
+                       help="enumerate all communities instead of "
+                            "top-k")
+    query.add_argument("--algorithm", default="pd",
+                       choices=("pd", "bu", "td", "naive"))
+    query.add_argument("--aggregate", default="sum",
+                       choices=("sum", "max"))
+    query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

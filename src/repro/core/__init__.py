@@ -1,0 +1,61 @@
+"""The paper's core contribution: community search algorithms.
+
+* :mod:`repro.core.community` — the community model (Definition 2.1);
+* :mod:`repro.core.neighbor` / :mod:`repro.core.bestcore` /
+  :mod:`repro.core.getcommunity` — Algorithms 2, 3, 4;
+* :mod:`repro.core.comm_all` — PDall (Algorithm 1), polynomial-delay
+  enumeration of all communities;
+* :mod:`repro.core.comm_k` — PDk (Algorithm 5), exact ranked top-k with
+  interactive enlargement;
+* :mod:`repro.core.naive` — the ``O(n^l)`` reference enumerator;
+* :mod:`repro.core.baselines` — the BU/TD expanding baselines of
+  Section III;
+* :mod:`repro.core.projection` — Algorithm 6 graph projection;
+* :mod:`repro.core.search` — the high-level :class:`CommunitySearch`
+  facade tying indexing, projection and the algorithms together.
+"""
+
+from repro.core.banks import backward_search, banks_top_k
+from repro.core.bestcore import BestCoreResult, best_core
+from repro.core.comm_all import (
+    AllCommunitiesEnumerator,
+    all_communities,
+    enumerate_all,
+)
+from repro.core.comm_k import CanTuple, TopKStream, top_k
+from repro.core.community import Community, Core, community_sort_key
+from repro.core.cost import MAX, SUM, CostAggregate, resolve_aggregate
+from repro.core.getcommunity import find_centers, get_community
+from repro.core.naive import naive_all, naive_cores, naive_top_k
+from repro.core.neighbor import NeighborSet, neighbor
+from repro.core.trees import TreeAnswer, enumerate_trees, top_k_trees
+
+__all__ = [
+    "AllCommunitiesEnumerator",
+    "BestCoreResult",
+    "CanTuple",
+    "Community",
+    "Core",
+    "CostAggregate",
+    "MAX",
+    "SUM",
+    "resolve_aggregate",
+    "NeighborSet",
+    "TopKStream",
+    "TreeAnswer",
+    "enumerate_trees",
+    "top_k_trees",
+    "all_communities",
+    "backward_search",
+    "banks_top_k",
+    "best_core",
+    "community_sort_key",
+    "enumerate_all",
+    "find_centers",
+    "get_community",
+    "naive_all",
+    "naive_cores",
+    "naive_top_k",
+    "neighbor",
+    "top_k",
+]

@@ -1,0 +1,31 @@
+"""The expanding baselines of Section III.
+
+Both find the same complete, duplication-free community set as PDall —
+but only by checking every candidate core against a *pool* of cores
+already output, which makes them incremental-polynomial rather than
+polynomial-delay, and makes their memory grow with the output size.
+The top-k variants prune the pool to k entries and therefore cannot
+resume when the user enlarges k (the paper's Exp-3 contrast with PDk).
+
+* :mod:`repro.core.baselines.bottom_up` — BUall / BUk: expand
+  backwards from every keyword node, accumulating per-node reachable
+  keyword-node sets (``u.V_i``) for the whole graph at once;
+* :mod:`repro.core.baselines.top_down` — TDall / TDk: expand forward
+  from each candidate center in turn, freeing the expansion after each
+  node (less memory than BU, same pool).
+"""
+
+from repro.core.baselines.bottom_up import bu_all, bu_iter, bu_top_k
+from repro.core.baselines.pool import BaselineStats, TopKPool
+from repro.core.baselines.top_down import td_all, td_iter, td_top_k
+
+__all__ = [
+    "BaselineStats",
+    "TopKPool",
+    "bu_all",
+    "bu_iter",
+    "bu_top_k",
+    "td_all",
+    "td_iter",
+    "td_top_k",
+]

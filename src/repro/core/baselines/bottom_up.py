@@ -1,0 +1,176 @@
+"""BUall / BUk — the bottom-up expanding baseline (Section III).
+
+Expansion runs backwards from every keyword node ``v ∈ V_i`` up to
+``Rmax``; every reached node ``u`` records ``v`` (and the distance) in
+its per-keyword set ``u.V_i``. A node whose ``l`` sets are all
+non-empty is a center, and the cross product of its sets yields
+candidate cores, each checked against the pool.
+
+The defining costs of this approach, which the paper's experiments
+surface and ours reproduce:
+
+* it holds the full ``u.V_i`` structure for *every* node at once —
+  the highest memory of the three algorithms (Fig. 9(b));
+* every candidate core must be deduplicated against the pool of cores
+  already found, so the delay of the o-th answer grows with o —
+  incremental polynomial, not polynomial delay;
+* BUk prunes the pool to k entries, so enlarging k means starting
+  over (Exp-3).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.baselines.pool import BaselineStats, Deadline, \
+    DedupPool, TopKPool
+from repro.core.comm_all import resolve_keyword_nodes
+from repro.core.community import Community, Core, community_sort_key
+from repro.core.cost import SUM, AggregateSpec, CostAggregate, \
+    resolve_aggregate
+from repro.core.getcommunity import get_community
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.dijkstra import bounded_dijkstra
+
+#: ``u.V_i`` for all u: node -> list (per keyword) of {knode: distance}.
+ReachTable = Dict[int, List[Dict[int, float]]]
+
+#: Refuse pathological cross products rather than hang (same guard the
+#: naive enumerator uses; PDall/PDk never enumerate products at all).
+_MAX_CANDIDATES_PER_CENTER = 2_000_000
+
+
+def expand_from_keywords(dbg: DatabaseGraph, keywords: Sequence[str],
+                         rmax: float,
+                         node_lists: Optional[Sequence[Sequence[int]]] = None,
+                         stats: Optional[BaselineStats] = None
+                         ) -> ReachTable:
+    """The bottom-up expansion: build ``u.V_i`` for every node ``u``.
+
+    One bounded reverse Dijkstra per keyword *node* (not per keyword):
+    the per-source sets must stay separate because every reached
+    keyword node is a distinct core coordinate.
+    """
+    if rmax < 0:
+        raise QueryError(f"Rmax must be >= 0, got {rmax}")
+    keyword_nodes = resolve_keyword_nodes(dbg, keywords, node_lists)
+    l = len(keyword_nodes)
+    graph = dbg.graph
+    reach: ReachTable = {}
+    for i, nodes in enumerate(keyword_nodes):
+        for v in sorted(nodes):
+            if stats is not None:
+                stats.expansions += 1
+            dmap = bounded_dijkstra(graph.reverse, [v], rmax)
+            for u, dist in dmap.items():
+                entry = reach.get(u)
+                if entry is None:
+                    entry = [dict() for _ in range(l)]
+                    reach[u] = entry
+                entry[i][v] = dist
+    return reach
+
+
+def _center_cores(entry: List[Dict[int, float]],
+                  aggregate: CostAggregate = SUM,
+                  deadline: Optional[Deadline] = None
+                  ) -> Iterator[Tuple[Core, float]]:
+    """All cores formable at one center, with their per-center costs.
+
+    Stops early (leaving ``deadline.expired`` set) when the time
+    budget runs out mid-product.
+    """
+    per_keyword = [sorted(d.items()) for d in entry]
+    count = 1
+    for pairs in per_keyword:
+        count *= len(pairs)
+    if count > _MAX_CANDIDATES_PER_CENTER:
+        raise QueryError(
+            f"bottom-up expansion would enumerate {count} candidate "
+            f"cores at one center; narrow the query")
+    for combo in product(*per_keyword):
+        if deadline is not None and deadline.check():
+            return
+        core: Core = tuple(v for v, _ in combo)
+        cost = aggregate(dist for _, dist in combo)
+        yield core, cost
+
+
+def bu_iter(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+            node_lists: Optional[Sequence[Sequence[int]]] = None,
+            stats: Optional[BaselineStats] = None,
+            aggregate: AggregateSpec = "sum",
+            budget_seconds: Optional[float] = None
+            ) -> Iterator[Community]:
+    """Streaming BUall: communities in discovery order (center id,
+    then core). The full expansion happens up front (that is the BU
+    design); cores then stream out as the pool admits them.
+
+    With ``budget_seconds`` the candidate enumeration is censored when
+    the budget expires (``stats.extra["timed_out"]`` is set) — results
+    up to that point are still complete prefixes of discovery order.
+    """
+    stats = stats if stats is not None else BaselineStats()
+    combine = resolve_aggregate(aggregate)
+    deadline = Deadline(budget_seconds)
+    reach = expand_from_keywords(dbg, keywords, rmax, node_lists, stats)
+    pool = DedupPool(stats)
+    for u in sorted(reach):
+        if deadline.check_now():
+            break
+        entry = reach[u]
+        if any(not d for d in entry):
+            continue
+        for core, _ in _center_cores(entry, combine, deadline):
+            if pool.admit(core):
+                yield get_community(dbg.graph, core, rmax, combine)
+    if deadline.expired:
+        stats.extra["timed_out"] = 1.0
+
+
+def bu_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+           node_lists: Optional[Sequence[Sequence[int]]] = None,
+           stats: Optional[BaselineStats] = None,
+           aggregate: AggregateSpec = "sum",
+           budget_seconds: Optional[float] = None) -> List[Community]:
+    """BUall: all communities, materialized (see :func:`bu_iter`)."""
+    return list(bu_iter(dbg, keywords, rmax, node_lists, stats,
+                        aggregate, budget_seconds))
+
+
+def bu_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+             rmax: float,
+             node_lists: Optional[Sequence[Sequence[int]]] = None,
+             stats: Optional[BaselineStats] = None,
+             aggregate: AggregateSpec = "sum",
+             budget_seconds: Optional[float] = None
+             ) -> List[Community]:
+    """BUk: the top-k communities by cost, via a pruned pool.
+
+    Unlike :class:`~repro.core.comm_k.TopKStream`, nothing survives
+    this call: asking for k + 50 answers afterwards re-runs the whole
+    expansion (the paper's Exp-3 measures exactly that penalty).
+    """
+    stats = stats if stats is not None else BaselineStats()
+    combine = resolve_aggregate(aggregate)
+    deadline = Deadline(budget_seconds)
+    reach = expand_from_keywords(dbg, keywords, rmax, node_lists, stats)
+    pool = TopKPool(k, stats)
+    for u in sorted(reach):
+        if deadline.check_now():
+            stats.extra["timed_out"] = 1.0
+            break
+        entry = reach[u]
+        if any(not d for d in entry):
+            continue
+        for core, cost in _center_cores(entry, combine, deadline):
+            pool.offer(core, cost)
+    if deadline.expired:
+        stats.extra["timed_out"] = 1.0
+    communities = [
+        get_community(dbg.graph, core, rmax, combine)
+        for core, _ in pool.results()]
+    communities.sort(key=community_sort_key)
+    return communities

@@ -1,0 +1,160 @@
+"""Shared pool machinery for the BU/TD baselines.
+
+The *pool* is exactly what the paper holds against these algorithms:
+to stay duplication-free they must remember every core already seen
+(:class:`DedupPool`), and the top-k variants must remember the best k
+costs seen so far to prune (:class:`TopKPool`). Pool size is the
+baselines' memory story, so both classes track their peak occupancy for
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.community import Core
+from repro.exceptions import QueryError
+
+
+class Deadline:
+    """A cheap cooperative time budget for baseline candidate loops.
+
+    BU/TD candidate enumeration is combinatorial (that is the point of
+    the comparison), so production use and benchmarks need a way to
+    censor runaway cells instead of hanging. ``check()`` consults the
+    clock only every ``stride`` calls; once expired it stays expired,
+    and the caller reports the run as timed out.
+    """
+
+    __slots__ = ("_deadline", "expired", "_counter", "_stride")
+
+    def __init__(self, seconds: Optional[float],
+                 stride: int = 2048) -> None:
+        self._deadline = (
+            None if seconds is None else time.perf_counter() + seconds)
+        self.expired = seconds is not None and seconds <= 0
+        self._counter = 0
+        self._stride = stride
+
+    def check(self) -> bool:
+        """True when the budget is exhausted (clock read only every
+        ``stride`` calls — for per-candidate hot loops)."""
+        if self._deadline is None or self.expired:
+            return self.expired
+        self._counter += 1
+        if self._counter >= self._stride:
+            self._counter = 0
+            if time.perf_counter() >= self._deadline:
+                self.expired = True
+        return self.expired
+
+    def check_now(self) -> bool:
+        """True when exhausted, reading the clock immediately — for
+        per-center loops where each iteration does real work."""
+        if self._deadline is None or self.expired:
+            return self.expired
+        if time.perf_counter() >= self._deadline:
+            self.expired = True
+        return self.expired
+
+
+@dataclass
+class BaselineStats:
+    """Bookkeeping the benchmarks report for BU/TD runs.
+
+    ``candidates`` counts every (center, core) combination generated;
+    ``duplicates`` counts the ones rejected by the pool — the wasted
+    work PDall never performs; ``pool_peak`` is the largest number of
+    cores the pool held.
+    """
+
+    candidates: int = 0
+    duplicates: int = 0
+    pool_peak: int = 0
+    expansions: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class DedupPool:
+    """The already-output core pool of BUall/TDall."""
+
+    def __init__(self, stats: Optional[BaselineStats] = None) -> None:
+        self._seen: Set[Core] = set()
+        self.stats = stats if stats is not None else BaselineStats()
+
+    def admit(self, core: Core) -> bool:
+        """True when ``core`` is new (and record it); False on duplicate."""
+        self.stats.candidates += 1
+        if core in self._seen:
+            self.stats.duplicates += 1
+            return False
+        self._seen.add(core)
+        self.stats.pool_peak = max(self.stats.pool_peak, len(self._seen))
+        return True
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, core: Core) -> bool:
+        return core in self._seen
+
+
+class TopKPool:
+    """Bounded best-k pool for BUk/TDk.
+
+    Keeps ``core -> min cost seen`` but prunes candidates that cannot
+    rank in the top k. Pruning against the running k-th best is safe:
+    per-center costs only over-estimate a core's true cost, and the
+    core's optimal center contributes its exact cost as a separate
+    candidate, so the final k smallest are exact. What pruning destroys
+    is *resumability* — ranks beyond k are gone, which is why these
+    baselines must recompute from scratch when the user enlarges k
+    (paper Exp-3).
+    """
+
+    def __init__(self, k: int, stats: Optional[BaselineStats] = None) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        self.k = k
+        self._best: Dict[Core, float] = {}
+        self._threshold: float = float("inf")
+        self.stats = stats if stats is not None else BaselineStats()
+
+    def offer(self, core: Core, cost: float) -> None:
+        """Consider one (core, per-center cost) candidate."""
+        self.stats.candidates += 1
+        if cost > self._threshold:
+            return
+        previous = self._best.get(core)
+        if previous is not None:
+            self.stats.duplicates += 1
+            if cost < previous:
+                self._best[core] = cost
+            return
+        self._best[core] = cost
+        self.stats.pool_peak = max(self.stats.pool_peak, len(self._best))
+        if len(self._best) > 2 * self.k:
+            self._compact()
+        elif len(self._best) >= self.k:
+            self._threshold = self._kth_cost()
+
+    def results(self) -> List[Tuple[Core, float]]:
+        """The final top-k as ``(core, cost)``, ascending (cost, core)."""
+        ordered = sorted(self._best.items(), key=lambda kv: (kv[1], kv[0]))
+        return ordered[: self.k]
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    # ------------------------------------------------------------------
+    def _kth_cost(self) -> float:
+        costs = heapq.nsmallest(self.k, self._best.values())
+        return costs[-1] if len(costs) >= self.k else float("inf")
+
+    def _compact(self) -> None:
+        keep = sorted(self._best.items(), key=lambda kv: (kv[1], kv[0]))
+        self._best = dict(keep[: self.k])
+        self._threshold = self._kth_cost()

@@ -1,0 +1,134 @@
+"""TDall / TDk — the top-down expanding baseline (Section III).
+
+Expansion runs *forward* from every node ``u`` of the graph, up to
+``Rmax``: the keyword nodes u reaches form its ``u.V_i`` sets, cores
+are the cross product, and the pool rejects duplicates. Unlike BU, the
+expansion state for ``u`` is freed as soon as ``u`` is processed —
+which is why the paper measures TDall below BUall on memory — but the
+pool of output cores still grows with the result size, so TD is also
+only incremental-polynomial. TDk prunes like BUk and cannot resume.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.baselines.pool import BaselineStats, Deadline, \
+    DedupPool, TopKPool
+from repro.core.comm_all import resolve_keyword_nodes
+from repro.core.community import Community, Core, community_sort_key
+from repro.core.cost import SUM, AggregateSpec, CostAggregate, \
+    resolve_aggregate
+from repro.core.getcommunity import get_community
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.dijkstra import bounded_dijkstra
+
+_MAX_CANDIDATES_PER_CENTER = 2_000_000
+
+
+def _cores_at(center: int, keyword_sets: List[Set[int]],
+              reach: Dict[int, float],
+              aggregate: CostAggregate = SUM,
+              deadline: Optional[Deadline] = None
+              ) -> Iterator[Tuple[Core, float]]:
+    """Candidate cores centered at one node, with per-center costs."""
+    per_keyword: List[List[Tuple[int, float]]] = []
+    for nodes in keyword_sets:
+        hits = sorted((v, reach[v]) for v in nodes if v in reach)
+        if not hits:
+            return
+        per_keyword.append(hits)
+    count = 1
+    for hits in per_keyword:
+        count *= len(hits)
+    if count > _MAX_CANDIDATES_PER_CENTER:
+        raise QueryError(
+            f"top-down expansion would enumerate {count} candidate "
+            f"cores at center {center}; narrow the query")
+    for combo in product(*per_keyword):
+        if deadline is not None and deadline.check():
+            return
+        yield (tuple(v for v, _ in combo),
+               aggregate(d for _, d in combo))
+
+
+def _expansions(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+                node_lists: Optional[Sequence[Sequence[int]]],
+                stats: BaselineStats
+                ) -> Iterator[Tuple[int, Dict[int, float], List[Set[int]]]]:
+    if rmax < 0:
+        raise QueryError(f"Rmax must be >= 0, got {rmax}")
+    keyword_sets = [
+        set(nodes)
+        for nodes in resolve_keyword_nodes(dbg, keywords, node_lists)]
+    graph = dbg.graph
+    for u in range(graph.n):
+        stats.expansions += 1
+        reach = bounded_dijkstra(graph.forward, [u], rmax).distances()
+        yield u, reach, keyword_sets
+
+
+def td_iter(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+            node_lists: Optional[Sequence[Sequence[int]]] = None,
+            stats: Optional[BaselineStats] = None,
+            aggregate: AggregateSpec = "sum",
+            budget_seconds: Optional[float] = None
+            ) -> Iterator[Community]:
+    """Streaming TDall: communities in discovery order (center id,
+    then core); each node's expansion memory is freed before the next
+    node is visited. ``budget_seconds`` censors the run (see
+    :func:`repro.core.baselines.bottom_up.bu_iter`)."""
+    stats = stats if stats is not None else BaselineStats()
+    combine = resolve_aggregate(aggregate)
+    deadline = Deadline(budget_seconds)
+    pool = DedupPool(stats)
+    for u, reach, keyword_sets in _expansions(dbg, keywords, rmax,
+                                              node_lists, stats):
+        if deadline.check_now():
+            break
+        for core, _ in _cores_at(u, keyword_sets, reach, combine,
+                                 deadline):
+            if pool.admit(core):
+                yield get_community(dbg.graph, core, rmax, combine)
+    if deadline.expired:
+        stats.extra["timed_out"] = 1.0
+
+
+def td_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+           node_lists: Optional[Sequence[Sequence[int]]] = None,
+           stats: Optional[BaselineStats] = None,
+           aggregate: AggregateSpec = "sum",
+           budget_seconds: Optional[float] = None) -> List[Community]:
+    """TDall: all communities, materialized (see :func:`td_iter`)."""
+    return list(td_iter(dbg, keywords, rmax, node_lists, stats,
+                        aggregate, budget_seconds))
+
+
+def td_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+             rmax: float,
+             node_lists: Optional[Sequence[Sequence[int]]] = None,
+             stats: Optional[BaselineStats] = None,
+             aggregate: AggregateSpec = "sum",
+             budget_seconds: Optional[float] = None
+             ) -> List[Community]:
+    """TDk: top-k by cost via a pruned pool; no resume (see BUk)."""
+    stats = stats if stats is not None else BaselineStats()
+    combine = resolve_aggregate(aggregate)
+    deadline = Deadline(budget_seconds)
+    pool = TopKPool(k, stats)
+    for u, reach, keyword_sets in _expansions(dbg, keywords, rmax,
+                                              node_lists, stats):
+        if deadline.check_now():
+            break
+        for core, cost in _cores_at(u, keyword_sets, reach, combine,
+                                    deadline):
+            pool.offer(core, cost)
+    if deadline.expired:
+        stats.extra["timed_out"] = 1.0
+    communities = [
+        get_community(dbg.graph, core, rmax, combine)
+        for core, _ in pool.results()]
+    communities.sort(key=community_sort_key)
+    return communities

@@ -1,0 +1,79 @@
+"""Algorithm 3 — ``BestCore()``: the cheapest core across neighbor sets.
+
+Every node ``u`` in ``⋂ N_i`` can serve as a center: its *nearest core*
+is ``[src(N_1,u), …, src(N_l,u)]`` with cost ``Σ_i min(N_i, u)``.
+``BestCore`` returns the minimum-cost nearest core over all such ``u``.
+
+The paper scans a per-node table of ``l`` (nearest node, distance)
+pairs plus a running sum and count, maintained while computing neighbor
+sets; we get the same information from the
+:class:`~repro.core.neighbor.NeighborSet` dictionaries and intersect by
+iterating the smallest set — ``O(l · min_i |N_i|)`` with hash lookups,
+never worse than the paper's ``O(l · n)`` scan.
+
+Ties are broken by (cost, core, center), so enumeration is
+deterministic — the paper leaves tie order unspecified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.community import Core
+from repro.core.cost import SUM, CostAggregate
+from repro.core.neighbor import NeighborSet
+
+
+class BestCoreResult(Tuple[Core, float, int]):
+    """``(core, cost, center)`` triple returned by :func:`best_core`."""
+
+    __slots__ = ()
+
+    @property
+    def core(self) -> Core:
+        """The best core found."""
+        return self[0]
+
+    @property
+    def cost(self) -> float:
+        """Its cost at the best center."""
+        return self[1]
+
+    @property
+    def center(self) -> int:
+        """The center achieving that cost."""
+        return self[2]
+
+
+def best_core(neighbor_sets: Sequence[NeighborSet],
+              aggregate: CostAggregate = SUM
+              ) -> Optional[BestCoreResult]:
+    """Find the cheapest core formable from the given neighbor sets.
+
+    ``aggregate`` combines the l per-keyword distances into the
+    per-center cost (paper default: sum). Returns ``None`` when no
+    node lies in every ``N_i`` — the paper's "BestCore() will return
+    an empty C" case that signals an exhausted subspace.
+    """
+    if not neighbor_sets:
+        return None
+    smallest = min(neighbor_sets, key=len)
+    if not smallest:
+        return None
+
+    best: Optional[Tuple[float, Core, int]] = None
+    others = [ns for ns in neighbor_sets if ns is not smallest]
+    for u in smallest:
+        if any(u not in ns for ns in others):
+            continue
+        cost = aggregate(ns.min_dist(u) for ns in neighbor_sets)
+        if best is not None and cost > best[0]:
+            continue
+        core: Core = tuple(ns.src(u) for ns in neighbor_sets)
+        candidate = (cost, core, u)
+        if best is None or candidate < best:
+            best = candidate
+    if best is None:
+        return None
+    cost, core, center = best
+    return BestCoreResult((core, cost, center))

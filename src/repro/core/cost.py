@@ -1,0 +1,58 @@
+"""Pluggable community cost functions.
+
+The paper defines ``cost(R) = min over centers u of Σ_i dist(u, c_i)``
+but notes "our work does not rely on a specific cost function". The
+algorithms only need the per-center cost to be a *monotone* aggregate
+of the ``l`` center→knode distances: then the nearest core at a center
+(componentwise-nearest keyword nodes, what ``BestCore`` builds from
+``src(N_i, u)``) minimizes the aggregate at that center, and the scan
+over centers yields the global minimum — so PDall's subspace search
+and PDk's ranked order stay exact for every aggregate here.
+
+Two aggregates ship:
+
+* ``"sum"``  — the paper's total weight (default);
+* ``"max"``  — the eccentricity-style radius cost (rank by the worst
+  center→knode distance instead of the total).
+
+Pass ``aggregate="max"`` (or a :class:`CostAggregate`) to any query
+API. Property tests verify PD ≡ naive under both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Union
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class CostAggregate:
+    """A monotone aggregate of the l center→knode distances."""
+
+    name: str
+    combine: Callable[[Iterable[float]], float]
+
+    def __call__(self, distances: Iterable[float]) -> float:
+        return self.combine(distances)
+
+
+SUM = CostAggregate("sum", sum)
+MAX = CostAggregate("max", max)
+
+_REGISTRY = {agg.name: agg for agg in (SUM, MAX)}
+
+AggregateSpec = Union[str, CostAggregate]
+
+
+def resolve_aggregate(spec: AggregateSpec = "sum") -> CostAggregate:
+    """Turn ``"sum"`` / ``"max"`` / a custom aggregate into one object."""
+    if isinstance(spec, CostAggregate):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        raise QueryError(
+            f"unknown cost aggregate {spec!r}; known: "
+            f"{sorted(_REGISTRY)}") from None

@@ -1,0 +1,78 @@
+"""Algorithm 2 — ``Neighbor()``: bounded neighbor sets.
+
+``Neighbor(G_D, S_i, Rmax)`` returns the set ``N_i`` of nodes ``u``
+having some ``v ∈ S_i`` with ``dist(u, v) <= Rmax``, together with, for
+every ``u ∈ N_i``, the nearest such ``v`` (``src(N_i, u)``) and its
+distance (``min(N_i, u)``).
+
+The paper realizes this by adding a virtual sink ``t`` with 0-weight
+edges ``v -> t`` for ``v ∈ S_i`` and running Dijkstra on the reversed
+graph from ``t``. Seeding a multi-source Dijkstra on the reverse
+adjacency with every ``v ∈ S_i`` at distance 0 is the same computation
+without graph mutation; the complexity is the Dijkstra bound
+``O(n log n + m)``, and in practice far less because the search stops
+at ``Rmax``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.graph.csr import CompiledGraph
+from repro.graph.dijkstra import DistanceMap, bounded_dijkstra
+
+
+class NeighborSet:
+    """``N_i`` with per-node nearest source and distance.
+
+    Supports ``u in n_i``, ``len(n_i)``, iteration over members, and
+    the paper's two accessors :meth:`src` and :meth:`min_dist`.
+    """
+
+    __slots__ = ("_dmap",)
+
+    def __init__(self, dmap: DistanceMap) -> None:
+        self._dmap = dmap
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._dmap
+
+    def __len__(self) -> int:
+        return len(self._dmap)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._dmap)
+
+    def src(self, node: int) -> int:
+        """``src(N_i, u)``: the nearest keyword node ``u`` reaches."""
+        return self._dmap.source(node)
+
+    def min_dist(self, node: int) -> float:
+        """``min(N_i, u)``: distance from ``u`` to ``src(N_i, u)``."""
+        return self._dmap[node]
+
+    def get(self, node: int, default: float = math.inf) -> float:
+        """Distance, or ``default`` when ``node`` is not in the set."""
+        return self._dmap.get(node, default)
+
+    def items(self) -> Iterable[Tuple[int, float]]:
+        """Iterate ``(node, distance)`` pairs."""
+        return self._dmap.items()
+
+    def pairs(self) -> Dict[int, Tuple[float, int]]:
+        """``node -> (distance, src)`` view (materializes a dict)."""
+        dist = self._dmap.distances()
+        src = self._dmap.sources()
+        return {u: (d, src[u]) for u, d in dist.items()}
+
+
+def neighbor(graph: CompiledGraph, sources: Iterable[int],
+             rmax: float) -> NeighborSet:
+    """Algorithm 2: the neighbor set of ``sources`` within ``rmax``.
+
+    ``sources`` is the paper's ``S_i`` (or a single pinned node
+    ``{C[i]}`` inside ``Next()``). An empty source set yields an empty
+    neighbor set, which is how exhausted subspaces manifest.
+    """
+    return NeighborSet(bounded_dijkstra(graph.reverse, sources, rmax))

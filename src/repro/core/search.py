@@ -1,0 +1,259 @@
+"""High-level facade: index once, project per query, run any algorithm.
+
+:class:`CommunitySearch` is the API a downstream user touches::
+
+    search = CommunitySearch(dbg)          # or .from_database(db)
+    search.build_index(radius=8)
+    for community in search.all_communities(["kate", "smith"], rmax=6):
+        print(community.describe(dbg))
+
+    stream = search.top_k_stream(["kate", "smith"], rmax=6)
+    first = stream.take(10)
+    fifty_more = stream.more(50)           # no recomputation (PDk)
+
+Queries run on the Algorithm-6 projection whenever an index exists
+(exactly how the paper benchmarks every algorithm); results are
+translated back to ``G_D`` ids, and their edge sets re-induced against
+``G_D`` so Definition 2.1 holds verbatim (see
+:mod:`repro.core.projection` for why).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.baselines.bottom_up import bu_iter, bu_top_k
+from repro.core.baselines.pool import BaselineStats
+from repro.core.baselines.top_down import td_iter, td_top_k
+from repro.core.comm_all import enumerate_all
+from repro.core.comm_k import TopKStream
+from repro.core.community import Community
+from repro.core.cost import AggregateSpec
+from repro.core.naive import naive_all, naive_top_k
+from repro.core.projection import ProjectionResult, project
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.text.inverted_index import CommunityIndex
+
+#: Algorithms accepted by :meth:`CommunitySearch.all_communities`.
+ALL_ALGORITHMS = ("pd", "bu", "td", "naive")
+
+#: Algorithms accepted by :meth:`CommunitySearch.top_k`.
+TOPK_ALGORITHMS = ("pd", "bu", "td", "naive")
+
+
+class ProjectedTopKStream:
+    """A :class:`TopKStream` over a projection, translated to ``G_D``."""
+
+    def __init__(self, inner: TopKStream, projection: ProjectionResult,
+                 dbg: DatabaseGraph) -> None:
+        self._inner = inner
+        self._projection = projection
+        self._dbg = dbg
+
+    def next_community(self) -> Optional[Community]:
+        """Next ranked community in ``G_D`` id space, or ``None``."""
+        community = self._inner.next_community()
+        if community is None:
+            return None
+        return _translate(community, self._projection, self._dbg)
+
+    def take(self, k: int) -> List[Community]:
+        """Up to ``k`` further communities."""
+        result = []
+        for _ in range(k):
+            community = self.next_community()
+            if community is None:
+                break
+            result.append(community)
+        return result
+
+    more = take
+
+    @property
+    def emitted(self) -> int:
+        """How many communities this stream has produced."""
+        return self._inner.emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the stream has no more communities."""
+        return self._inner.exhausted
+
+    def __iter__(self) -> Iterator[Community]:
+        while True:
+            community = self.next_community()
+            if community is None:
+                return
+            yield community
+
+
+def _translate(community: Community, projection: ProjectionResult,
+               dbg: DatabaseGraph) -> Community:
+    """Projected ids -> G_D ids, re-inducing edges against G_D."""
+    relabeled = community.relabel(
+        {new: old for new, old in enumerate(projection.inverse)})
+    return Community(
+        core=relabeled.core,
+        cost=relabeled.cost,
+        centers=relabeled.centers,
+        pnodes=relabeled.pnodes,
+        nodes=relabeled.nodes,
+        edges=tuple(dbg.graph.induced_edges(relabeled.nodes)),
+    )
+
+
+class CommunitySearch:
+    """Community search over one database graph."""
+
+    def __init__(self, dbg: DatabaseGraph,
+                 index: Optional[CommunityIndex] = None) -> None:
+        self.dbg = dbg
+        self.index = index
+
+    @classmethod
+    def from_database(cls, db, **graph_kwargs) -> "CommunitySearch":
+        """Materialize a relational database and search it."""
+        from repro.rdb.graph_builder import build_database_graph
+        return cls(build_database_graph(db, **graph_kwargs))
+
+    # ------------------------------------------------------------------
+    # indexing / projection
+    # ------------------------------------------------------------------
+    def build_index(self, radius: float,
+                    keywords: Optional[Sequence[str]] = None
+                    ) -> CommunityIndex:
+        """Build (and attach) the two inverted indexes for radius R."""
+        self.index = CommunityIndex.build(self.dbg, radius, keywords)
+        return self.index
+
+    def project(self, keywords: Sequence[str], rmax: float
+                ) -> ProjectionResult:
+        """Algorithm 6 projection for one query (requires an index)."""
+        if self.index is None:
+            raise QueryError(
+                "no index built; call build_index(radius=...) first or "
+                "query with use_projection=False")
+        for keyword in keywords:
+            self.index.require_keyword(keyword)
+        return project(self.index, keywords, rmax)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def all_communities(self, keywords: Sequence[str], rmax: float,
+                        algorithm: str = "pd",
+                        use_projection: Optional[bool] = None,
+                        aggregate: AggregateSpec = "sum",
+                        budget_seconds: Optional[float] = None,
+                        stats: Optional[BaselineStats] = None
+                        ) -> List[Community]:
+        """COMM-all: every community, duplication-free.
+
+        ``algorithm`` is one of ``"pd"`` (Algorithm 1), ``"bu"``,
+        ``"td"`` or ``"naive"``. With ``use_projection`` unset, the
+        projection is used whenever an index exists. ``aggregate``
+        picks the cost function ("sum" — the paper's — or "max").
+        """
+        return list(self.iter_all(keywords, rmax, algorithm,
+                                  use_projection, aggregate,
+                                  budget_seconds, stats))
+
+    def iter_all(self, keywords: Sequence[str], rmax: float,
+                 algorithm: str = "pd",
+                 use_projection: Optional[bool] = None,
+                 aggregate: AggregateSpec = "sum",
+                 budget_seconds: Optional[float] = None,
+                 stats: Optional[BaselineStats] = None
+                 ) -> Iterator[Community]:
+        """Streaming COMM-all (PDall streams with polynomial delay;
+        the baselines materialize before yielding)."""
+        if algorithm not in ALL_ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{ALL_ALGORITHMS}")
+        runner: Dict[str, Callable] = {
+            "pd": enumerate_all,
+            "bu": bu_iter,
+            "td": td_iter,
+            "naive": naive_all,
+        }
+        dbg, node_lists, projection = self._query_graph(
+            keywords, rmax, use_projection)
+        kwargs = {"node_lists": node_lists, "aggregate": aggregate}
+        if algorithm in ("bu", "td"):
+            # budget/stats only apply to the pool-based baselines
+            kwargs["budget_seconds"] = budget_seconds
+            if stats is not None:
+                kwargs["stats"] = stats
+        results = runner[algorithm](dbg, list(keywords), rmax, **kwargs)
+        for community in results:
+            if projection is not None:
+                community = _translate(community, projection, self.dbg)
+            yield community
+
+    def top_k(self, keywords: Sequence[str], k: int, rmax: float,
+              algorithm: str = "pd",
+              use_projection: Optional[bool] = None,
+              aggregate: AggregateSpec = "sum",
+              budget_seconds: Optional[float] = None,
+              stats: Optional[BaselineStats] = None
+              ) -> List[Community]:
+        """COMM-k: the top-k communities in ascending cost order."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if algorithm == "pd":
+            return self.top_k_stream(keywords, rmax, use_projection,
+                                     aggregate).take(k)
+        if algorithm not in TOPK_ALGORITHMS:
+            raise QueryError(
+                f"unknown algorithm {algorithm!r}; expected one of "
+                f"{TOPK_ALGORITHMS}")
+        runner: Dict[str, Callable] = {
+            "bu": bu_top_k,
+            "td": td_top_k,
+            "naive": naive_top_k,
+        }
+        dbg, node_lists, projection = self._query_graph(
+            keywords, rmax, use_projection)
+        kwargs = {"node_lists": node_lists, "aggregate": aggregate}
+        if algorithm in ("bu", "td"):
+            kwargs["budget_seconds"] = budget_seconds
+            if stats is not None:
+                kwargs["stats"] = stats
+        results = runner[algorithm](dbg, list(keywords), k, rmax,
+                                    **kwargs)
+        if projection is not None:
+            results = [
+                _translate(c, projection, self.dbg) for c in results]
+        return results
+
+    def top_k_stream(self, keywords: Sequence[str], rmax: float,
+                     use_projection: Optional[bool] = None,
+                     aggregate: AggregateSpec = "sum"):
+        """A PDk stream: iterate, or ``take(k)`` then ``more(n)``
+        interactively with no recomputation."""
+        dbg, node_lists, projection = self._query_graph(
+            keywords, rmax, use_projection)
+        inner = TopKStream(dbg, list(keywords), rmax,
+                           node_lists=node_lists, aggregate=aggregate)
+        if projection is None:
+            return inner
+        return ProjectedTopKStream(inner, projection, self.dbg)
+
+    # ------------------------------------------------------------------
+    def _query_graph(self, keywords: Sequence[str], rmax: float,
+                     use_projection: Optional[bool]):
+        if not keywords:
+            raise QueryError("a query needs at least one keyword")
+        if use_projection is None:
+            use_projection = self.index is not None
+        if use_projection:
+            projection = self.project(keywords, rmax)
+            return projection.subgraph, projection.node_lists, projection
+        node_lists = None
+        if self.index is not None:
+            for keyword in keywords:
+                self.index.require_keyword(keyword)
+            node_lists = [self.index.nodes(kw) for kw in keywords]
+        return self.dbg, node_lists, None

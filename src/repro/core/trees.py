@@ -1,0 +1,200 @@
+"""Tree answers — the prior art the paper argues against (§I, Fig. 2).
+
+Classic keyword search (BANKS and successors) returns *minimal rooted
+connected trees*: a root node with one directed path to a keyword node
+per query keyword. The paper's introduction shows five such trees for
+the 2-keyword query {Kate, Smith} on Fig. 1 and argues that a single
+community subsumes the information scattered across them.
+
+This module implements that answer model so the comparison is
+reproducible:
+
+* a :class:`TreeAnswer` is the union of one simple root→knode path per
+  keyword, forming a tree (diverge-and-remerge unions are rejected);
+* *minimality*: every leaf carries a query keyword, and a root with a
+  single child must carry one too (otherwise the subtree rooted at the
+  child is the same answer — the standard reduction);
+* answers are deduplicated by edge set and ranked by total edge
+  weight.
+
+Enumeration is exponential in general (it enumerates simple paths);
+``max_paths`` guards against blow-ups. This is a motivation/comparison
+exhibit, not a competitive tree-search engine.
+
+``tests/integration/test_trees_vs_communities.py`` reproduces Fig. 2's
+five trees and verifies the paper's claim that community ``R_1``
+contains trees T1–T4 whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.comm_all import resolve_keyword_nodes
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+
+Edge = Tuple[int, int, float]
+Path = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TreeAnswer:
+    """A minimal rooted connected tree for an l-keyword query."""
+
+    root: int
+    core: Tuple[int, ...]          # knode per keyword, query order
+    nodes: Tuple[int, ...]
+    edges: Tuple[Edge, ...]
+    weight: float
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return len(self.nodes)
+
+    def describe(self, dbg: DatabaseGraph) -> str:
+        """Render with node labels, Fig. 2 style."""
+        arrows = ", ".join(
+            f"{dbg.label_of(u)} -> {dbg.label_of(v)}"
+            for u, v, _ in self.edges)
+        return (f"Tree(root={dbg.label_of(self.root)}, "
+                f"weight={self.weight:g}: {arrows})")
+
+
+def _simple_paths(dbg: DatabaseGraph, source: int, targets: FrozenSet[int],
+                  max_weight: float, max_paths: int
+                  ) -> Dict[int, List[Tuple[Path, float]]]:
+    """All simple paths from ``source`` to each target, bounded."""
+    graph = dbg.graph
+    found: Dict[int, List[Tuple[Path, float]]] = {t: [] for t in targets}
+    count = 0
+
+    stack: List[Tuple[int, Tuple[int, ...], float]] = [
+        (source, (source,), 0.0)]
+    while stack:
+        node, path, weight = stack.pop()
+        if node in targets and len(path) >= 1:
+            found[node].append((path, weight))
+            count += 1
+            if count > max_paths:
+                raise QueryError(
+                    f"tree enumeration exceeded {max_paths} paths; "
+                    f"tighten max_weight or raise max_paths")
+        for succ, w in graph.out_edges(node):
+            if succ in path:
+                continue
+            if weight + w <= max_weight:
+                stack.append((succ, path + (succ,), weight + w))
+    return found
+
+
+def _assemble(root: int, paths: Sequence[Path], dbg: DatabaseGraph
+              ) -> Optional[Tuple[Tuple[int, ...], Tuple[Edge, ...], float]]:
+    """Union the paths; return (nodes, edges, weight) if a tree."""
+    graph = dbg.graph
+    edges = {}
+    parent: Dict[int, int] = {}
+    for path in paths:
+        for u, v in zip(path, path[1:]):
+            if parent.get(v, u) != u:
+                return None  # two parents -> not a tree
+            parent[v] = u
+            edges[(u, v)] = graph.edge_weight(u, v)
+    nodes = {root}
+    for path in paths:
+        nodes.update(path)
+    if len(edges) != len(nodes) - 1:
+        return None  # remerge/cycle
+    edge_tuple = tuple(sorted(
+        (u, v, w) for (u, v), w in edges.items()))
+    weight = sum(w for _, _, w in edge_tuple)
+    return tuple(sorted(nodes)), edge_tuple, weight
+
+
+def _is_minimal(root: int, nodes: Sequence[int], edges: Sequence[Edge],
+                keyword_sets: Sequence[FrozenSet[int]]) -> bool:
+    """Standard reductions: keyword leaves; rooted at a branch point
+    or a keyword node."""
+    hits = set()
+    for node_set in keyword_sets:
+        hits |= node_set
+    children: Dict[int, int] = {}
+    for u, v, _ in edges:
+        children[u] = children.get(u, 0) + 1
+    for node in nodes:
+        if children.get(node, 0) == 0 and node not in hits:
+            return False  # non-keyword leaf
+    if children.get(root, 0) <= 1 and root not in hits:
+        return False  # reducible root
+    return True
+
+
+def enumerate_trees(dbg: DatabaseGraph, keywords: Sequence[str],
+                    max_weight: float,
+                    node_lists: Optional[Sequence[Sequence[int]]] = None,
+                    max_paths: int = 50_000) -> List[TreeAnswer]:
+    """All minimal rooted tree answers of total weight <= max_weight,
+    ranked ascending by (weight, root, core)."""
+    if max_weight < 0:
+        raise QueryError(f"max_weight must be >= 0, got {max_weight}")
+    keyword_sets = [
+        frozenset(nodes)
+        for nodes in resolve_keyword_nodes(dbg, keywords, node_lists)]
+    all_targets = frozenset().union(*keyword_sets) if keyword_sets \
+        else frozenset()
+
+    answers: Dict[FrozenSet[Edge], TreeAnswer] = {}
+    for root in range(dbg.n):
+        paths_by_target = _simple_paths(dbg, root, all_targets,
+                                        max_weight, max_paths)
+        per_keyword: List[List[Tuple[int, Path, float]]] = []
+        for node_set in keyword_sets:
+            options = [
+                (target, path, weight)
+                for target in sorted(node_set)
+                for path, weight in paths_by_target.get(target, [])]
+            if not options:
+                per_keyword = []
+                break
+            per_keyword.append(options)
+        if not per_keyword:
+            continue
+        for combo in _combinations(per_keyword):
+            assembled = _assemble(root, [path for _, path, _ in combo],
+                                  dbg)
+            if assembled is None:
+                continue
+            nodes, edges, weight = assembled
+            if weight > max_weight:
+                continue
+            if not _is_minimal(root, nodes, edges, keyword_sets):
+                continue
+            key = frozenset(edges)
+            core = tuple(target for target, _, _ in combo)
+            candidate = TreeAnswer(root, core, nodes, edges, weight)
+            existing = answers.get(key)
+            if existing is None or (candidate.weight, candidate.root,
+                                    candidate.core) \
+                    < (existing.weight, existing.root, existing.core):
+                answers[key] = candidate
+    ranked = sorted(answers.values(),
+                    key=lambda t: (t.weight, t.root, t.core))
+    return ranked
+
+
+def _combinations(per_keyword):
+    """itertools.product, written out to keep tuples small."""
+    from itertools import product
+    return product(*per_keyword)
+
+
+def top_k_trees(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+                max_weight: float,
+                node_lists: Optional[Sequence[Sequence[int]]] = None
+                ) -> List[TreeAnswer]:
+    """The k lightest tree answers."""
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    return enumerate_trees(dbg, keywords, max_weight, node_lists)[:k]

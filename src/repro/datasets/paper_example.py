@@ -1,0 +1,134 @@
+"""The paper's running examples: Fig. 1 and Fig. 4.
+
+The paper prints Fig. 4 as a picture without an edge table, but states
+enough derived quantities to pin a consistent reconstruction down:
+
+* keyword placement (a: v4, v13; b: v2, v8; c: v3, v6, v9, v11),
+* ``w((v1, v2)) = 5``,
+* Table I — the five communities with their knodes, centers and costs,
+* every neighbor set in the Section IV walk-through: ``N_1``, ``N_2``,
+  ``N_3`` for the full keyword sets, the pinned sets
+  ``Neighbor({v4})``, ``Neighbor({v8})``, ``Neighbor({v6})``, the
+  restricted sets ``Neighbor({v3, v9, v11})`` and ``Neighbor({v2})``,
+  and the center intersection ``{v1, v4, v5, v7, v9, v11, v12}``,
+* the cost arithmetic for R5 (``11 = (2+3) + 0 + (3+3)`` at v11,
+  ``14 = (3+2+3) + 3 + 3`` at v12) and its pnode set ``{v10}``.
+
+The edge list below satisfies *all* of those simultaneously; the
+integration tests assert each one, so the reconstruction is verified
+mechanically rather than by eyeballing the figure.
+
+Node ids are 0-based: node ``i`` is the paper's ``v(i+1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+
+#: Directed edges of Fig. 4, in paper labels: (tail, head, weight).
+FIG4_EDGES: List[Tuple[str, str, float]] = [
+    ("v1", "v2", 5.0),
+    ("v1", "v3", 3.0),
+    ("v1", "v4", 6.0),
+    ("v2", "v3", 6.0),
+    ("v4", "v6", 4.0),
+    ("v4", "v8", 3.0),
+    ("v5", "v2", 4.0),
+    ("v5", "v4", 6.0),
+    ("v5", "v9", 5.0),
+    ("v7", "v4", 1.0),
+    ("v7", "v8", 4.0),
+    ("v8", "v13", 8.0),
+    ("v9", "v8", 4.0),
+    ("v9", "v13", 6.0),
+    ("v10", "v8", 3.0),
+    ("v11", "v10", 2.0),
+    ("v11", "v12", 3.0),
+    ("v12", "v11", 3.0),
+    ("v12", "v13", 3.0),
+]
+
+#: Keyword placement of Fig. 4.
+FIG4_KEYWORDS: Dict[str, Tuple[str, ...]] = {
+    "a": ("v4", "v13"),
+    "b": ("v2", "v8"),
+    "c": ("v3", "v6", "v9", "v11"),
+}
+
+#: The paper's default query on this graph.
+FIG4_QUERY: Tuple[str, ...] = ("a", "b", "c")
+FIG4_RMAX: float = 8.0
+
+#: Table I: (core in keyword order (a, b, c), cost, centers), ranked.
+TABLE1_RANKING: List[Tuple[Tuple[str, str, str], float, Tuple[str, ...]]] = [
+    (("v4", "v8", "v6"), 7.0, ("v4", "v7")),
+    (("v13", "v8", "v9"), 10.0, ("v9",)),
+    (("v13", "v8", "v11"), 11.0, ("v11", "v12")),
+    (("v4", "v2", "v3"), 14.0, ("v1",)),
+    (("v4", "v2", "v9"), 15.0, ("v5",)),
+]
+
+
+def node_id(label: str) -> int:
+    """0-based node id of a paper label like ``"v7"``."""
+    return int(label[1:]) - 1
+
+
+def node_label(node: int) -> str:
+    """Paper label of a 0-based node id."""
+    return f"v{node + 1}"
+
+
+def figure4_graph() -> DatabaseGraph:
+    """Build the Fig. 4 database graph (13 nodes, 19 directed edges)."""
+    builder = DiGraph(13)
+    for tail, head, weight in FIG4_EDGES:
+        builder.add_edge(node_id(tail), node_id(head), weight)
+    keywords: List[set] = [set() for _ in range(13)]
+    for keyword, labels in FIG4_KEYWORDS.items():
+        for label in labels:
+            keywords[node_id(label)].add(keyword)
+    labels = [node_label(u) for u in range(13)]
+    return DatabaseGraph(builder.compile(), keywords, labels)
+
+
+# ----------------------------------------------------------------------
+# Fig. 1: the co-authorship motivation example
+# ----------------------------------------------------------------------
+
+#: Fig. 1 nodes in id order.
+FIG1_LABELS: Tuple[str, ...] = (
+    "John Smith", "Jim Smith", "Kate Green", "paper1", "paper2")
+
+#: Fig. 1 edges: papers point at their authors, weighted by author
+#: order; paper1 cites paper2 with weight 4.
+FIG1_EDGES: List[Tuple[str, str, float]] = [
+    ("paper1", "John Smith", 1.0),
+    ("paper1", "Kate Green", 2.0),
+    ("paper2", "Kate Green", 1.0),
+    ("paper2", "John Smith", 2.0),
+    ("paper2", "Jim Smith", 3.0),
+    ("paper1", "paper2", 4.0),
+]
+
+FIG1_QUERY: Tuple[str, ...] = ("kate", "smith")
+FIG1_RMAX: float = 6.0
+
+
+def figure1_graph() -> DatabaseGraph:
+    """Build the Fig. 1 co-authorship graph (5 nodes, 6 edges).
+
+    Node keywords are the lower-cased name tokens, so the paper's
+    2-keyword query ``{Kate, Smith}`` works as printed. With
+    ``Rmax = 6`` the query has the two multi-center communities of
+    Fig. 3 (paper1 and paper2 are both centers of the first one).
+    """
+    index = {label: i for i, label in enumerate(FIG1_LABELS)}
+    builder = DiGraph(len(FIG1_LABELS))
+    for tail, head, weight in FIG1_EDGES:
+        builder.add_edge(index[tail], index[head], weight)
+    keywords = [set(label.lower().split()) for label in FIG1_LABELS]
+    return DatabaseGraph(builder.compile(), keywords, list(FIG1_LABELS))

@@ -1,0 +1,184 @@
+"""Benchmark vocabulary with exact keyword frequencies (KWF).
+
+The paper's Exp-1/Exp-2 sweep *keyword frequency* — the fraction of
+tuples containing a query keyword — over {.0003, .0006, .0009, .0012,
+.0015}, using hand-picked real words (Tables III and V). A synthetic
+dataset can do better: we *plant* keywords at exactly the target
+frequency, so the KWF axis of every figure is controlled precisely.
+
+Planted keywords are named ``kw<band><letter>`` (e.g. ``kw0009c``);
+each band carries enough keywords to draw an ``l``-keyword query with
+``l`` up to 6, mirroring the paper's lists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+
+#: The paper's KWF sweep values (both datasets use the same bands).
+KWF_VALUES: Tuple[float, ...] = (0.0003, 0.0006, 0.0009, 0.0012, 0.0015)
+
+#: The paper's default band (Tables II and IV).
+DEFAULT_KWF: float = 0.0009
+
+#: Keywords per band; 6 supports the paper's l sweep up to 6.
+KEYWORDS_PER_BAND: int = 6
+
+
+@dataclass(frozen=True)
+class KeywordBand:
+    """One KWF level and its planted keyword names."""
+
+    kwf: float
+    keywords: Tuple[str, ...]
+
+
+def band_name(kwf: float) -> str:
+    """Stable name fragment for a KWF value: 0.0009 -> ``"0009"``."""
+    return f"{round(kwf * 10000):04d}"
+
+
+def make_bands(kwf_values: Sequence[float] = KWF_VALUES,
+               per_band: int = KEYWORDS_PER_BAND) -> List[KeywordBand]:
+    """The benchmark bands: ``kw0003a..f``, ``kw0006a..f``, …"""
+    bands = []
+    for kwf in kwf_values:
+        keywords = tuple(
+            f"kw{band_name(kwf)}{chr(ord('a') + i)}" for i in range(per_band))
+        bands.append(KeywordBand(kwf, keywords))
+    return bands
+
+
+#: The library-wide benchmark bands.
+BENCH_BANDS: List[KeywordBand] = make_bands()
+
+
+def band_for(kwf: float,
+             bands: Sequence[KeywordBand] = None) -> KeywordBand:
+    """The band with the given KWF value."""
+    for band in (bands if bands is not None else BENCH_BANDS):
+        if abs(band.kwf - kwf) < 1e-12:
+            return band
+    raise QueryError(f"no keyword band with KWF={kwf}")
+
+
+def query_keywords(kwf: float, l: int,
+                   bands: Sequence[KeywordBand] = None) -> List[str]:
+    """An ``l``-keyword query drawn from one band (paper workload)."""
+    band = band_for(kwf, bands)
+    if l < 1 or l > len(band.keywords):
+        raise QueryError(
+            f"l={l} out of range for band KWF={kwf} with "
+            f"{len(band.keywords)} keywords")
+    return list(band.keywords[:l])
+
+
+def plan_plants(rng: random.Random, total_tuples: int, slots: int,
+                bands: Sequence[KeywordBand] = None
+                ) -> Dict[str, List[int]]:
+    """Assign each planted keyword to slot indices.
+
+    ``slots`` is the number of tuples eligible to carry text (e.g.
+    paper titles); ``total_tuples`` is the whole database size the KWF
+    is measured against. Each keyword lands on
+    ``round(kwf * total_tuples)`` distinct slots.
+    """
+    if slots <= 0 or total_tuples <= 0:
+        raise QueryError("plant targets need positive sizes")
+    plan: Dict[str, List[int]] = {}
+    for band in (bands if bands is not None else BENCH_BANDS):
+        occurrences = max(1, round(band.kwf * total_tuples))
+        if occurrences > slots:
+            raise QueryError(
+                f"cannot plant {occurrences} occurrences of a "
+                f"KWF={band.kwf} keyword into {slots} slots; increase "
+                f"the dataset scale")
+        for keyword in band.keywords:
+            plan[keyword] = sorted(rng.sample(range(slots), occurrences))
+    return plan
+
+
+def plan_plants_clustered(rng: random.Random, total_tuples: int,
+                          slots: int,
+                          bands: Sequence[KeywordBand] = None,
+                          cluster_size: int = 6,
+                          spread: float = None,
+                          center_grid: Optional[int] = None
+                          ) -> Dict[str, List[int]]:
+    """Clustered planting: keywords of a band share cluster centers.
+
+    Real query keywords are common words that co-occur in *topically
+    related* tuples — related papers share authors and citations, so
+    keyword-bearing tuples sit close in the database graph. Uniform
+    planting destroys that (no centers ever reach ``l`` keyword nodes
+    within ``Rmax``), so the benchmark datasets plant each band's
+    keywords around shared cluster centers in slot-id space, which the
+    generators keep correlated with graph locality.
+
+    Each keyword still lands on exactly ``round(kwf * total_tuples)``
+    distinct slots, so KWF stays exact.
+
+    ``center_grid`` optionally snaps cluster centers to multiples of a
+    stride — generators pass the stride of their structural hubs
+    (e.g. prolific authors) so every keyword cluster is anchored at a
+    hub, the way topics anchor at research groups.
+    """
+    if slots <= 0 or total_tuples <= 0:
+        raise QueryError("plant targets need positive sizes")
+    if spread is None:
+        spread = max(3.0, slots * 0.0015)
+    plan: Dict[str, List[int]] = {}
+    for band in (bands if bands is not None else BENCH_BANDS):
+        occurrences = max(1, round(band.kwf * total_tuples))
+        if occurrences > slots:
+            raise QueryError(
+                f"cannot plant {occurrences} occurrences of a "
+                f"KWF={band.kwf} keyword into {slots} slots; increase "
+                f"the dataset scale")
+        n_clusters = max(1, occurrences // cluster_size)
+        if center_grid and center_grid < slots:
+            centers = [
+                rng.randrange(slots // center_grid) * center_grid
+                for _ in range(n_clusters)]
+        else:
+            centers = [rng.randrange(slots) for _ in range(n_clusters)]
+        band_used: set = set()
+        for keyword in band.keywords:
+            chosen: set = set()
+            attempts = 0
+            while len(chosen) < occurrences and attempts < 400 * occurrences:
+                attempts += 1
+                center = centers[rng.randrange(n_clusters)]
+                slot = int(round(center + rng.gauss(0.0, spread)))
+                # Prefer slots no sibling keyword occupies: query
+                # keywords co-occur in *neighborhoods*, rarely in the
+                # same title (otherwise every best core is one node
+                # with cost 0). Allow collisions only as a last resort.
+                if 0 <= slot < slots and slot not in chosen \
+                        and (slot not in band_used
+                             or attempts > 200 * occurrences):
+                    chosen.add(slot)
+            while len(chosen) < occurrences:  # degenerate fallback
+                chosen.add(rng.randrange(slots))
+            band_used |= chosen
+            plan[keyword] = sorted(chosen)
+    return plan
+
+
+#: Filler vocabulary for generated titles — common data-ish words so
+#: the text looks like titles, none colliding with planted keywords.
+FILLER_WORDS: Tuple[str, ...] = (
+    "analysis", "approach", "data", "design", "efficient", "evaluation",
+    "framework", "improved", "learning", "method", "model", "novel",
+    "performance", "processing", "results", "search", "study", "system",
+    "theory", "toward", "using",
+)
+
+
+def filler_title(rng: random.Random, words: int = 4) -> str:
+    """A short filler title."""
+    return " ".join(rng.choice(FILLER_WORDS) for _ in range(words))

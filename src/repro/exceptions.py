@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class. Subsystems refine it:
+
+* graph construction and lookups raise :class:`GraphError`,
+* the relational engine raises :class:`SchemaError` /
+  :class:`IntegrityError`,
+* query-time misuse (unknown keywords, bad parameters) raises
+  :class:`QueryError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph construction and lookup errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id is outside the graph's node range."""
+
+    def __init__(self, node: int, n: int) -> None:
+        super().__init__(f"node {node} not in graph with {n} nodes")
+        self.node = node
+        self.n = n
+
+
+class EdgeError(GraphError):
+    """An edge is malformed (bad endpoints or a negative weight)."""
+
+
+class SchemaError(ReproError):
+    """A relational schema is malformed or used inconsistently."""
+
+
+class IntegrityError(ReproError):
+    """A row violates a primary-key or foreign-key constraint."""
+
+
+class QueryError(ReproError):
+    """A community query is malformed (bad keyword list, radius, or k)."""

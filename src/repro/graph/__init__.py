@@ -1,0 +1,34 @@
+"""Weighted directed graph substrate.
+
+This subpackage provides the graph machinery the paper's algorithms run
+on: a mutable :class:`~repro.graph.digraph.DiGraph` builder, an immutable
+compiled form (:class:`~repro.graph.csr.CompiledGraph`) with forward and
+reverse CSR adjacency, bounded multi-source Dijkstra
+(:mod:`repro.graph.dijkstra`), a text-carrying
+:class:`~repro.graph.database_graph.DatabaseGraph`, and random graph
+generators for testing (:mod:`repro.graph.generators`).
+"""
+
+from repro.graph.csr import CompiledGraph, CSRAdjacency
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.dijkstra import (
+    DistanceMap,
+    bounded_dijkstra,
+    single_source_distances,
+)
+from repro.graph.generators import gnp_random_digraph, power_law_digraph
+from repro.graph.node_weights import node_weighted_view
+
+__all__ = [
+    "CSRAdjacency",
+    "CompiledGraph",
+    "DatabaseGraph",
+    "DiGraph",
+    "DistanceMap",
+    "bounded_dijkstra",
+    "gnp_random_digraph",
+    "node_weighted_view",
+    "power_law_digraph",
+    "single_source_distances",
+]

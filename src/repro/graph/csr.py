@@ -1,0 +1,195 @@
+"""Immutable compiled graph in compressed-sparse-row (CSR) form.
+
+The paper's algorithms are dominated by bounded Dijkstra scans in both
+edge directions (``Neighbor()`` walks edges backwards, ``GetCommunity()``
+walks both ways), so the compiled form keeps two CSR adjacencies — one
+for out-edges and one for in-edges — built once from the same edge set.
+
+The adjacency arrays are plain Python lists rather than numpy arrays:
+the hot loop (heap-based Dijkstra) indexes single elements, where list
+indexing is several times faster than numpy scalar extraction. numpy is
+used only transiently for the ``O(m log m)`` sort during construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+
+Edge = Tuple[int, int, float]
+
+
+class CSRAdjacency:
+    """One direction of adjacency: ``indptr``, ``targets``, ``weights``.
+
+    For node ``u``, its neighbors are
+    ``targets[indptr[u]:indptr[u + 1]]`` with matching ``weights``.
+    """
+
+    __slots__ = ("indptr", "targets", "weights")
+
+    def __init__(self, indptr: List[int], targets: List[int],
+                 weights: List[float]) -> None:
+        self.indptr = indptr
+        self.targets = targets
+        self.weights = weights
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(neighbor, weight)`` pairs of node ``u``."""
+        start, stop = self.indptr[u], self.indptr[u + 1]
+        targets, weights = self.targets, self.weights
+        for idx in range(start, stop):
+            yield targets[idx], weights[idx]
+
+    def degree(self, u: int) -> int:
+        """Number of edges leaving ``u`` in this direction."""
+        return self.indptr[u + 1] - self.indptr[u]
+
+
+def _build_adjacency(n: int, src: np.ndarray, dst: np.ndarray,
+                     wgt: np.ndarray) -> CSRAdjacency:
+    """Sort edges by source and pack them into CSR lists."""
+    order = np.lexsort((dst, src))
+    src, dst, wgt = src[order], dst[order], wgt[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(indptr.tolist(), dst.tolist(), wgt.tolist())
+
+
+class CompiledGraph:
+    """Frozen weighted digraph with forward and reverse CSR adjacency.
+
+    Build one with :meth:`from_edges` or via
+    :meth:`repro.graph.digraph.DiGraph.compile`. Parallel ``(u, v)``
+    edges are collapsed to the minimum weight.
+    """
+
+    __slots__ = ("n", "m", "forward", "reverse", "_in_degree")
+
+    def __init__(self, n: int, m: int, forward: CSRAdjacency,
+                 reverse: CSRAdjacency) -> None:
+        self.n = n
+        self.m = m
+        self.forward = forward
+        self.reverse = reverse
+        self._in_degree: List[int] = [
+            reverse.indptr[u + 1] - reverse.indptr[u] for u in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Sequence[Edge]) -> "CompiledGraph":
+        """Compile ``(u, v, w)`` triples into a :class:`CompiledGraph`."""
+        if n < 0:
+            raise EdgeError(f"node count must be non-negative, got {n}")
+        if not edges:
+            empty = CSRAdjacency([0] * (n + 1), [], [])
+            return cls(n, 0, empty, empty)
+
+        src = np.fromiter((e[0] for e in edges), dtype=np.int64,
+                          count=len(edges))
+        dst = np.fromiter((e[1] for e in edges), dtype=np.int64,
+                          count=len(edges))
+        wgt = np.fromiter((e[2] for e in edges), dtype=np.float64,
+                          count=len(edges))
+        if len(src) and (src.min() < 0 or src.max() >= n):
+            bad = int(src.min() if src.min() < 0 else src.max())
+            raise NodeNotFoundError(bad, n)
+        if len(dst) and (dst.min() < 0 or dst.max() >= n):
+            bad = int(dst.min() if dst.min() < 0 else dst.max())
+            raise NodeNotFoundError(bad, n)
+        if len(wgt) and wgt.min() < 0:
+            raise EdgeError("negative edge weight in edge list")
+
+        # Collapse parallel edges, keeping the lightest one.
+        order = np.lexsort((wgt, dst, src))
+        src, dst, wgt = src[order], dst[order], wgt[order]
+        keep = np.ones(len(src), dtype=bool)
+        keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        src, dst, wgt = src[keep], dst[keep], wgt[keep]
+
+        forward = _build_adjacency(n, src, dst, wgt)
+        reverse = _build_adjacency(n, dst, src, wgt)
+        return cls(n, len(src), forward, reverse)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def out_degree(self, u: int) -> int:
+        """Out-degree of ``u``."""
+        self._check_node(u)
+        return self.forward.degree(u)
+
+    def in_degree(self, u: int) -> int:
+        """In-degree of ``u`` (``N_in`` in the BANKS weight formula)."""
+        self._check_node(u)
+        return self._in_degree[u]
+
+    def out_edges(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(v, w)`` for each edge ``u -> v``."""
+        self._check_node(u)
+        return self.forward.neighbors(u)
+
+    def in_edges(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(v, w)`` for each edge ``v -> u``."""
+        self._check_node(u)
+        return self.reverse.neighbors(u)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate all ``(u, v, w)`` triples in CSR order."""
+        indptr = self.forward.indptr
+        targets = self.forward.targets
+        weights = self.forward.weights
+        for u in range(self.n):
+            for idx in range(indptr[u], indptr[u + 1]):
+                yield u, targets[idx], weights[idx]
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``u -> v``; raises :class:`EdgeError` if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        for target, weight in self.forward.neighbors(u):
+            if target == v:
+                return weight
+        raise EdgeError(f"no edge ({u}, {v})")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the directed edge ``u -> v`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return any(target == v for target, _ in self.forward.neighbors(u))
+
+    def induced_edges(self, nodes: Sequence[int]) -> List[Edge]:
+        """Edges of the subgraph induced by ``nodes`` (paper Def. 2.1:
+        a community keeps *every* ``G_D`` edge between its nodes)."""
+        node_set = set(nodes)
+        result: List[Edge] = []
+        indptr = self.forward.indptr
+        targets = self.forward.targets
+        weights = self.forward.weights
+        for u in node_set:
+            self._check_node(u)
+            for idx in range(indptr[u], indptr[u + 1]):
+                v = targets[idx]
+                if v in node_set:
+                    result.append((u, v, weights[idx]))
+        result.sort()
+        return result
+
+    def __repr__(self) -> str:
+        return f"CompiledGraph(n={self.n}, m={self.m})"
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise NodeNotFoundError(node, self.n)
+
+
+def subgraph_mapping(nodes: Sequence[int]) -> Dict[int, int]:
+    """Dense relabeling ``old id -> new id`` for a projected subgraph."""
+    return {node: new for new, node in enumerate(sorted(set(nodes)))}

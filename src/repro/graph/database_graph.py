@@ -1,0 +1,130 @@
+"""Database graph: a compiled digraph whose nodes carry text.
+
+The paper's ``G_D`` is a weighted digraph over tuples where each node
+may contain keywords. :class:`DatabaseGraph` bundles the compiled
+topology with per-node keyword sets, human-readable labels, and optional
+provenance back to the originating relation/tuple, so results can be
+rendered the way the paper's figures render them ("paper1", "Kate
+Green", ...).
+
+It is produced either by :func:`repro.rdb.graph_builder.build_database_graph`
+from a relational database, or directly by the dataset generators and
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.csr import CompiledGraph
+from repro.graph.digraph import DiGraph
+
+Provenance = Tuple[str, object]  # (table name, primary key)
+
+
+class DatabaseGraph:
+    """A compiled graph plus node keywords, labels, and provenance."""
+
+    __slots__ = ("graph", "_keywords", "_labels", "_provenance")
+
+    def __init__(self, graph: CompiledGraph,
+                 keywords: Sequence[Iterable[str]],
+                 labels: Optional[Sequence[str]] = None,
+                 provenance: Optional[Sequence[Optional[Provenance]]] = None,
+                 ) -> None:
+        if len(keywords) != graph.n:
+            raise GraphError(
+                f"keyword list has {len(keywords)} entries for "
+                f"{graph.n} nodes")
+        if labels is not None and len(labels) != graph.n:
+            raise GraphError(
+                f"label list has {len(labels)} entries for {graph.n} nodes")
+        if provenance is not None and len(provenance) != graph.n:
+            raise GraphError(
+                f"provenance list has {len(provenance)} entries for "
+                f"{graph.n} nodes")
+        self.graph = graph
+        self._keywords: List[FrozenSet[str]] = [
+            frozenset(kw) for kw in keywords]
+        self._labels: List[str] = (
+            list(labels) if labels is not None
+            else [f"v{u}" for u in range(graph.n)])
+        self._provenance: List[Optional[Provenance]] = (
+            list(provenance) if provenance is not None
+            else [None] * graph.n)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return self.graph.m
+
+    def keywords_of(self, node: int) -> FrozenSet[str]:
+        """The keyword set carried by ``node``."""
+        self._check_node(node)
+        return self._keywords[node]
+
+    def label_of(self, node: int) -> str:
+        """Human-readable label of ``node``."""
+        self._check_node(node)
+        return self._labels[node]
+
+    def provenance_of(self, node: int) -> Optional[Provenance]:
+        """``(table, primary key)`` the node came from, if known."""
+        self._check_node(node)
+        return self._provenance[node]
+
+    # ------------------------------------------------------------------
+    # keyword scans (tests and small graphs; queries use the inverted
+    # index from repro.text instead)
+    # ------------------------------------------------------------------
+    def nodes_with_keyword(self, keyword: str) -> List[int]:
+        """Linear scan for nodes containing ``keyword``."""
+        return [u for u in range(self.n) if keyword in self._keywords[u]]
+
+    def vocabulary(self) -> Set[str]:
+        """All keywords appearing anywhere in the graph."""
+        vocab: Set[str] = set()
+        for kws in self._keywords:
+            vocab.update(kws)
+        return vocab
+
+    # ------------------------------------------------------------------
+    # projection support
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Sequence[int]
+                         ) -> Tuple["DatabaseGraph", Dict[int, int]]:
+        """Build the induced subgraph over ``nodes``.
+
+        Returns the new :class:`DatabaseGraph` (densely relabeled) and
+        the ``old id -> new id`` mapping. Keywords, labels, and
+        provenance are carried over, so a query answered on the
+        projection renders identically to one answered on ``G_D``.
+        """
+        ordered = sorted(set(nodes))
+        mapping = {old: new for new, old in enumerate(ordered)}
+        builder = DiGraph(len(ordered))
+        for u, v, w in self.graph.induced_edges(ordered):
+            builder.add_edge(mapping[u], mapping[v], w)
+        sub = DatabaseGraph(
+            builder.compile(),
+            [self._keywords[old] for old in ordered],
+            [self._labels[old] for old in ordered],
+            [self._provenance[old] for old in ordered],
+        )
+        return sub, mapping
+
+    def __repr__(self) -> str:
+        return f"DatabaseGraph(n={self.n}, m={self.m})"
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise NodeNotFoundError(node, self.n)

@@ -1,0 +1,112 @@
+"""Mutable weighted directed graph builder.
+
+:class:`DiGraph` is the construction-time representation: cheap to grow
+edge by edge. Algorithms never run on it directly — call
+:meth:`DiGraph.compile` to obtain an immutable
+:class:`~repro.graph.csr.CompiledGraph` with forward and reverse CSR
+adjacency, which is what every shortest-path routine consumes.
+
+Nodes are dense integers ``0..n-1``. Parallel edges are permitted at
+build time; :meth:`compile` keeps the lightest edge for each ``(u, v)``
+pair, which is the correct reduction for shortest-path work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.csr import CompiledGraph
+
+Edge = Tuple[int, int, float]
+
+
+class DiGraph:
+    """A growable weighted directed graph over dense integer nodes."""
+
+    def __init__(self, n: int = 0) -> None:
+        if n < 0:
+            raise EdgeError(f"node count must be non-negative, got {n}")
+        self._n = n
+        self._edges: List[Edge] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self) -> int:
+        """Append a fresh node and return its id."""
+        node = self._n
+        self._n += 1
+        return node
+
+    def add_nodes(self, count: int) -> range:
+        """Append ``count`` fresh nodes; return their id range."""
+        if count < 0:
+            raise EdgeError(f"cannot add {count} nodes")
+        first = self._n
+        self._n += count
+        return range(first, self._n)
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add the directed edge ``u -> v`` with the given weight.
+
+        Weights must be non-negative (Dijkstra's precondition, and the
+        paper's BANKS weights ``log2(1 + N_in(v))`` are always >= 0).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if weight < 0:
+            raise EdgeError(f"negative edge weight {weight} on ({u}, {v})")
+        self._edges.append((u, v, float(weight)))
+
+    def add_bidirected_edge(self, u: int, v: int, weight_uv: float,
+                            weight_vu: float) -> None:
+        """Add both directions of an edge, as the paper's bi-directed
+        database graphs do for every foreign-key reference."""
+        self.add_edge(u, v, weight_uv)
+        self.add_edge(v, u, weight_vu)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges added so far (before parallel-edge dedup)."""
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over ``(u, v, weight)`` triples in insertion order."""
+        return iter(self._edges)
+
+    def __contains__(self, node: int) -> bool:
+        return 0 <= node < self._n
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self._n}, m={len(self._edges)})"
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledGraph:
+        """Freeze into a :class:`CompiledGraph` (forward + reverse CSR)."""
+        return CompiledGraph.from_edges(self._n, self._edges)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._n:
+            raise NodeNotFoundError(node, self._n)
+
+
+def from_edge_list(n: int, edges: Iterable[Edge]) -> DiGraph:
+    """Build a :class:`DiGraph` from an iterable of ``(u, v, w)`` triples."""
+    graph = DiGraph(n)
+    for u, v, w in edges:
+        graph.add_edge(u, v, w)
+    return graph

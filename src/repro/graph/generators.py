@@ -1,0 +1,113 @@
+"""Random graph generators for tests and property-based checks.
+
+These produce :class:`~repro.graph.database_graph.DatabaseGraph`
+instances with randomly planted keywords, small enough that the naive
+``O(n^l)`` reference enumerator stays tractable — they are the substrate
+for the PDall-vs-naive equivalence properties.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+
+
+def gnp_random_digraph(n: int, p: float, seed: int = 0,
+                       weight_range: Tuple[float, float] = (1.0, 4.0),
+                       integer_weights: bool = True) -> DiGraph:
+    """G(n, p) digraph with weights drawn uniformly from a range.
+
+    Integer weights (the default) make distance ties common, which is
+    exactly what stresses the deterministic tie-breaking of the
+    enumeration algorithms in tests.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(n)
+    lo, hi = weight_range
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                weight = rng.uniform(lo, hi)
+                if integer_weights:
+                    weight = float(int(weight))
+                graph.add_edge(u, v, weight)
+    return graph
+
+
+def power_law_digraph(n: int, m_per_node: int = 2, seed: int = 0,
+                      weight_range: Tuple[float, float] = (1.0, 4.0)
+                      ) -> DiGraph:
+    """Preferential-attachment digraph (Barabási–Albert flavored).
+
+    Produces the skewed in-degree distributions typical of citation and
+    rating graphs, so BANKS-style ``log2(1 + N_in)`` weights exercise a
+    realistic dynamic range.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(n)
+    in_degree_pool: List[int] = [0]
+    for u in range(1, n):
+        targets: Set[int] = set()
+        attempts = 0
+        while len(targets) < min(m_per_node, u) and attempts < 10 * m_per_node:
+            targets.add(rng.choice(in_degree_pool))
+            attempts += 1
+        for v in targets:
+            weight = float(int(rng.uniform(*weight_range)))
+            graph.add_bidirected_edge(u, v, weight, weight)
+            in_degree_pool.append(v)
+        in_degree_pool.append(u)
+    return graph
+
+
+def random_database_graph(n: int, p: float, keywords: Sequence[str],
+                          keyword_prob: float = 0.3, seed: int = 0,
+                          bidirected: bool = False,
+                          ensure_keywords: bool = True) -> DatabaseGraph:
+    """A random :class:`DatabaseGraph` with planted keywords.
+
+    Each node independently receives each keyword with probability
+    ``keyword_prob``. With ``ensure_keywords`` every keyword is planted
+    on at least one node, so every generated graph admits at least one
+    candidate core (reachability permitting).
+    """
+    rng = random.Random(seed)
+    builder = DiGraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                weight = float(rng.randint(1, 4))
+                if bidirected:
+                    if u < v:
+                        builder.add_bidirected_edge(u, v, weight, weight)
+                else:
+                    builder.add_edge(u, v, weight)
+
+    node_keywords: List[Set[str]] = [set() for _ in range(n)]
+    for u in range(n):
+        for kw in keywords:
+            if rng.random() < keyword_prob:
+                node_keywords[u].add(kw)
+    if ensure_keywords and n > 0:
+        for kw in keywords:
+            if not any(kw in kws for kws in node_keywords):
+                node_keywords[rng.randrange(n)].add(kw)
+
+    return DatabaseGraph(builder.compile(), node_keywords)
+
+
+def line_database_graph(weights: Sequence[float],
+                        keywords_per_node: Sequence[Sequence[str]],
+                        bidirected: bool = True) -> DatabaseGraph:
+    """A path graph — handy for hand-checkable distance arithmetic."""
+    n = len(keywords_per_node)
+    builder = DiGraph(n)
+    for u, weight in enumerate(weights):
+        if bidirected:
+            builder.add_bidirected_edge(u, u + 1, weight, weight)
+        else:
+            builder.add_edge(u, u + 1, weight)
+    return DatabaseGraph(builder.compile(), keywords_per_node)

@@ -1,0 +1,30 @@
+"""Minimal in-memory relational engine.
+
+The paper materializes a relational database as a database graph: tuples
+become nodes, foreign-key references become (bi-directed) weighted
+edges. This subpackage is that substrate: typed schemas with primary
+and foreign keys (:mod:`repro.rdb.schema`), row storage with integrity
+enforcement (:mod:`repro.rdb.table`, :mod:`repro.rdb.database`), and the
+materialization step (:mod:`repro.rdb.graph_builder`).
+"""
+
+from repro.rdb.database import Database
+from repro.rdb.graph_builder import build_database_graph
+from repro.rdb.query import Col, Predicate, Query, col, query
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+from repro.rdb.table import Row, Table
+
+__all__ = [
+    "Col",
+    "Column",
+    "Database",
+    "ForeignKey",
+    "Predicate",
+    "Query",
+    "Row",
+    "Table",
+    "TableSchema",
+    "build_database_graph",
+    "col",
+    "query",
+]

@@ -1,0 +1,156 @@
+"""The database: a set of tables with enforced foreign keys.
+
+:class:`Database` owns table creation (binding foreign keys to the
+referenced tables' primary keys) and row insertion with referential
+integrity. Insertion order must respect references, as it would in a
+real RDBMS load without deferred constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.rdb.schema import ForeignKey, TableSchema
+from repro.rdb.table import Row, Table
+
+
+class Database:
+    """A named collection of :class:`~repro.rdb.table.Table` objects."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # schema
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table, checking foreign keys against existing tables."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.ref_table != schema.name \
+                    and fk.ref_table not in self._tables:
+                raise SchemaError(
+                    f"table {schema.name!r} references unknown table "
+                    f"{fk.ref_table!r}")
+            ref_schema = (schema if fk.ref_table == schema.name
+                          else self._tables[fk.ref_table].schema)
+            ref_column = fk.ref_column or ref_schema.primary_key[0]
+            if len(ref_schema.primary_key) != 1 \
+                    or ref_schema.primary_key[0] != ref_column:
+                raise SchemaError(
+                    f"foreign key {schema.name}.{fk.column} must target "
+                    f"the single-column primary key of {fk.ref_table!r}")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no table {name!r} in database "
+                              f"{self.name!r}") from None
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        """Table names in creation order."""
+        return tuple(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        """Iterate tables in creation order."""
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, row: Mapping[str, object]) -> Row:
+        """Insert one row, enforcing every foreign key."""
+        table = self.table(table_name)
+        for fk in table.schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                if not table.schema.column(fk.column).nullable:
+                    raise IntegrityError(
+                        f"{table_name}.{fk.column} is a non-nullable "
+                        f"foreign key but no value was supplied")
+                continue
+            if not self.table(fk.ref_table).contains_pk(value):
+                raise IntegrityError(
+                    f"{table_name}.{fk.column}={value!r} references a "
+                    f"missing row in {fk.ref_table!r}")
+        return table.insert(row)
+
+    def insert_many(self, table_name: str,
+                    rows: Iterator[Mapping[str, object]]) -> int:
+        """Insert many rows; returns how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def total_rows(self) -> int:
+        """Total tuples across all tables (the paper's tuple counts)."""
+        return sum(len(t) for t in self._tables.values())
+
+    def total_references(self) -> int:
+        """Total non-null foreign-key references across all tables."""
+        count = 0
+        for table in self._tables.values():
+            fk_positions = [
+                table.schema.column_index(fk.column)
+                for fk in table.schema.foreign_keys]
+            if not fk_positions:
+                continue
+            for row in table.scan():
+                values = row.values_tuple
+                count += sum(
+                    1 for pos in fk_positions if values[pos] is not None)
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """Per-table row counts plus totals."""
+        result = {name: len(t) for name, t in self._tables.items()}
+        result["__total_rows__"] = self.total_rows()
+        result["__total_references__"] = self.total_references()
+        return result
+
+    def __repr__(self) -> str:
+        counts = ", ".join(
+            f"{name}={len(t)}" for name, t in self._tables.items())
+        return f"Database({self.name!r}: {counts})"
+
+
+def foreign_key_pairs(db: Database) -> Iterator[Tuple[Tuple[str, object],
+                                                      Tuple[str, object]]]:
+    """Yield ``((table, pk), (ref_table, ref_pk))`` for every reference.
+
+    This is the edge stream the graph builder materializes; it is also
+    useful on its own for integrity audits.
+    """
+    for table in db.tables():
+        schema = table.schema
+        fk_info: List[Tuple[int, ForeignKey]] = [
+            (schema.column_index(fk.column), fk)
+            for fk in schema.foreign_keys]
+        if not fk_info:
+            continue
+        pk_positions = tuple(
+            schema.column_index(c) for c in schema.primary_key)
+        for row in table.scan():
+            values = row.values_tuple
+            pk: object = tuple(values[pos] for pos in pk_positions)
+            if len(pk) == 1:
+                pk = pk[0]
+            for pos, fk in fk_info:
+                ref_value = values[pos]
+                if ref_value is None:
+                    continue
+                yield (schema.name, pk), (fk.ref_table, ref_value)

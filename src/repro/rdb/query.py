@@ -1,0 +1,261 @@
+"""A small relational query layer over the in-memory engine.
+
+The paper's system sits *behind* an RDBMS: users also run ordinary
+selections and joins against the same tables the community search
+indexes. This module provides that surface — enough relational algebra
+to make :mod:`repro.rdb` a usable engine rather than a row store:
+
+* :class:`Query` — a fluent builder over one table:
+  ``select`` (projection), ``where`` (predicates), ``join`` (inner
+  equi-join, hash-based), ``order_by``, ``limit``;
+* predicates compose with ``&`` / ``|`` / ``~``;
+* equality predicates on indexed columns use the table's secondary
+  hash indexes (see :meth:`repro.rdb.table.Table.create_index`)
+  instead of scanning.
+
+Results are lists of plain dicts (column -> value); joined columns are
+disambiguated as ``table.column`` when both sides share a name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import SchemaError
+from repro.rdb.database import Database
+from repro.rdb.table import Table
+
+RowDict = Dict[str, Any]
+
+
+class Predicate:
+    """A composable row predicate.
+
+    Build with the ``col()`` helpers (:meth:`Col.eq`, ``lt`` …) and
+    combine with ``&``, ``|``, ``~``. ``column``/``value`` are exposed
+    for equality predicates so the planner can use hash indexes.
+    """
+
+    def __init__(self, fn: Callable[[RowDict], bool],
+                 column: Optional[str] = None,
+                 value: Any = None,
+                 is_equality: bool = False) -> None:
+        self._fn = fn
+        self.column = column
+        self.value = value
+        self.is_equality = is_equality
+
+    def __call__(self, row: RowDict) -> bool:
+        return self._fn(row)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(lambda row: self(row) and other(row))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(lambda row: self(row) or other(row))
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(lambda row: not self(row))
+
+
+class Col:
+    """Column reference used to build predicates: ``Col("Age").ge(30)``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _get(self, row: RowDict) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {self.name!r} in row; available: "
+                f"{sorted(row)}") from None
+
+    def eq(self, value: Any) -> Predicate:
+        """Equality — index-accelerated when an index exists."""
+        return Predicate(lambda row: self._get(row) == value,
+                         column=self.name, value=value,
+                         is_equality=True)
+
+    def ne(self, value: Any) -> Predicate:
+        """Inequality."""
+        return Predicate(lambda row: self._get(row) != value)
+
+    def lt(self, value: Any) -> Predicate:
+        """Strictly less than (NULLs never match)."""
+        return Predicate(lambda row: self._get(row) is not None
+                         and self._get(row) < value)
+
+    def le(self, value: Any) -> Predicate:
+        """Less than or equal (NULLs never match)."""
+        return Predicate(lambda row: self._get(row) is not None
+                         and self._get(row) <= value)
+
+    def gt(self, value: Any) -> Predicate:
+        """Strictly greater than (NULLs never match)."""
+        return Predicate(lambda row: self._get(row) is not None
+                         and self._get(row) > value)
+
+    def ge(self, value: Any) -> Predicate:
+        """Greater than or equal (NULLs never match)."""
+        return Predicate(lambda row: self._get(row) is not None
+                         and self._get(row) >= value)
+
+    def is_null(self) -> Predicate:
+        """True where the column is NULL."""
+        return Predicate(lambda row: self._get(row) is None)
+
+    def contains(self, token: str) -> Predicate:
+        """Substring containment on text columns."""
+        return Predicate(
+            lambda row: isinstance(self._get(row), str)
+            and token in self._get(row))
+
+
+def col(name: str) -> Col:
+    """Shorthand: ``col("Age").ge(30)``."""
+    return Col(name)
+
+
+@dataclass
+class _Join:
+    table: Table
+    left_column: str
+    right_column: str
+
+
+class Query:
+    """A fluent query over one base table (plus inner joins)."""
+
+    def __init__(self, db: Database, table_name: str) -> None:
+        self._db = db
+        self._base = db.table(table_name)
+        self._base_name = table_name
+        self._joins: List[_Join] = []
+        self._predicates: List[Predicate] = []
+        self._projection: Optional[List[str]] = None
+        self._order: Optional[Tuple[str, bool]] = None
+        self._limit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # builder steps
+    # ------------------------------------------------------------------
+    def where(self, predicate: Predicate) -> "Query":
+        """Add a filter (conjunctive with previous ``where`` calls)."""
+        self._predicates.append(predicate)
+        return self
+
+    def join(self, table_name: str, on: Tuple[str, str]) -> "Query":
+        """Inner equi-join: ``on=(left_column, right_column)``.
+
+        The left column refers to the rows built so far; the right
+        column to the joined table.
+        """
+        left, right = on
+        table = self._db.table(table_name)
+        if right not in table.schema.column_names:
+            raise SchemaError(
+                f"no column {right!r} in table {table_name!r}")
+        self._joins.append(_Join(table, left, right))
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project the output to the given columns."""
+        self._projection = list(columns)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        """Sort the output."""
+        self._order = (column, descending)
+        return self
+
+    def limit(self, count: int) -> "Query":
+        """Keep at most ``count`` rows (applied after ordering)."""
+        if count < 0:
+            raise SchemaError(f"limit must be >= 0, got {count}")
+        self._limit = count
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> List[RowDict]:
+        """Execute and materialize the result rows."""
+        rows = self._scan_base()
+        for join in self._joins:
+            rows = self._hash_join(rows, join)
+        for predicate in self._residual_predicates():
+            rows = [row for row in rows if predicate(row)]
+        if self._order is not None:
+            column, descending = self._order
+            rows.sort(key=lambda row: row.get(column),
+                      reverse=descending)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [
+                {name: row[name] for name in self._projection}
+                for row in rows
+            ]
+        return rows
+
+    def __iter__(self) -> Iterator[RowDict]:
+        return iter(self.run())
+
+    def count(self) -> int:
+        """Number of result rows (projection ignored)."""
+        return len(self.run())
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _scan_base(self) -> List[RowDict]:
+        """Base access path: use a hash index for the first equality
+        predicate on an indexed base column, else scan."""
+        indexed = None
+        for predicate in self._predicates:
+            if predicate.is_equality and predicate.column \
+                    and self._base.has_index(predicate.column):
+                indexed = predicate
+                break
+        if indexed is not None:
+            rows = self._base.index_lookup(indexed.column,
+                                           indexed.value)
+        else:
+            rows = list(self._base.scan())
+        return [dict(row) for row in rows]
+
+    def _residual_predicates(self) -> List[Predicate]:
+        # The indexed predicate still runs (cheap, keeps logic simple
+        # and correct when the index path was not taken).
+        return self._predicates
+
+    def _hash_join(self, rows: List[RowDict], join: _Join
+                   ) -> List[RowDict]:
+        build: Dict[Any, List[RowDict]] = {}
+        right_name = join.table.schema.name
+        for right_row in join.table.scan():
+            as_dict = dict(right_row)
+            build.setdefault(as_dict[join.right_column],
+                             []).append(as_dict)
+        result: List[RowDict] = []
+        for left_row in rows:
+            key = left_row.get(join.left_column)
+            if key is None:
+                continue
+            for right_row in build.get(key, ()):
+                merged = dict(left_row)
+                for name, value in right_row.items():
+                    if name in merged and merged[name] != value:
+                        merged[f"{right_name}.{name}"] = value
+                    else:
+                        merged.setdefault(name, value)
+                result.append(merged)
+        return result
+
+
+def query(db: Database, table_name: str) -> Query:
+    """Start a query: ``query(db, "Paper").where(...).run()``."""
+    return Query(db, table_name)

@@ -1,0 +1,156 @@
+"""Relational schema objects: columns, foreign keys, table schemas.
+
+Schemas are declared once and validated eagerly, so malformed designs
+fail at ``create_table`` time rather than at query time. A
+:class:`TableSchema` also declares which columns carry *text* — the
+columns whose tokens become the node's keywords when the database is
+materialized as a graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import SchemaError
+
+#: Column types the engine accepts. ``str`` columns may feed the
+#: full-text machinery; the others are structural.
+SUPPORTED_TYPES = (int, float, str, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed, optionally nullable column."""
+
+    name: str
+    type: type = str
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.type not in SUPPORTED_TYPES:
+            raise SchemaError(
+                f"unsupported column type {self.type!r} for "
+                f"column {self.name!r}; supported: "
+                f"{[t.__name__ for t in SUPPORTED_TYPES]}")
+
+    def validate(self, value: object) -> object:
+        """Check (and mildly coerce) a value against this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(
+                    f"column {self.name!r} is not nullable")
+            return None
+        if isinstance(value, self.type):
+            return value
+        # Accept ints where floats are declared; nothing else coerces.
+        if self.type is float and isinstance(value, int) \
+                and not isinstance(value, bool):
+            return float(value)
+        raise SchemaError(
+            f"column {self.name!r} expects {self.type.__name__}, "
+            f"got {type(value).__name__} ({value!r})")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A reference from ``column`` to ``ref_table.ref_column``.
+
+    ``ref_column`` defaults to the referenced table's primary key at
+    bind time (see :meth:`TableSchema.bind_foreign_keys`).
+    """
+
+    column: str
+    ref_table: str
+    ref_column: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.column:
+            raise SchemaError("foreign key needs a source column")
+        if not self.ref_table:
+            raise SchemaError(
+                f"foreign key on {self.column!r} needs a target table")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Name, columns, primary key, foreign keys, and text columns.
+
+    ``primary_key`` may name one column or a tuple of columns (link
+    tables such as DBLP's ``Write(Aid, Pid)`` use composite keys).
+    ``text_columns`` lists the columns whose tokenized content becomes
+    the tuple's keywords in the database graph.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Tuple[str, ...]
+    foreign_keys: Tuple[ForeignKey, ...] = field(default_factory=tuple)
+    text_columns: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __init__(self, name: str, columns: Sequence[Column],
+                 primary_key, foreign_keys: Sequence[ForeignKey] = (),
+                 text_columns: Sequence[str] = ()) -> None:
+        if isinstance(primary_key, str):
+            primary_key = (primary_key,)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "primary_key", tuple(primary_key))
+        object.__setattr__(self, "foreign_keys", tuple(foreign_keys))
+        object.__setattr__(self, "text_columns", tuple(text_columns))
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} has no columns")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"duplicate column names in table {self.name!r}")
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        for pk_col in self.primary_key:
+            if pk_col not in names:
+                raise SchemaError(
+                    f"primary key column {pk_col!r} not in table "
+                    f"{self.name!r}")
+            if self.column(pk_col).nullable:
+                raise SchemaError(
+                    f"primary key column {pk_col!r} cannot be nullable")
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} not in table "
+                    f"{self.name!r}")
+        for text_col in self.text_columns:
+            if text_col not in names:
+                raise SchemaError(
+                    f"text column {text_col!r} not in table {self.name!r}")
+            if self.column(text_col).type is not str:
+                raise SchemaError(
+                    f"text column {text_col!r} must be a str column")
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        """Positional index of a column."""
+        for idx, col in enumerate(self.columns):
+            if col.name == name:
+                return idx
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(c.name for c in self.columns)

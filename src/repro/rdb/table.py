@@ -1,0 +1,177 @@
+"""Row storage for one relation, with a primary-key index.
+
+Rows are stored as tuples in declaration order; :class:`Row` is a thin
+named view used at the API boundary. The table maintains a hash index
+on the primary key, which is what makes foreign-key checks and graph
+materialization linear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.rdb.schema import TableSchema
+
+PKValue = Tuple[object, ...]
+
+
+class Row(Mapping[str, object]):
+    """Immutable mapping view over one stored tuple."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: TableSchema, values: Tuple[object, ...]) -> None:
+        self._schema = schema
+        self._values = values
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[self._schema.column_index(key)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.column_names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values_tuple(self) -> Tuple[object, ...]:
+        """The raw stored tuple."""
+        return self._values
+
+    def primary_key(self) -> PKValue:
+        """The row's primary-key value tuple."""
+        return tuple(self[c] for c in self._schema.primary_key)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{name}={self[name]!r}" for name in self._schema.column_names)
+        return f"Row({self._schema.name}: {pairs})"
+
+
+class Table:
+    """Rows of one relation plus a primary-key hash index."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Tuple[object, ...]] = []
+        self._pk_index: Dict[PKValue, int] = {}
+        self._pk_positions = tuple(
+            schema.column_index(c) for c in schema.primary_key)
+        # secondary hash indexes: column -> {value: [row positions]}
+        self._secondary: Dict[str, Dict[object, List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Mapping[str, object]) -> Row:
+        """Validate and store one row given as a column -> value mapping.
+
+        Raises :class:`SchemaError` for type problems and
+        :class:`IntegrityError` for duplicate primary keys. Foreign-key
+        enforcement lives in :class:`repro.rdb.database.Database`, which
+        can see the referenced tables.
+        """
+        unknown = set(row) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)} for table "
+                f"{self.schema.name!r}")
+        values = tuple(
+            col.validate(row.get(col.name)) for col in self.schema.columns)
+        pk = tuple(values[pos] for pos in self._pk_positions)
+        if pk in self._pk_index:
+            raise IntegrityError(
+                f"duplicate primary key {pk!r} in table "
+                f"{self.schema.name!r}")
+        position = len(self._rows)
+        self._pk_index[pk] = position
+        self._rows.append(values)
+        for column, index in self._secondary.items():
+            value = values[self.schema.column_index(column)]
+            index.setdefault(value, []).append(position)
+        return Row(self.schema, values)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, pk: object) -> Optional[Row]:
+        """Row with the given primary key, or ``None``.
+
+        A scalar is accepted for single-column keys.
+        """
+        key = self._normalize_pk(pk)
+        pos = self._pk_index.get(key)
+        if pos is None:
+            return None
+        return Row(self.schema, self._rows[pos])
+
+    def contains_pk(self, pk: object) -> bool:
+        """True if a row with this primary key exists."""
+        return self._normalize_pk(pk) in self._pk_index
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate all rows in insertion order."""
+        for values in self._rows:
+            yield Row(self.schema, values)
+
+    def select(self, predicate) -> Iterator[Row]:
+        """Iterate rows satisfying ``predicate(row)``."""
+        for row in self.scan():
+            if predicate(row):
+                yield row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on one column.
+
+        Equality lookups through :meth:`index_lookup` (and the query
+        layer's ``col(...).eq(...)`` predicates) then avoid full
+        scans. Maintained automatically by subsequent inserts.
+        """
+        position = self.schema.column_index(column)
+        index: Dict[object, List[int]] = {}
+        for row_position, values in enumerate(self._rows):
+            index.setdefault(values[position], []).append(row_position)
+        self._secondary[column] = index
+
+    def has_index(self, column: str) -> bool:
+        """True when a secondary index exists on ``column``."""
+        return column in self._secondary
+
+    def index_lookup(self, column: str, value: object) -> List[Row]:
+        """Rows with ``column == value`` via the hash index."""
+        if column not in self._secondary:
+            raise SchemaError(
+                f"no index on {self.schema.name}.{column}; call "
+                f"create_index first")
+        return [
+            Row(self.schema, self._rows[pos])
+            for pos in self._secondary[column].get(value, ())
+        ]
+
+    # ------------------------------------------------------------------
+    def _normalize_pk(self, pk: object) -> PKValue:
+        if isinstance(pk, tuple):
+            key = pk
+        else:
+            key = (pk,)
+        if len(key) != len(self._pk_positions):
+            raise SchemaError(
+                f"table {self.schema.name!r} has a "
+                f"{len(self._pk_positions)}-column primary key, got "
+                f"{len(key)} values")
+        return key
+
+
+def row_values(rows: Sequence[Row], column: str) -> List[object]:
+    """Project one column out of a row sequence (test convenience)."""
+    return [row[column] for row in rows]

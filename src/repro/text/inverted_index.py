@@ -1,0 +1,216 @@
+"""The paper's two inverted indexes: ``invertedN`` and ``invertedE``.
+
+Section VI: for each keyword ``w``,
+
+* ``invertedN[w]`` stores the nodes ``V_w`` containing ``w``;
+* ``invertedE[w]`` stores the edges ``(u, v)`` such that *both*
+  endpoints are within ``R`` of at least one node in ``V_w`` — where
+  "within R" means the endpoint can *reach* a ``V_w`` node along a path
+  of total weight ``<= R`` (centers and path nodes reach keyword nodes,
+  per Definition 2.1), computed with one bounded reverse multi-source
+  Dijkstra per keyword.
+
+``R`` is the largest ``Rmax`` users may ask for; any query with
+``Rmax <= R`` answered on the projected graph (Algorithm 6) returns
+exactly the communities of the full graph.
+
+:class:`CommunityIndex` bundles both indexes plus build-time statistics
+(elapsed seconds, entry counts, approximate size in bytes) so the
+benchmark harness can report the same index numbers the paper quotes in
+Section VII.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.dijkstra import bounded_dijkstra
+
+Edge = Tuple[int, int, float]
+
+
+class NodeInvertedIndex:
+    """``invertedN``: keyword -> sorted node ids containing it."""
+
+    def __init__(self, postings: Dict[str, List[int]]) -> None:
+        self._postings = postings
+
+    @classmethod
+    def build(cls, dbg: DatabaseGraph,
+              keywords: Optional[Iterable[str]] = None
+              ) -> "NodeInvertedIndex":
+        """Scan the graph once and collect postings.
+
+        With ``keywords`` given, only that vocabulary is indexed (used
+        when the benchmark vocabulary is known up front); otherwise the
+        full vocabulary is indexed.
+        """
+        wanted = None if keywords is None else set(keywords)
+        postings: Dict[str, List[int]] = {}
+        for node in range(dbg.n):
+            for kw in dbg.keywords_of(node):
+                if wanted is not None and kw not in wanted:
+                    continue
+                postings.setdefault(kw, []).append(node)
+        for nodes in postings.values():
+            nodes.sort()
+        return cls(postings)
+
+    def nodes(self, keyword: str) -> List[int]:
+        """Posting list for ``keyword`` (empty when absent)."""
+        return self._postings.get(keyword, [])
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._postings
+
+    def keywords(self) -> List[str]:
+        """All indexed keywords, sorted."""
+        return sorted(self._postings)
+
+    def entry_count(self) -> int:
+        """Total postings across all keywords."""
+        return sum(len(v) for v in self._postings.values())
+
+    def frequency(self, keyword: str, total_tuples: int) -> float:
+        """Keyword frequency (the paper's KWF): postings / tuples."""
+        if total_tuples <= 0:
+            raise QueryError("total_tuples must be positive")
+        return len(self.nodes(keyword)) / total_tuples
+
+
+class EdgeInvertedIndex:
+    """``invertedE``: keyword -> edges with both endpoints within R."""
+
+    def __init__(self, postings: Dict[str, List[Edge]], radius: float) -> None:
+        self._postings = postings
+        self.radius = radius
+
+    @classmethod
+    def build(cls, dbg: DatabaseGraph, node_index: NodeInvertedIndex,
+              radius: float,
+              keywords: Optional[Iterable[str]] = None
+              ) -> "EdgeInvertedIndex":
+        """One bounded reverse Dijkstra per keyword, then induced edges."""
+        if radius < 0:
+            raise QueryError(f"index radius must be >= 0, got {radius}")
+        vocab = list(keywords) if keywords is not None \
+            else node_index.keywords()
+        postings: Dict[str, List[Edge]] = {}
+        graph = dbg.graph
+        indptr = graph.forward.indptr
+        targets = graph.forward.targets
+        weights = graph.forward.weights
+        for kw in vocab:
+            seeds = node_index.nodes(kw)
+            if not seeds:
+                postings[kw] = []
+                continue
+            reached: Set[int] = set(
+                bounded_dijkstra(graph.reverse, seeds, radius).distances())
+            edges: List[Edge] = []
+            for u in reached:
+                for idx in range(indptr[u], indptr[u + 1]):
+                    v = targets[idx]
+                    if v in reached:
+                        edges.append((u, v, weights[idx]))
+            edges.sort()
+            postings[kw] = edges
+        return cls(postings, radius)
+
+    def edges(self, keyword: str) -> List[Edge]:
+        """Edge posting list for ``keyword`` (empty when absent)."""
+        return self._postings.get(keyword, [])
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._postings
+
+    def entry_count(self) -> int:
+        """Total edge postings across all keywords."""
+        return sum(len(v) for v in self._postings.values())
+
+
+class CommunityIndex:
+    """Both inverted indexes plus build statistics.
+
+    This is what a deployment persists per database; queries only ever
+    touch the index, never the full ``G_D`` (Section VI: "the entire
+    G_D can be constructed using the two inverted indexes").
+    """
+
+    def __init__(self, dbg: DatabaseGraph, node_index: NodeInvertedIndex,
+                 edge_index: EdgeInvertedIndex, radius: float,
+                 build_seconds: float) -> None:
+        self.dbg = dbg
+        self.node_index = node_index
+        self.edge_index = edge_index
+        self.radius = radius
+        self.build_seconds = build_seconds
+
+    @classmethod
+    def build(cls, dbg: DatabaseGraph, radius: float,
+              keywords: Optional[Iterable[str]] = None) -> "CommunityIndex":
+        """Build both indexes for the given maximum radius ``R``."""
+        start = time.perf_counter()
+        node_index = NodeInvertedIndex.build(dbg, keywords)
+        edge_index = EdgeInvertedIndex.build(dbg, node_index, radius,
+                                             keywords)
+        elapsed = time.perf_counter() - start
+        return cls(dbg, node_index, edge_index, radius, elapsed)
+
+    # ------------------------------------------------------------------
+    # lookups used by Algorithm 6
+    # ------------------------------------------------------------------
+    def nodes(self, keyword: str) -> List[int]:
+        """``getNode(invertedN, k)`` of Algorithm 6."""
+        return self.node_index.nodes(keyword)
+
+    def edges(self, keyword: str) -> List[Edge]:
+        """``getEdge(invertedE, k)`` of Algorithm 6."""
+        return self.edge_index.edges(keyword)
+
+    def require_keyword(self, keyword: str) -> None:
+        """Raise :class:`QueryError` when a keyword has no postings."""
+        if not self.node_index.nodes(keyword):
+            raise QueryError(
+                f"keyword {keyword!r} does not occur in the database")
+
+    # ------------------------------------------------------------------
+    # statistics (paper §VII reports build time and index size)
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Approximate serialized index size.
+
+        Counted the way an on-disk layout would store it: 8 bytes per
+        node posting, 24 per edge posting (two endpoints + weight).
+        """
+        return (8 * self.node_index.entry_count()
+                + 24 * self.edge_index.entry_count())
+
+    def stats(self) -> Dict[str, object]:
+        """Build/size statistics for reporting."""
+        return {
+            "radius": self.radius,
+            "keywords": len(self.node_index.keywords()),
+            "node_postings": self.node_index.entry_count(),
+            "edge_postings": self.edge_index.entry_count(),
+            "size_bytes": self.size_bytes(),
+            "build_seconds": self.build_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CommunityIndex(radius={self.radius}, "
+                f"keywords={len(self.node_index.keywords())}, "
+                f"size={self.size_bytes()}B)")
+
+
+def python_object_size(index: CommunityIndex) -> int:
+    """In-memory footprint estimate of the index (sys.getsizeof based)."""
+    total = 0
+    for kw in index.node_index.keywords():
+        total += sys.getsizeof(index.node_index.nodes(kw))
+        total += sys.getsizeof(index.edge_index.edges(kw))
+    return total

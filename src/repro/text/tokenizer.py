@@ -1,0 +1,64 @@
+"""Keyword tokenization for tuple text.
+
+The paper treats a tuple as "containing" a keyword when the keyword
+appears in its text attributes, located via a full-text index ([1] in
+the paper). This tokenizer defines that containment relation for the
+whole library: lowercase, alphanumeric token runs, optional stopword
+removal and minimum length.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, Iterable, List, Set
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: A small, conventional English stopword list. Kept deliberately short:
+#: the paper's own keyword sets include words like "all", so aggressive
+#: stopword removal would change the workload semantics.
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in",
+    "is", "it", "of", "on", "or", "that", "the", "to", "with",
+})
+
+
+class Tokenizer:
+    """Configurable text -> keyword-set tokenizer."""
+
+    def __init__(self, stopwords: Iterable[str] = (),
+                 min_length: int = 1) -> None:
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self._stopwords = frozenset(w.lower() for w in stopwords)
+        self._min_length = min_length
+
+    def tokens(self, text: str) -> List[str]:
+        """All tokens of ``text`` in order, filters applied."""
+        result = []
+        for match in _TOKEN_RE.finditer(text.lower()):
+            token = match.group()
+            if len(token) < self._min_length:
+                continue
+            if token in self._stopwords:
+                continue
+            result.append(token)
+        return result
+
+    def keyword_set(self, text: str) -> Set[str]:
+        """Distinct keywords of ``text``."""
+        return set(self.tokens(text))
+
+    def __call__(self, text: str) -> Set[str]:
+        return self.keyword_set(text)
+
+
+#: The library-wide default: no stopwords, no length filter — keyword
+#: containment is purely "the token occurs in the text", matching the
+#: paper's usage where single common words are valid query keywords.
+DEFAULT_TOKENIZER = Tokenizer()
+
+
+def tokenize(text: str) -> Set[str]:
+    """Tokenize with the library default tokenizer."""
+    return DEFAULT_TOKENIZER.keyword_set(text)

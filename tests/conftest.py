@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's toy graphs and small test datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.dblp import DBLPConfig, dblp_graph
+from repro.datasets.imdb import IMDBConfig, imdb_graph
+from repro.datasets.paper_example import figure1_graph, figure4_graph
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    """The paper's Fig. 4 database graph (13 nodes)."""
+    return figure4_graph()
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Fig. 1 co-authorship graph (5 nodes)."""
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def tiny_dblp():
+    """(db, dbg) for a tiny synthetic DBLP."""
+    return dblp_graph(DBLPConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_imdb():
+    """(db, dbg) for a tiny synthetic IMDB."""
+    return imdb_graph(IMDBConfig.tiny())
+
+
+@pytest.fixture()
+def diamond():
+    """A 4-node diamond: 0 -> {1, 2} -> 3, with unequal arms."""
+    g = DiGraph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(0, 2, 2.0)
+    g.add_edge(1, 3, 1.0)
+    g.add_edge(2, 3, 0.5)
+    return g.compile()

@@ -1,0 +1,90 @@
+"""Integration tests for the figure generators and the CLI (tiny
+scale: these verify the regeneration machinery, not the numbers)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.figures import (
+    FIGURES,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    index_stats,
+    table1_ranking,
+)
+
+
+class TestTable1Report:
+    def test_reproduced_exactly(self):
+        report = table1_ranking()
+        assert "Table I reproduced exactly." in report.text
+        assert "MISMATCH" not in report.text
+
+
+@pytest.mark.slow
+class TestFigureReports:
+    def test_figure9_tiny(self):
+        report = figure9(scale="tiny", max_communities=10,
+                         measure_memory=False)
+        assert "Fig. 9(a)" in report.text
+        assert set(report.panels) == {"a", "c", "e"}
+        for results in report.panels.values():
+            assert set(results) == {"pd", "bu", "td"}
+            assert all(len(runs) == 5 for runs in results.values())
+
+    def test_figure10_tiny(self):
+        report = figure10("imdb", scale="tiny")
+        assert set(report.panels) == {"a", "b", "c", "d"}
+        for runs in report.panels["d"].values():
+            assert [r.k for r in runs] == [50, 100, 150, 200, 250]
+
+    def test_figure11_tiny(self):
+        report = figure11(scale="tiny", max_communities=10,
+                          measure_memory=True)
+        assert "DBLP" in report.text
+        memory = report.panels["a"]["pd"][0].peak_kb
+        assert memory is not None and memory > 0
+
+    def test_figure12_tiny(self):
+        report = figure12(scale="tiny", extra_k=5)
+        assert set(report.panels) == {"a", "b"}
+
+    def test_index_stats_tiny(self):
+        report = index_stats(scale="tiny")
+        assert "DBLP" in report.text and "IMDB" in report.text
+        assert "projected-graph fraction" in report.text
+
+
+class TestCLI:
+    def test_figure_registry_covers_all_exhibits(self):
+        assert set(FIGURES) == {
+            "table1", "2", "9", "10", "10-dblp", "11", "12", "index",
+            "datasets", "scaling", "delay"}
+
+    @pytest.mark.slow
+    def test_dataset_stats_tiny(self):
+        from repro.bench.figures import dataset_stats
+        report = dataset_stats(scale="tiny")
+        assert "planted KWF check" in report.text
+        assert "Write per Paper" in report.text
+
+    def test_figure2_trees_report(self, capsys):
+        from repro.bench.figures import figure2_trees
+        report = figure2_trees()
+        assert "5 trees" in report.text
+        assert "contains 4 of the 5 trees" in report.text
+
+    def test_cli_table1(self, capsys):
+        assert main(["--figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I reproduced exactly." in out
+        assert "regenerated in" in out
+
+    def test_cli_requires_figure(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cli_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "nope"])

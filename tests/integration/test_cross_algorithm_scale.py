@@ -1,0 +1,85 @@
+"""Cross-algorithm agreement at a scale hypothesis can't reach.
+
+A few hundred nodes with power-law degrees and BANKS weights — big
+enough for nontrivial neighborhood structure, small enough for the
+naive enumerator to stay the ground truth.
+"""
+
+import math
+
+import pytest
+
+from repro.core import all_communities, naive_all, top_k
+from repro.core.baselines import bu_all, td_all
+from repro.core.community import community_sort_key
+from repro.core.search import CommunitySearch
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.generators import power_law_digraph
+
+
+@pytest.fixture(scope="module")
+def scaled_graph():
+    """~250-node power-law graph with BANKS weights and 3 keywords."""
+    import random
+    rng = random.Random(99)
+    builder = power_law_digraph(250, m_per_node=2, seed=7)
+    compiled = builder.compile()
+    # re-weight with the BANKS formula
+    edges = [
+        (u, v, math.log2(1 + compiled.in_degree(v)))
+        for u, v, _ in compiled.edges()
+    ]
+    from repro.graph.csr import CompiledGraph
+    graph = CompiledGraph.from_edges(compiled.n, edges)
+    keywords = [set() for _ in range(graph.n)]
+    for kw in ("a", "b", "c"):
+        for node in rng.sample(range(graph.n), 12):
+            keywords[node].add(kw)
+    return DatabaseGraph(graph, keywords)
+
+
+QUERY = ["a", "b", "c"]
+RMAX = 7.0
+
+
+class TestAgreementAtScale:
+    def test_pd_bu_td_naive_agree(self, scaled_graph):
+        reference = sorted(
+            (c.core, round(c.cost, 9))
+            for c in naive_all(scaled_graph, QUERY, RMAX))
+        assert reference, "fixture should produce communities"
+        for runner in (all_communities, bu_all, td_all):
+            got = sorted(
+                (c.core, round(c.cost, 9))
+                for c in runner(scaled_graph, QUERY, RMAX))
+            assert got == reference
+
+    def test_pdk_exact_ranking(self, scaled_graph):
+        reference = naive_all(scaled_graph, QUERY, RMAX)
+        got = top_k(scaled_graph, QUERY, len(reference) + 5, RMAX)
+        assert [c.cost for c in got] == [c.cost for c in reference]
+
+    def test_projection_equivalence_at_scale(self, scaled_graph):
+        search = CommunitySearch(scaled_graph)
+        search.build_index(radius=RMAX)
+        direct = sorted(
+            search.all_communities(QUERY, RMAX, use_projection=False),
+            key=community_sort_key)
+        projected = sorted(
+            search.all_communities(QUERY, RMAX, use_projection=True),
+            key=community_sort_key)
+        assert [(c.core, c.cost, c.nodes, c.edges) for c in direct] \
+            == [(c.core, c.cost, c.nodes, c.edges) for c in projected]
+        projection = search.project(QUERY, RMAX)
+        assert projection.n < scaled_graph.n
+
+    def test_max_aggregate_agreement_at_scale(self, scaled_graph):
+        reference = sorted(
+            (c.core, round(c.cost, 9))
+            for c in naive_all(scaled_graph, QUERY, RMAX,
+                               aggregate="max"))
+        got = sorted(
+            (c.core, round(c.cost, 9))
+            for c in all_communities(scaled_graph, QUERY, RMAX,
+                                     aggregate="max"))
+        assert got == reference

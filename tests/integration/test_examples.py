@@ -1,0 +1,51 @@
+"""Smoke-run every shipped example as a subprocess.
+
+Examples are user-facing documentation; a broken example is a broken
+release. Each must exit 0 and print its expected landmark output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Table I" in out
+        assert "cost=7" in out
+        assert "5 communities" in out
+
+    def test_custom_database(self):
+        out = run_example("custom_database.py")
+        assert "Referential integrity works" in out
+        assert "parser" in out
+
+    def test_advanced_features(self):
+        out = run_example("advanced_features.py")
+        assert "tree answers: 5" in out
+        assert "round-tripped graph" in out
+        assert "after growth" in out
+
+    def test_dblp_example(self):
+        out = run_example("dblp_coauthor_communities.py")
+        assert "Projected graph" in out
+        assert "COMM-all found" in out
+
+    def test_imdb_example(self):
+        out = run_example("imdb_interactive_topk.py")
+        assert "no recomputation" in out
+        assert "full re-run" in out

@@ -1,0 +1,124 @@
+"""End-to-end pipelines on the synthetic datasets (tiny scale).
+
+RDB -> database graph -> inverted indexes -> projection -> all four
+algorithms, checked for mutual agreement on real(istic) data shapes.
+"""
+
+import pytest
+
+from repro.core.community import community_sort_key
+from repro.core.search import CommunitySearch
+from repro.datasets.vocab import query_keywords
+
+
+@pytest.fixture(scope="module")
+def dblp_search(tiny_dblp):
+    _, dbg = tiny_dblp
+    search = CommunitySearch(dbg)
+    search.build_index(radius=8.0)
+    return search
+
+
+@pytest.fixture(scope="module")
+def imdb_search(tiny_imdb):
+    _, dbg = tiny_imdb
+    search = CommunitySearch(dbg)
+    search.build_index(radius=13.0)
+    return search
+
+
+def agreement_check(search, keywords, rmax):
+    """All four algorithms produce the same core/cost sets."""
+    reference = None
+    for alg in ("pd", "bu", "td", "naive"):
+        got = sorted(
+            (c.core, round(c.cost, 9))
+            for c in search.all_communities(keywords, rmax,
+                                            algorithm=alg))
+        if reference is None:
+            reference = got
+        assert got == reference, f"{alg} disagrees"
+    return reference
+
+
+class TestDBLPPipeline:
+    def test_algorithms_agree(self, dblp_search):
+        keywords = query_keywords(0.0015, 2)
+        agreement_check(dblp_search, keywords, 6.0)
+
+    def test_projection_equivalence(self, dblp_search):
+        keywords = query_keywords(0.0015, 2)
+        with_proj = sorted(
+            dblp_search.all_communities(keywords, 6.0,
+                                        use_projection=True),
+            key=community_sort_key)
+        without = sorted(
+            dblp_search.all_communities(keywords, 6.0,
+                                        use_projection=False),
+            key=community_sort_key)
+        assert [(c.core, c.cost, c.nodes, c.edges) for c in with_proj] \
+            == [(c.core, c.cost, c.nodes, c.edges) for c in without]
+
+    def test_top_k_prefix_of_all(self, dblp_search):
+        keywords = query_keywords(0.0015, 2)
+        everything = sorted(
+            dblp_search.all_communities(keywords, 6.0),
+            key=community_sort_key)
+        if not everything:
+            pytest.skip("no communities at tiny scale")
+        top = dblp_search.top_k(keywords, min(3, len(everything)), 6.0)
+        assert [c.cost for c in top] \
+            == [c.cost for c in everything[: len(top)]]
+
+    def test_interactive_stream_continues(self, dblp_search):
+        keywords = query_keywords(0.0015, 2)
+        stream = dblp_search.top_k_stream(keywords, 6.0)
+        first = stream.take(1)
+        rest = stream.more(1000)
+        everything = dblp_search.all_communities(keywords, 6.0)
+        assert len(first) + len(rest) == len(everything)
+
+    def test_provenance_back_to_tuples(self, dblp_search, tiny_dblp):
+        db, dbg = tiny_dblp
+        keywords = query_keywords(0.0015, 2)
+        results = dblp_search.all_communities(keywords, 6.0)
+        if not results:
+            pytest.skip("no communities at tiny scale")
+        for node in results[0].nodes:
+            table, pk = dbg.provenance_of(node)
+            assert db.table(table).contains_pk(pk)
+
+
+class TestIMDBPipeline:
+    def test_algorithms_agree(self, imdb_search):
+        keywords = query_keywords(0.0015, 2)
+        agreement_check(imdb_search, keywords, 11.0)
+
+    def test_projection_equivalence(self, imdb_search):
+        keywords = query_keywords(0.0015, 2)
+        with_proj = sorted(
+            imdb_search.all_communities(keywords, 11.0,
+                                        use_projection=True),
+            key=community_sort_key)
+        without = sorted(
+            imdb_search.all_communities(keywords, 11.0,
+                                        use_projection=False),
+            key=community_sort_key)
+        assert [(c.core, c.cost) for c in with_proj] \
+            == [(c.core, c.cost) for c in without]
+
+    def test_multi_center_communities_exist(self, imdb_search):
+        # the paper's motivation for IMDB: dense graphs produce
+        # multi-center communities
+        keywords = query_keywords(0.0015, 2)
+        results = imdb_search.all_communities(keywords, 11.0)
+        if not results:
+            pytest.skip("no communities at tiny scale")
+        assert any(c.is_multi_center() for c in results)
+
+    def test_projection_smaller_than_graph(self, imdb_search,
+                                           tiny_imdb):
+        _, dbg = tiny_imdb
+        keywords = query_keywords(0.0015, 2)
+        projection = imdb_search.project(keywords, 11.0)
+        assert projection.n < dbg.n

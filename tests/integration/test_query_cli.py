@@ -1,0 +1,62 @@
+"""Integration tests for the ``python -m repro`` query CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuild:
+    def test_build_and_query_round_trip(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json.gz"
+        index_path = tmp_path / "i.json.gz"
+        assert main(["build", "--dataset", "fig4",
+                     "--out-graph", str(graph_path),
+                     "--out-index", str(index_path),
+                     "--radius", "8"]) == 0
+        assert graph_path.exists() and index_path.exists()
+
+        assert main(["query", "--graph", str(graph_path),
+                     "--index", str(index_path),
+                     "--keywords", "a,b,c", "--rmax", "8",
+                     "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cost=7" in out
+        assert "5 communities" in out
+
+    def test_build_graph_only(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        assert main(["build", "--dataset", "fig4",
+                     "--out-graph", str(graph_path)]) == 0
+        assert graph_path.exists()
+
+
+class TestQuery:
+    def test_query_dataset_all_mode(self, capsys):
+        assert main(["query", "--dataset", "fig4",
+                     "--keywords", "a,b,c", "--rmax", "8",
+                     "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "5 communities (all" in out
+
+    def test_query_baseline_algorithm(self, capsys):
+        assert main(["query", "--dataset", "fig4",
+                     "--keywords", "a,b,c", "--rmax", "8",
+                     "--k", "3", "--algorithm", "bu"]) == 0
+        out = capsys.readouterr().out
+        assert "3 communities" in out
+
+    def test_query_max_aggregate(self, capsys):
+        assert main(["query", "--dataset", "fig4",
+                     "--keywords", "a,b,c", "--rmax", "8",
+                     "--k", "1", "--aggregate", "max"]) == 0
+        out = capsys.readouterr().out
+        assert "cost=4" in out
+
+    def test_unknown_dataset_is_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "nope",
+                  "--keywords", "a", "--rmax", "8"])
+
+    def test_missing_source_is_error(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--keywords", "a", "--rmax", "8"])

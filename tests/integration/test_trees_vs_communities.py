@@ -1,0 +1,117 @@
+"""Fig. 2 reproduction and the paper's §I claim: one community
+subsumes the tree answers."""
+
+import pytest
+
+from repro.core import top_k
+from repro.core.trees import enumerate_trees, top_k_trees
+from repro.datasets.paper_example import (
+    FIG1_QUERY,
+    FIG1_RMAX,
+    figure1_graph,
+)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def fig1_module():
+    return figure1_graph()
+
+
+class TestFig2Trees:
+    def test_exactly_five_trees(self, fig1_module):
+        trees = enumerate_trees(fig1_module, list(FIG1_QUERY),
+                                max_weight=8.0)
+        assert len(trees) == 5
+
+    def test_t1_is_the_best_tree(self, fig1_module):
+        dbg = fig1_module
+        best = top_k_trees(dbg, list(FIG1_QUERY), 1, 8.0)[0]
+        # T1: paper1 wrote by John Smith and Kate Green
+        assert dbg.label_of(best.root) == "paper1"
+        assert best.weight == 3.0
+        labels = {dbg.label_of(u) for u in best.nodes}
+        assert labels == {"paper1", "John Smith", "Kate Green"}
+
+    def test_four_trees_connect_john_and_kate(self, fig1_module):
+        dbg = fig1_module
+        trees = enumerate_trees(dbg, list(FIG1_QUERY), max_weight=8.0)
+        john_kate = [
+            t for t in trees
+            if {"John Smith", "Kate Green"}
+            <= {dbg.label_of(u) for u in t.nodes}]
+        assert len(john_kate) == 4  # the paper's T1..T4
+
+    def test_fifth_tree_involves_jim(self, fig1_module):
+        dbg = fig1_module
+        trees = enumerate_trees(dbg, list(FIG1_QUERY), max_weight=8.0)
+        jim = [t for t in trees
+               if "Jim Smith" in {dbg.label_of(u) for u in t.nodes}]
+        assert len(jim) == 1
+
+    def test_trees_are_trees(self, fig1_module):
+        for tree in enumerate_trees(fig1_module, list(FIG1_QUERY),
+                                    max_weight=8.0):
+            assert len(tree.edges) == len(tree.nodes) - 1
+            targets = [v for _, v, _ in tree.edges]
+            assert len(targets) == len(set(targets))  # one parent each
+            assert tree.root not in targets
+
+    def test_every_leaf_is_a_keyword_node(self, fig1_module):
+        dbg = fig1_module
+        for tree in enumerate_trees(dbg, list(FIG1_QUERY),
+                                    max_weight=8.0):
+            sources = {u for u, _, _ in tree.edges}
+            for node in tree.nodes:
+                if node not in sources:  # leaf
+                    kws = dbg.keywords_of(node)
+                    assert kws & {"kate", "smith"}
+
+
+class TestSubsumption:
+    def test_community_r1_contains_trees_t1_to_t4(self, fig1_module):
+        """Paper §I: 'The community R1 includes all the information
+        represented by the 4 trees T_i, 1 <= i <= 4'."""
+        dbg = fig1_module
+        community = top_k(dbg, list(FIG1_QUERY), 1, FIG1_RMAX)[0]
+        community_nodes = set(community.nodes)
+        community_edges = {(u, v) for u, v, _ in community.edges}
+        trees = enumerate_trees(dbg, list(FIG1_QUERY), max_weight=8.0)
+        john_kate_trees = [
+            t for t in trees
+            if {"John Smith", "Kate Green"}
+            <= {dbg.label_of(u) for u in t.nodes}]
+        for tree in john_kate_trees:
+            assert set(tree.nodes) <= community_nodes
+            assert {(u, v) for u, v, _ in tree.edges} \
+                <= community_edges
+
+    def test_tree_count_exceeds_community_count(self, fig1_module):
+        # the paper's usability point: many trees vs few communities
+        dbg = fig1_module
+        from repro.core import all_communities
+        trees = enumerate_trees(dbg, list(FIG1_QUERY), max_weight=8.0)
+        communities = all_communities(dbg, list(FIG1_QUERY), FIG1_RMAX)
+        assert len(trees) > len(communities)
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self, fig1_module):
+        with pytest.raises(QueryError):
+            enumerate_trees(fig1_module, ["kate"], max_weight=-1.0)
+
+    def test_k_validation(self, fig1_module):
+        with pytest.raises(QueryError):
+            top_k_trees(fig1_module, ["kate"], 0, 5.0)
+
+    def test_path_guard(self, fig1_module):
+        with pytest.raises(QueryError):
+            enumerate_trees(fig1_module, list(FIG1_QUERY),
+                            max_weight=8.0, max_paths=1)
+
+    def test_single_keyword_single_node_tree(self, fig1_module):
+        dbg = fig1_module
+        trees = enumerate_trees(dbg, ["jim"], max_weight=5.0)
+        singles = [t for t in trees if t.size == 1]
+        assert singles and all(
+            "jim" in dbg.keywords_of(t.root) for t in singles)

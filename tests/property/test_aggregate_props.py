@@ -1,0 +1,63 @@
+"""Property tests for the "max" cost aggregate: PD stays exact."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comm_all import all_communities
+from repro.core.comm_k import TopKStream
+from repro.core.naive import naive_all
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b", "c"]
+
+
+@st.composite
+def query_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.1, 0.25, 0.4]))
+    l = draw(st.integers(min_value=1, max_value=3))
+    rmax = float(draw(st.sampled_from([0, 3, 6, 9])))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=draw(st.booleans()))
+    return dbg, KEYWORDS[:l], rmax
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_cases())
+def test_pdall_equals_naive_under_max(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax, aggregate="max")
+    got = all_communities(dbg, keywords, rmax, aggregate="max")
+    assert sorted((c.core, c.cost) for c in got) \
+        == sorted((c.core, c.cost) for c in ref)
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_cases())
+def test_pdk_ranked_under_max(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax, aggregate="max")
+    stream = TopKStream(dbg, keywords, rmax, aggregate="max")
+    got = stream.take(len(ref) + 2)
+    assert [c.cost for c in got] == [c.cost for c in ref]
+    assert sorted(c.core for c in got) == sorted(c.core for c in ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_cases())
+def test_max_cost_never_exceeds_rmax(case):
+    dbg, keywords, rmax = case
+    for community in all_communities(dbg, keywords, rmax,
+                                     aggregate="max"):
+        assert community.cost <= rmax
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_cases())
+def test_sum_and_max_agree_on_core_sets(case):
+    dbg, keywords, rmax = case
+    by_sum = {c.core for c in all_communities(dbg, keywords, rmax)}
+    by_max = {c.core
+              for c in all_communities(dbg, keywords, rmax,
+                                       aggregate="max")}
+    assert by_sum == by_max  # membership is cost-independent

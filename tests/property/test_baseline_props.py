@@ -1,0 +1,54 @@
+"""Property-based equivalence of the BU/TD baselines with naive."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import bu_all, bu_top_k, td_all, td_top_k
+from repro.core.naive import naive_all
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b", "c"]
+
+
+@st.composite
+def query_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.1, 0.2, 0.35]))
+    l = draw(st.integers(min_value=1, max_value=3))
+    rmax = float(draw(st.sampled_from([0, 2, 5, 8])))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=draw(st.booleans()))
+    return dbg, KEYWORDS[:l], rmax
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_cases())
+def test_bu_all_equals_naive(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    got = bu_all(dbg, keywords, rmax)
+    assert sorted((c.core, c.cost) for c in got) \
+        == sorted((c.core, c.cost) for c in ref)
+
+
+@settings(max_examples=50, deadline=None)
+@given(query_cases())
+def test_td_all_equals_naive(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    got = td_all(dbg, keywords, rmax)
+    assert sorted((c.core, c.cost) for c in got) \
+        == sorted((c.core, c.cost) for c in ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_cases(), st.integers(min_value=1, max_value=8))
+def test_pruned_top_k_is_exact(case, k):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    want_costs = [c.cost for c in ref[:k]]
+    for runner in (bu_top_k, td_top_k):
+        got = runner(dbg, keywords, k, rmax)
+        assert [c.cost for c in got] == want_costs
+        cores = [c.core for c in got]
+        assert len(cores) == len(set(cores))

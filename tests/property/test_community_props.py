@@ -1,0 +1,88 @@
+"""Property-based invariants of Definition 2.1 on every produced
+community: center reachability, cost optimality, pnode membership,
+induced edges."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comm_all import all_communities
+from repro.graph.dijkstra import single_source_distances
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b"]
+
+
+@st.composite
+def community_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.12, 0.25, 0.4]))
+    l = draw(st.integers(min_value=1, max_value=2))
+    rmax = float(draw(st.sampled_from([2, 4, 7])))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=draw(st.booleans()))
+    return dbg, KEYWORDS[:l], rmax
+
+
+@settings(max_examples=50, deadline=None)
+@given(community_cases())
+def test_definition_2_1_invariants(case):
+    dbg, keywords, rmax = case
+    graph = dbg.graph
+    for community in all_communities(dbg, keywords, rmax):
+        knodes = set(community.core)
+        centers = set(community.centers)
+        nodes = set(community.nodes)
+
+        # knodes carry their keywords, in position order
+        for position, node in enumerate(community.core):
+            assert keywords[position] in dbg.keywords_of(node)
+
+        # every center reaches every knode within Rmax; the cost is
+        # the minimum per-center total
+        totals = []
+        for center in centers:
+            dist = single_source_distances(graph, center, rmax)
+            total = 0.0
+            for node in community.core:
+                assert dist.get(node) <= rmax
+                total += dist[node]
+            totals.append(total)
+        assert abs(min(totals) - community.cost) < 1e-9
+
+        # no node outside the center set qualifies as a center
+        for candidate in range(graph.n):
+            if candidate in centers:
+                continue
+            dist = single_source_distances(graph, candidate, rmax)
+            assert any(dist.get(node, float("inf")) > rmax
+                       for node in knodes)
+
+        # nodes = centers ∪ knodes ∪ pnodes, disjoint decomposition
+        pnodes = set(community.pnodes)
+        assert nodes == centers | knodes | pnodes
+        assert not pnodes & (centers | knodes)
+
+        # every node lies on a center->knode path of weight <= Rmax
+        from repro.graph.dijkstra import bounded_dijkstra
+        dist_s = bounded_dijkstra(graph.forward, centers, rmax)
+        dist_t = bounded_dijkstra(graph.reverse, knodes, rmax)
+        for node in nodes:
+            assert dist_s.get(node) + dist_t.get(node) <= rmax
+
+        # and no excluded node does
+        for node in range(graph.n):
+            if node not in nodes:
+                assert (node not in dist_s or node not in dist_t
+                        or dist_s[node] + dist_t[node] > rmax)
+
+        # edges are exactly the induced subgraph of G_D
+        assert list(community.edges) \
+            == graph.induced_edges(sorted(nodes))
+
+
+@settings(max_examples=40, deadline=None)
+@given(community_cases())
+def test_costs_bounded_by_l_times_rmax(case):
+    dbg, keywords, rmax = case
+    for community in all_communities(dbg, keywords, rmax):
+        assert 0.0 <= community.cost <= len(keywords) * rmax

@@ -1,0 +1,89 @@
+"""Property-based tests for bounded Dijkstra against a reference."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CompiledGraph
+from repro.graph.dijkstra import bounded_dijkstra
+
+
+@st.composite
+def graphs(draw, max_nodes=12):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edge_count = draw(st.integers(min_value=0, max_value=3 * n))
+    edges = []
+    for _ in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        w = draw(st.integers(min_value=0, max_value=8))
+        edges.append((u, v, float(w)))
+    return CompiledGraph.from_edges(n, edges)
+
+
+def bellman_ford(graph: CompiledGraph, sources):
+    """Reference shortest paths: |V| rounds of full relaxation."""
+    dist = {s: 0.0 for s in sources}
+    edges = list(graph.edges())
+    for _ in range(graph.n):
+        changed = False
+        for u, v, w in edges:
+            if u in dist and dist[u] + w < dist.get(v, math.inf):
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            break
+    return dist
+
+
+@settings(max_examples=120, deadline=None)
+@given(graphs(), st.integers(min_value=0, max_value=20))
+def test_bounded_dijkstra_matches_bellman_ford(graph, radius_int):
+    radius = float(radius_int)
+    sources = list(range(min(2, graph.n)))
+    got = bounded_dijkstra(graph.forward, sources, radius)
+    ref = {u: d for u, d in bellman_ford(graph, sources).items()
+           if d <= radius}
+    assert dict(got.items()) == ref
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs())
+def test_reverse_search_is_forward_on_transpose(graph):
+    fwd_from_0 = bounded_dijkstra(graph.forward, [0])
+    # distance u->0 via reverse == distance 0->u on the transpose
+    transpose = CompiledGraph.from_edges(
+        graph.n, [(v, u, w) for u, v, w in graph.edges()])
+    rev = bounded_dijkstra(graph.reverse, [0])
+    fwd_t = bounded_dijkstra(transpose.forward, [0])
+    assert dict(rev.items()) == dict(fwd_t.items())
+    del fwd_from_0
+
+
+@settings(max_examples=80, deadline=None)
+@given(graphs(), st.integers(min_value=0, max_value=10))
+def test_source_attribution_is_a_valid_nearest_source(graph, radius_int):
+    radius = float(radius_int)
+    sources = list(range(min(3, graph.n)))
+    dmap = bounded_dijkstra(graph.forward, sources, radius)
+    # per-source distances
+    per_source = {
+        s: bounded_dijkstra(graph.forward, [s], radius) for s in sources}
+    for node in dmap:
+        src = dmap.source(node)
+        assert src in sources
+        # the attributed source achieves the multi-source distance
+        assert per_source[src][node] == dmap[node]
+        # and no other source is strictly closer
+        for s in sources:
+            assert per_source[s].get(node, math.inf) >= dmap[node]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=0, max_value=8))
+def test_radius_monotonicity(graph, radius_int):
+    small = bounded_dijkstra(graph.forward, [0], float(radius_int))
+    large = bounded_dijkstra(graph.forward, [0], float(radius_int) + 2)
+    for node, dist in small.items():
+        assert large[node] == dist
+    assert len(large) >= len(small)

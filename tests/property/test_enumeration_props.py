@@ -1,0 +1,76 @@
+"""Property-based equivalence of PDall / PDk with the naive enumerator.
+
+This is the mechanical proof of the paper's completeness and (weak)
+duplication-freeness claims on arbitrary small graphs, including the
+tie-heavy integer-weight cases that stress deterministic ordering.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.comm_all import all_communities
+from repro.core.comm_k import TopKStream
+from repro.core.naive import naive_all
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def query_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.08, 0.15, 0.25, 0.4]))
+    l = draw(st.integers(min_value=1, max_value=4))
+    rmax = float(draw(st.sampled_from([0, 2, 4, 6, 9])))
+    bidirected = draw(st.booleans())
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=bidirected)
+    return dbg, KEYWORDS[:l], rmax
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_cases())
+def test_pdall_complete_and_duplication_free(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    got = all_communities(dbg, keywords, rmax)
+    # duplication-free: every core appears once
+    cores = [c.core for c in got]
+    assert len(cores) == len(set(cores))
+    # complete with exact costs
+    assert sorted((c.core, c.cost) for c in got) \
+        == sorted((c.core, c.cost) for c in ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query_cases())
+def test_pdk_is_exact_ranked_enumeration(case):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    stream = TopKStream(dbg, keywords, rmax)
+    got = stream.take(len(ref) + 3)
+    # same cost sequence (ranking), same core set, no duplicates
+    assert [c.cost for c in got] == [c.cost for c in ref]
+    assert sorted(c.core for c in got) == sorted(c.core for c in ref)
+    assert stream.exhausted
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_cases(), st.integers(min_value=1, max_value=4))
+def test_pdk_interactive_equals_one_shot(case, split):
+    dbg, keywords, rmax = case
+    ref = naive_all(dbg, keywords, rmax)
+    stream = TopKStream(dbg, keywords, rmax)
+    combined = stream.take(split) + stream.more(len(ref))
+    assert [c.cost for c in combined] == [c.cost for c in ref]
+
+
+@settings(max_examples=40, deadline=None)
+@given(query_cases())
+def test_pdall_streams_match_materialized(case):
+    dbg, keywords, rmax = case
+    from repro.core.comm_all import enumerate_all
+    streamed = [c.core for c in enumerate_all(dbg, keywords, rmax)]
+    materialized = [c.core
+                    for c in all_communities(dbg, keywords, rmax)]
+    assert streamed == materialized

@@ -1,0 +1,91 @@
+"""Property tests for incremental index maintenance.
+
+The guarantees under test (see :mod:`repro.text.maintenance`):
+
+1. the updated index's postings are *supersets* of a fresh rebuild's
+   (sound, possibly over-complete);
+2. queries answered through the updated index (via the Algorithm-6
+   projection, which recomputes real distances) equal the naive ground
+   truth on the grown graph — exactness survives growth.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.community import community_sort_key
+from repro.core.naive import naive_all
+from repro.core.search import CommunitySearch
+from repro.graph.generators import random_database_graph
+from repro.text.inverted_index import CommunityIndex
+from repro.text.maintenance import GraphDelta, apply_delta
+
+KEYWORDS = ["a", "b"]
+
+
+@st.composite
+def growth_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=3, max_value=10))
+    p = draw(st.sampled_from([0.15, 0.3]))
+    radius = float(draw(st.sampled_from([3, 5, 8])))
+    banks = draw(st.booleans())
+    dbg = random_database_graph(n, p, KEYWORDS, seed=seed,
+                                bidirected=draw(st.booleans()))
+
+    extra = draw(st.integers(min_value=1, max_value=3))
+    new_nodes = []
+    for i in range(extra):
+        kws = {
+            kw for kw in KEYWORDS if rng.random() < 0.4}
+        new_nodes.append((kws, f"new{i}", None))
+    new_edges = []
+    total = n + extra
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        u, v = rng.randrange(total), rng.randrange(total)
+        if u != v and (u >= n or v >= n):
+            new_edges.append((u, v, float(rng.randint(1, 3))))
+    return dbg, radius, GraphDelta(new_nodes, new_edges), banks
+
+
+@settings(max_examples=40, deadline=None)
+@given(growth_cases())
+def test_updated_postings_superset_of_rebuild(case):
+    dbg, radius, delta, banks = case
+    index = CommunityIndex.build(dbg, radius)
+    new_dbg, new_index = apply_delta(index, delta,
+                                     banks_reweight=banks)
+    rebuilt = CommunityIndex.build(new_dbg, radius)
+    for kw in KEYWORDS:
+        assert set(rebuilt.nodes(kw)) <= set(new_index.nodes(kw))
+        assert set(rebuilt.edges(kw)) <= set(new_index.edges(kw))
+
+
+@settings(max_examples=40, deadline=None)
+@given(growth_cases())
+def test_queries_exact_after_growth(case):
+    dbg, radius, delta, banks = case
+    index = CommunityIndex.build(dbg, radius)
+    new_dbg, new_index = apply_delta(index, delta,
+                                     banks_reweight=banks)
+    if any(not new_dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+    search = CommunitySearch(new_dbg, index=new_index)
+    got = sorted(search.all_communities(KEYWORDS, radius),
+                 key=community_sort_key)
+    ref = naive_all(new_dbg, KEYWORDS, radius)
+    assert [(c.core, c.cost, c.nodes) for c in got] \
+        == [(c.core, c.cost, c.nodes) for c in ref]
+
+
+@settings(max_examples=30, deadline=None)
+@given(growth_cases())
+def test_empty_delta_is_identity(case):
+    dbg, radius, _, _ = case
+    index = CommunityIndex.build(dbg, radius)
+    new_dbg, new_index = apply_delta(index, GraphDelta())
+    assert new_dbg.n == dbg.n
+    for kw in KEYWORDS:
+        assert new_index.nodes(kw) == index.nodes(kw)
+        assert new_index.edges(kw) == index.edges(kw)

@@ -1,0 +1,70 @@
+"""Property tests for the node-weight reduction."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CompiledGraph
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.dijkstra import bounded_dijkstra
+from repro.graph.node_weights import node_weighted_view
+
+
+@st.composite
+def weighted_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    edges = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        edges.append((rng.randrange(n), rng.randrange(n),
+                      float(rng.randint(0, 5))))
+    node_weights = [float(rng.randint(0, 4)) for _ in range(n)]
+    dbg = DatabaseGraph(CompiledGraph.from_edges(n, edges),
+                        [set() for _ in range(n)])
+    return dbg, node_weights
+
+
+def path_free_distances(graph: CompiledGraph, source: int,
+                        node_weights):
+    """Reference: Bellman-Ford with node weights charged on arrival."""
+    dist = {source: 0.0}
+    edges = list(graph.edges())
+    for _ in range(graph.n):
+        for u, v, w in edges:
+            if u in dist:
+                candidate = dist[u] + w + node_weights[v]
+                if candidate < dist.get(v, math.inf):
+                    dist[v] = candidate
+    return dist
+
+
+@settings(max_examples=80, deadline=None)
+@given(weighted_cases())
+def test_view_distances_match_arrival_charging(case):
+    dbg, node_weights = case
+    view = node_weighted_view(dbg, node_weights)
+    got = bounded_dijkstra(view.graph.forward, [0])
+    ref = path_free_distances(dbg.graph, 0, node_weights)
+    assert dict(got.items()) == ref
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_cases())
+def test_zero_weights_identity(case):
+    dbg, _ = case
+    view = node_weighted_view(dbg, [0.0] * dbg.n)
+    assert sorted(view.graph.edges()) == sorted(dbg.graph.edges())
+
+
+@settings(max_examples=40, deadline=None)
+@given(weighted_cases())
+def test_weights_only_increase_distances(case):
+    dbg, node_weights = case
+    view = node_weighted_view(dbg, node_weights)
+    plain = bounded_dijkstra(dbg.graph.forward, [0])
+    weighted = bounded_dijkstra(view.graph.forward, [0])
+    assert set(weighted) == set(plain)  # reachability unchanged
+    for node, dist in plain.items():
+        assert weighted[node] >= dist

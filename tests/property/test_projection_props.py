@@ -1,0 +1,73 @@
+"""Property-based projection equivalence (Algorithm 6 / Section VI).
+
+The paper's claim: for any query with Rmax <= R, answering on the
+projected graph gives exactly the result of answering on G_D. We check
+it end to end through the facade, node sets and edge sets included.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.community import community_sort_key
+from repro.core.naive import naive_all
+from repro.core.search import CommunitySearch
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b", "c"]
+
+
+@st.composite
+def projection_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.1, 0.2, 0.35]))
+    l = draw(st.integers(min_value=1, max_value=3))
+    rmax = float(draw(st.sampled_from([2, 4, 6])))
+    slack = float(draw(st.sampled_from([0, 1, 3])))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=draw(st.booleans()))
+    return dbg, KEYWORDS[:l], rmax, rmax + slack
+
+
+@settings(max_examples=50, deadline=None)
+@given(projection_cases())
+def test_projected_query_equals_full_query(case):
+    dbg, keywords, rmax, index_radius = case
+    search = CommunitySearch(dbg)
+    search.build_index(radius=index_radius)
+    ref = naive_all(dbg, keywords, rmax)
+    got = sorted(search.all_communities(keywords, rmax,
+                                        use_projection=True),
+                 key=community_sort_key)
+    assert [(c.core, c.cost, c.nodes, c.centers, c.pnodes, c.edges)
+            for c in got] \
+        == [(c.core, c.cost, c.nodes, c.centers, c.pnodes, c.edges)
+            for c in ref]
+
+
+@settings(max_examples=40, deadline=None)
+@given(projection_cases())
+def test_projection_contains_all_result_nodes(case):
+    dbg, keywords, rmax, index_radius = case
+    search = CommunitySearch(dbg)
+    search.build_index(radius=index_radius)
+    needed = set()
+    for community in naive_all(dbg, keywords, rmax):
+        needed.update(community.nodes)
+    if not needed:
+        return
+    if any(not search.index.nodes(kw) for kw in keywords):
+        return
+    projection = search.project(keywords, rmax)
+    assert needed <= set(projection.mapping)
+
+
+@settings(max_examples=40, deadline=None)
+@given(projection_cases())
+def test_projected_topk_stream_matches_naive(case):
+    dbg, keywords, rmax, index_radius = case
+    search = CommunitySearch(dbg)
+    search.build_index(radius=index_radius)
+    ref = naive_all(dbg, keywords, rmax)
+    stream = search.top_k_stream(keywords, rmax)
+    got = stream.take(len(ref) + 2)
+    assert [c.cost for c in got] == [c.cost for c in ref]

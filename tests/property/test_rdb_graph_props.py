@@ -1,0 +1,102 @@
+"""Property tests for the RDB → database-graph materialization."""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdb.database import Database, foreign_key_pairs
+from repro.rdb.graph_builder import build_database_graph, node_lookup
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+
+
+@st.composite
+def small_databases(draw):
+    """A random Author/Paper/Write database."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n_authors = draw(st.integers(min_value=1, max_value=6))
+    n_papers = draw(st.integers(min_value=1, max_value=6))
+    n_writes = draw(st.integers(min_value=0, max_value=10))
+
+    db = Database("prop")
+    db.create_table(TableSchema(
+        "Author", [Column("aid", int), Column("name", str)], "aid",
+        text_columns=["name"]))
+    db.create_table(TableSchema(
+        "Paper", [Column("pid", int), Column("title", str)], "pid",
+        text_columns=["title"]))
+    db.create_table(TableSchema(
+        "Write", [Column("aid", int), Column("pid", int)],
+        ("aid", "pid"),
+        [ForeignKey("aid", "Author"), ForeignKey("pid", "Paper")]))
+
+    words = ("alpha", "beta", "gamma", "delta")
+    for aid in range(n_authors):
+        db.insert("Author", {"aid": aid,
+                             "name": f"{rng.choice(words)} {aid}"})
+    for pid in range(n_papers):
+        db.insert("Paper", {"pid": pid,
+                            "title": f"{rng.choice(words)} "
+                                     f"{rng.choice(words)}"})
+    seen = set()
+    for _ in range(n_writes):
+        pair = (rng.randrange(n_authors), rng.randrange(n_papers))
+        if pair in seen:
+            continue
+        seen.add(pair)
+        db.insert("Write", {"aid": pair[0], "pid": pair[1]})
+    return db
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_databases())
+def test_node_per_tuple_and_edge_per_reference(db):
+    dbg = build_database_graph(db)
+    assert dbg.n == db.total_rows()
+    assert dbg.m == 2 * db.total_references()  # bi-directed
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_databases())
+def test_banks_weights_consistent_with_in_degrees(db):
+    dbg = build_database_graph(db)
+    for u, v, w in dbg.graph.edges():
+        assert w == math.log2(1 + dbg.graph.in_degree(v))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_databases())
+def test_provenance_is_a_bijection(db):
+    dbg = build_database_graph(db)
+    lookup = node_lookup(db, dbg)
+    assert len(lookup) == dbg.n
+    for (table, pk), node in lookup.items():
+        assert db.table(table).contains_pk(pk)
+        assert dbg.provenance_of(node) == (table, pk)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_databases())
+def test_edges_match_foreign_key_pairs(db):
+    dbg = build_database_graph(db, bidirected=False)
+    lookup = node_lookup(db, dbg)
+    expected = sorted(
+        (lookup[src], lookup[dst])
+        for src, dst in foreign_key_pairs(db))
+    got = sorted((u, v) for u, v, _ in dbg.graph.edges())
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_databases())
+def test_keywords_come_from_text_columns(db):
+    dbg = build_database_graph(db)
+    lookup = node_lookup(db, dbg)
+    for row in db.table("Author").scan():
+        node = lookup[("Author", row["aid"])]
+        for token in row["name"].split():
+            assert token.lower() in dbg.keywords_of(node)
+    for row in db.table("Write").scan():
+        node = lookup[("Write", (row["aid"], row["pid"]))]
+        assert dbg.keywords_of(node) == frozenset()

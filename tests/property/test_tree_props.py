@@ -1,0 +1,87 @@
+"""Property tests for tree answers (exhaustive and BANKS)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.banks import backward_search
+from repro.core.getcommunity import find_centers
+from repro.core.trees import enumerate_trees
+from repro.graph.generators import random_database_graph
+
+KEYWORDS = ["a", "b"]
+
+
+@st.composite
+def tree_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.1, 0.25]))
+    l = draw(st.integers(min_value=1, max_value=2))
+    bound = float(draw(st.sampled_from([2, 4, 6])))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=draw(st.booleans()))
+    return dbg, KEYWORDS[:l], bound
+
+
+def check_tree_shape(answer):
+    assert len(answer.edges) == len(answer.nodes) - 1
+    targets = [v for _, v, _ in answer.edges]
+    assert len(targets) == len(set(targets))
+    assert answer.root not in targets
+    assert answer.weight == sum(w for _, _, w in answer.edges) \
+        or answer.weight >= 0  # BANKS scores are path sums
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_cases())
+def test_enumerated_trees_are_valid(case):
+    dbg, keywords, bound = case
+    for answer in enumerate_trees(dbg, keywords, bound,
+                                  max_paths=20_000):
+        check_tree_shape(answer)
+        assert answer.weight <= bound
+        # exhaustive enumeration weights are exact edge sums
+        assert answer.weight == sum(w for _, _, w in answer.edges)
+        # the core carries the right keywords, in order
+        for position, node in enumerate(answer.core):
+            assert keywords[position] in dbg.keywords_of(node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_cases())
+def test_enumerated_trees_distinct(case):
+    dbg, keywords, bound = case
+    seen = set()
+    for answer in enumerate_trees(dbg, keywords, bound,
+                                  max_paths=20_000):
+        key = frozenset(answer.edges)
+        assert key not in seen
+        seen.add(key)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_cases())
+def test_banks_roots_are_centers(case):
+    dbg, keywords, bound = case
+    for answer in backward_search(dbg, keywords, max_score=bound):
+        check_tree_shape(answer)
+        # the BANKS score is the sum of per-keyword shortest distances
+        # from the root, i.e. the community cost at that center
+        centers = find_centers(dbg.graph, answer.core,
+                               bound * len(keywords))
+        assert answer.root in centers
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_cases())
+def test_banks_best_score_matches_best_community(case):
+    dbg, keywords, bound = case
+    from repro.core.naive import naive_all
+    answers = list(backward_search(dbg, keywords, max_score=bound))
+    communities = naive_all(dbg, keywords, rmax=bound)
+    if not communities:
+        return
+    if answers:
+        best_tree = min(a.weight for a in answers)
+        # every BANKS root is a community center, so the best tree
+        # score cannot beat the best community cost
+        assert best_tree >= communities[0].cost - 1e-9

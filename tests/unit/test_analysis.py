@@ -1,0 +1,137 @@
+"""Unit tests for the analysis subpackage."""
+
+import pytest
+
+from repro.analysis import (
+    community_to_dot,
+    degree_statistics,
+    profile_database,
+    profile_graph,
+    profile_results,
+    tree_to_dot,
+)
+from repro.analysis.graph_stats import (
+    entropy_of_in_degrees,
+    in_degree_histogram,
+    keyword_frequency_table,
+)
+from repro.analysis.result_stats import (
+    cost_histogram,
+    keyword_node_usage,
+    overlap_matrix,
+)
+from repro.core import all_communities, enumerate_trees
+from repro.datasets.paper_example import (
+    FIG1_QUERY,
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure1_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4_results(fig4):
+    return all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX)
+
+
+class TestGraphStats:
+    def test_degree_statistics(self, fig4):
+        stats = degree_statistics(fig4)
+        assert stats["nodes"] == 13.0
+        assert stats["edges"] == 19.0
+        assert stats["avg_out_degree"] == pytest.approx(19 / 13)
+        assert stats["max_in_degree"] >= 3
+        assert stats["max_edge_weight"] == 8.0
+
+    def test_profile_database(self, tiny_dblp):
+        db, dbg = tiny_dblp
+        profile = profile_database("dblp", db, dbg)
+        assert profile.total_tuples == db.total_rows()
+        assert profile.directed_edges == dbg.m
+        assert "Write per Author" in profile.link_ratios
+        assert "Write per Paper" in profile.link_ratios
+        # the paper's two averages, at the synthetic scale
+        assert 1.5 < profile.link_ratios["Write per Paper"] < 3.5
+        text = profile.render()
+        assert "tuples" in text and "references" in text
+
+    def test_profile_graph_without_db(self, fig4):
+        profile = profile_graph("fig4", fig4)
+        assert profile.total_tuples == 13
+        assert profile.table_rows == {}
+
+    def test_in_degree_histogram_covers_all_nodes(self, fig4):
+        histogram = in_degree_histogram(fig4)
+        assert sum(count for _, count in histogram) == fig4.n
+
+    def test_keyword_frequency_table(self, fig4):
+        rows = keyword_frequency_table(fig4, ["a", "b", "c", "zz"])
+        as_dict = {kw: (count, kwf) for kw, count, kwf in rows}
+        assert as_dict["a"][0] == 2
+        assert as_dict["c"][0] == 4
+        assert as_dict["zz"][0] == 0
+        assert as_dict["b"][1] == pytest.approx(2 / 13)
+
+    def test_entropy_nonnegative(self, fig4):
+        assert entropy_of_in_degrees(fig4) >= 0.0
+
+
+class TestResultStats:
+    def test_profile_results(self, fig4_results):
+        profile = profile_results(fig4_results)
+        assert profile.count == 5
+        assert profile.multi_center == 2  # R3 and R5
+        assert profile.min_cost == 7.0
+        assert profile.max_cost == 15.0
+        assert 0 < profile.multi_center_rate < 1
+        assert "5 communities" in profile.render()
+
+    def test_profile_empty(self):
+        profile = profile_results([])
+        assert profile.count == 0
+        assert profile.render() == "no communities"
+
+    def test_cost_histogram(self, fig4_results):
+        histogram = cost_histogram(fig4_results, bins=4)
+        assert sum(count for _, count in histogram) == 5
+
+    def test_cost_histogram_degenerate(self, fig4_results):
+        single = [fig4_results[0]]
+        assert cost_histogram(single) == [("7", 1)]
+
+    def test_overlap_matrix_diagonal_is_one(self, fig4_results):
+        matrix = overlap_matrix(fig4_results, top=3)
+        assert all(matrix[i][i] == 1.0 for i in range(3))
+        assert all(0.0 <= v <= 1.0 for row in matrix for v in row)
+
+    def test_keyword_node_usage(self, fig4_results):
+        usage = keyword_node_usage(fig4_results)
+        # v8 (id 7) appears in 3 of the 5 cores
+        assert usage[7] == 3
+
+
+class TestDotExport:
+    def test_community_dot_structure(self, fig4, fig4_results):
+        dot = community_to_dot(fig4_results[0], fig4)
+        assert dot.startswith("digraph")
+        assert "peripheries=2" in dot     # knodes
+        assert "fillcolor" in dot         # centers
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_community_dot_without_labels(self, fig4_results):
+        dot = community_to_dot(fig4_results[0])
+        assert 'label="v' in dot
+
+    def test_tree_dot(self):
+        dbg = figure1_graph()
+        tree = enumerate_trees(dbg, list(FIG1_QUERY), 8.0)[0]
+        dot = tree_to_dot(tree, dbg)
+        assert "digraph" in dot
+        assert "John Smith" in dot
+        assert "fillcolor" in dot  # root
+
+    def test_dot_escaping(self, fig4_results):
+        from repro.analysis.dot import _escape
+        assert _escape('a"b') == 'a\\"b'
+        assert _escape("a\\b") == "a\\\\b"

@@ -1,0 +1,94 @@
+"""Unit tests for the BANKS backward expanding search."""
+
+import pytest
+
+from repro.core.banks import backward_search, banks_top_k
+from repro.core.getcommunity import find_centers
+from repro.datasets.paper_example import (
+    FIG1_QUERY,
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure1_graph,
+    node_id,
+)
+from repro.exceptions import QueryError
+
+
+class TestFig1:
+    def test_best_answer_matches_t1(self):
+        dbg = figure1_graph()
+        best = banks_top_k(dbg, list(FIG1_QUERY), 1)[0]
+        assert dbg.label_of(best.root) in ("paper1", "paper2")
+        assert best.weight == 3.0
+
+    def test_roots_reach_all_keywords(self):
+        dbg = figure1_graph()
+        for answer in backward_search(dbg, list(FIG1_QUERY),
+                                      max_score=10.0):
+            labels = {dbg.label_of(u) for u in answer.nodes}
+            assert any("Smith" in lbl for lbl in labels)
+            assert "Kate Green" in labels
+
+    def test_trees_are_trees(self):
+        dbg = figure1_graph()
+        for answer in backward_search(dbg, list(FIG1_QUERY),
+                                      max_score=10.0):
+            assert len(answer.edges) == len(answer.nodes) - 1
+            # one parent per non-root node (branching roots are fine)
+            targets = [v for _, v, _ in answer.edges]
+            assert len(targets) == len(set(targets))
+            assert answer.root not in targets
+
+
+class TestFig4:
+    def test_roots_are_community_centers(self, fig4):
+        """BANKS roots coincide with community centers (the paper's
+        structural correspondence)."""
+        for answer in backward_search(fig4, list(FIG4_QUERY),
+                                      max_score=FIG4_RMAX):
+            centers = find_centers(fig4.graph, answer.core, FIG4_RMAX)
+            assert answer.root in centers
+            assert centers[answer.root] == pytest.approx(answer.weight)
+
+    def test_one_answer_per_root(self, fig4):
+        answers = list(backward_search(fig4, list(FIG4_QUERY),
+                                       max_score=FIG4_RMAX))
+        roots = [a.root for a in answers]
+        assert len(roots) == len(set(roots))
+
+    def test_all_seven_centers_found(self, fig4):
+        # the intersection N1 ∩ N2 ∩ N3 of the paper has 7 nodes; each
+        # is a root candidate (some may degenerate)
+        answers = list(backward_search(fig4, list(FIG4_QUERY),
+                                       max_score=FIG4_RMAX))
+        expected = {node_id(x)
+                    for x in ("v1", "v4", "v5", "v7", "v9", "v11",
+                              "v12")}
+        assert {a.root for a in answers} <= expected
+        assert len(answers) >= 5
+
+    def test_best_score_matches_best_community_cost(self, fig4):
+        best = banks_top_k(fig4, list(FIG4_QUERY), 1,
+                           max_score=FIG4_RMAX)[0]
+        assert best.weight == 7.0  # R3's cost, rooted at v4
+
+    def test_max_score_prunes(self, fig4):
+        wide = list(backward_search(fig4, list(FIG4_QUERY),
+                                    max_score=8.0))
+        narrow = list(backward_search(fig4, list(FIG4_QUERY),
+                                      max_score=4.0))
+        assert len(narrow) < len(wide)
+
+
+class TestEdgeCases:
+    def test_missing_keyword_yields_nothing(self, fig4):
+        assert list(backward_search(fig4, ["a", "missing"])) == []
+
+    def test_k_validation(self, fig4):
+        with pytest.raises(QueryError):
+            banks_top_k(fig4, ["a"], 0)
+
+    def test_single_keyword(self, fig4):
+        answers = banks_top_k(fig4, ["a"], 5, max_score=FIG4_RMAX)
+        assert answers
+        assert answers[0].weight == 0.0  # the keyword node itself

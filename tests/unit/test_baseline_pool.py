@@ -1,0 +1,81 @@
+"""Unit tests for the baseline pools (dedup + top-k pruning)."""
+
+import pytest
+
+from repro.core.baselines.pool import BaselineStats, DedupPool, TopKPool
+from repro.exceptions import QueryError
+
+
+class TestDedupPool:
+    def test_admit_once(self):
+        pool = DedupPool()
+        assert pool.admit((1, 2))
+        assert not pool.admit((1, 2))
+        assert pool.admit((2, 1))
+        assert len(pool) == 2
+        assert (1, 2) in pool
+
+    def test_stats_track_duplicates_and_peak(self):
+        stats = BaselineStats()
+        pool = DedupPool(stats)
+        pool.admit((1,))
+        pool.admit((1,))
+        pool.admit((2,))
+        assert stats.candidates == 3
+        assert stats.duplicates == 1
+        assert stats.pool_peak == 2
+
+
+class TestTopKPool:
+    def test_k_validation(self):
+        with pytest.raises(QueryError):
+            TopKPool(0)
+
+    def test_keeps_k_smallest(self):
+        pool = TopKPool(2)
+        for core, cost in [((1,), 5.0), ((2,), 1.0), ((3,), 3.0)]:
+            pool.offer(core, cost)
+        assert pool.results() == [((2,), 1.0), ((3,), 3.0)]
+
+    def test_duplicate_core_keeps_min_cost(self):
+        pool = TopKPool(3)
+        pool.offer((1,), 5.0)
+        pool.offer((1,), 2.0)
+        pool.offer((1,), 9.0)
+        assert pool.results() == [((1,), 2.0)]
+
+    def test_prunes_above_threshold(self):
+        pool = TopKPool(1)
+        pool.offer((1,), 1.0)
+        pool.offer((2,), 50.0)  # pruned: worse than current best
+        assert len(pool) == 1
+
+    def test_compaction_preserves_correctness(self):
+        pool = TopKPool(3)
+        for i in range(100):
+            pool.offer((i,), float(100 - i))
+        assert [cost for _, cost in pool.results()] == [1.0, 2.0, 3.0]
+        assert len(pool) <= 6  # 2k bound
+
+    def test_tie_break_by_core(self):
+        pool = TopKPool(2)
+        pool.offer((5,), 1.0)
+        pool.offer((1,), 1.0)
+        pool.offer((3,), 1.0)
+        assert pool.results() == [((1,), 1.0), ((3,), 1.0)]
+
+    def test_late_better_center_for_dropped_core(self):
+        # a core pruned via a bad center must win via a good one
+        pool = TopKPool(1)
+        pool.offer((1,), 1.0)
+        pool.offer((2,), 10.0)   # pruned
+        pool.offer((2,), 0.5)    # better center, now best
+        assert pool.results() == [((2,), 0.5)]
+
+    def test_stats(self):
+        stats = BaselineStats()
+        pool = TopKPool(2, stats)
+        pool.offer((1,), 1.0)
+        pool.offer((1,), 2.0)
+        assert stats.candidates == 2
+        assert stats.duplicates == 1

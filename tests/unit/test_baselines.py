@@ -1,0 +1,104 @@
+"""Unit tests for the BU/TD expanding baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    BaselineStats,
+    bu_all,
+    bu_iter,
+    bu_top_k,
+    td_all,
+    td_iter,
+    td_top_k,
+)
+from repro.core.baselines.bottom_up import expand_from_keywords
+from repro.core.naive import naive_all
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.exceptions import QueryError
+from repro.graph.generators import line_database_graph
+
+
+class TestExpansion:
+    def test_reach_table_structure(self, fig4):
+        reach = expand_from_keywords(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        # node v4 (id 3) contains 'a' and reaches v8 and v6
+        entry = reach[3]
+        assert 3 in entry[0]          # itself for keyword a
+        assert entry[0][3] == 0.0
+        assert 7 in entry[1]          # v8 for keyword b
+        assert 5 in entry[2]          # v6 for keyword c
+
+    def test_negative_rmax_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            expand_from_keywords(fig4, ["a"], -1.0)
+
+    def test_stats_expansions_counted(self, fig4):
+        stats = BaselineStats()
+        expand_from_keywords(fig4, list(FIG4_QUERY), FIG4_RMAX,
+                             stats=stats)
+        # one reverse Dijkstra per keyword node: 2 + 2 + 4
+        assert stats.expansions == 8
+
+
+class TestAgainstNaive:
+    def test_bu_matches_naive_on_fig4(self, fig4):
+        ref = {(c.core, c.cost) for c in
+               naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX)}
+        got = {(c.core, c.cost) for c in
+               bu_all(fig4, list(FIG4_QUERY), FIG4_RMAX)}
+        assert got == ref
+
+    def test_td_matches_naive_on_fig4(self, fig4):
+        ref = {(c.core, c.cost) for c in
+               naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX)}
+        got = {(c.core, c.cost) for c in
+               td_all(fig4, list(FIG4_QUERY), FIG4_RMAX)}
+        assert got == ref
+
+    def test_duplication_free(self, fig4):
+        for runner in (bu_all, td_all):
+            cores = [c.core for c in
+                     runner(fig4, list(FIG4_QUERY), FIG4_RMAX)]
+            assert len(cores) == len(set(cores))
+
+    def test_iterators_stream(self, fig4):
+        it = bu_iter(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert next(it) is not None
+        it = td_iter(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert next(it) is not None
+
+
+class TestTopKVariants:
+    def test_bu_top_k_ranked(self, fig4):
+        results = bu_top_k(fig4, list(FIG4_QUERY), 3, FIG4_RMAX)
+        assert [c.cost for c in results] == [7.0, 10.0, 11.0]
+
+    def test_td_top_k_ranked(self, fig4):
+        results = td_top_k(fig4, list(FIG4_QUERY), 3, FIG4_RMAX)
+        assert [c.cost for c in results] == [7.0, 10.0, 11.0]
+
+    def test_k_exceeds_output(self, fig4):
+        assert len(bu_top_k(fig4, list(FIG4_QUERY), 99, FIG4_RMAX)) == 5
+        assert len(td_top_k(fig4, list(FIG4_QUERY), 99, FIG4_RMAX)) == 5
+
+    def test_k_validation(self, fig4):
+        with pytest.raises(QueryError):
+            bu_top_k(fig4, ["a"], 0, FIG4_RMAX)
+        with pytest.raises(QueryError):
+            td_top_k(fig4, ["a"], 0, FIG4_RMAX)
+
+
+class TestStatsStory:
+    def test_duplicates_happen_with_multiple_centers(self):
+        # two centers see the same core -> at least one duplicate
+        dbg = line_database_graph([1.0, 1.0, 1.0],
+                                  [{"a"}, set(), set(), {"b"}])
+        stats = BaselineStats()
+        bu_all(dbg, ["a", "b"], 10.0, stats=stats)
+        assert stats.candidates > stats.candidates - stats.duplicates
+        assert stats.duplicates >= 1
+
+    def test_td_expands_every_node(self, fig4):
+        stats = BaselineStats()
+        td_all(fig4, list(FIG4_QUERY), FIG4_RMAX, stats=stats)
+        assert stats.expansions == fig4.n

@@ -1,0 +1,125 @@
+"""Unit tests for the benchmark harness (on the tiny scale)."""
+
+import pytest
+
+from repro.bench.harness import (
+    RunResult,
+    measure_all,
+    measure_interactive,
+    measure_topk,
+)
+from repro.bench.reporting import counts_note, format_table, series_table
+from repro.bench.workloads import (
+    DBLP_PARAMS,
+    IMDB_PARAMS,
+    load_dataset,
+)
+from repro.core.search import CommunitySearch
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def fig4_search():
+    dbg = figure4_graph()
+    search = CommunitySearch(dbg)
+    search.build_index(radius=FIG4_RMAX)
+    return search
+
+
+class TestParams:
+    def test_paper_table2_table4_grids(self):
+        assert DBLP_PARAMS.rmax_values == (4.0, 5.0, 6.0, 7.0, 8.0)
+        assert IMDB_PARAMS.rmax_values == (9.0, 10.0, 11.0, 12.0, 13.0)
+        for params in (DBLP_PARAMS, IMDB_PARAMS):
+            assert params.k_values == (50, 100, 150, 200, 250)
+            assert params.l_values == (2, 3, 4, 5, 6)
+            assert params.default_kwf == 0.0009
+            assert params.default_l == 4
+            assert params.default_k == 150
+
+    def test_default_rmax_matches_paper(self):
+        assert DBLP_PARAMS.default_rmax == 6.0
+        assert IMDB_PARAMS.default_rmax == 11.0
+
+    def test_query_helper(self):
+        assert len(DBLP_PARAMS.query()) == 4
+        assert len(DBLP_PARAMS.query(l=2)) == 2
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(QueryError):
+            load_dataset("oracle", "bench")
+
+
+class TestMeasurement:
+    def test_measure_all(self, fig4_search):
+        result = measure_all(fig4_search, "fig4", list(FIG4_QUERY),
+                             FIG4_RMAX, "pd")
+        assert result.communities == 5
+        assert result.seconds > 0
+        assert result.avg_delay_ms > 0
+        assert result.peak_kb is not None and result.peak_kb > 0
+        assert not result.capped
+
+    def test_measure_all_capped(self, fig4_search):
+        result = measure_all(fig4_search, "fig4", list(FIG4_QUERY),
+                             FIG4_RMAX, "pd", max_communities=2)
+        assert result.communities == 2
+        assert result.capped
+
+    def test_measure_all_skips_memory_on_request(self, fig4_search):
+        result = measure_all(fig4_search, "fig4", list(FIG4_QUERY),
+                             FIG4_RMAX, "bu", measure_memory=False)
+        assert result.peak_kb is None
+
+    def test_measure_topk(self, fig4_search):
+        result = measure_topk(fig4_search, "fig4", list(FIG4_QUERY),
+                              3, FIG4_RMAX, "pd")
+        assert result.communities == 3
+        assert result.k == 3
+        assert result.mode == "topk"
+
+    def test_measure_interactive_pd_and_baselines(self, fig4_search):
+        pd = measure_interactive(fig4_search, "fig4",
+                                 list(FIG4_QUERY), 2, FIG4_RMAX, "pd",
+                                 extra_k=2)
+        assert pd.communities == 4
+        bu = measure_interactive(fig4_search, "fig4",
+                                 list(FIG4_QUERY), 2, FIG4_RMAX, "bu",
+                                 extra_k=2)
+        assert bu.communities == 4
+
+    def test_measure_interactive_validates_algorithm(self, fig4_search):
+        with pytest.raises(QueryError):
+            measure_interactive(fig4_search, "fig4", ["a"], 2,
+                                FIG4_RMAX, "naive")
+
+    def test_avg_delay_nan_when_empty(self):
+        result = RunResult("d", "pd", "all", ["x"], 1.0, 0.5, 0)
+        assert result.avg_delay_ms != result.avg_delay_ms  # NaN
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["x", "y"], [[1, 2.0], [10, 3.14159]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "3.142" in text
+
+    def test_series_table(self):
+        runs = {
+            "pd": [RunResult("d", "pd", "all", ["x"], 1.0, 0.5, 5)],
+            "bu": [RunResult("d", "bu", "all", ["x"], 1.0, 1.0, 5)],
+        }
+        text = series_table("T", "kwf", [0.0009], runs,
+                            metric="seconds", unit="s")
+        assert "T" in text and "pd[s]" in text and "bu[s]" in text
+
+    def test_counts_note_marks_caps(self):
+        runs = {"pd": [RunResult("d", "pd", "all", ["x"], 1.0, 0.5, 5,
+                                 capped=True)]}
+        assert "5+" in counts_note(runs)

@@ -1,0 +1,77 @@
+"""Unit tests for BestCore() (Algorithm 3)."""
+
+from repro.core.bestcore import best_core
+from repro.core.neighbor import neighbor
+from repro.graph.digraph import DiGraph
+
+
+def star(weights):
+    """Center 0 with spokes 1..n, edge 0->i with given weight."""
+    g = DiGraph(len(weights) + 1)
+    for i, w in enumerate(weights, start=1):
+        g.add_edge(0, i, w)
+    return g.compile()
+
+
+class TestBestCore:
+    def test_empty_input(self):
+        assert best_core([]) is None
+
+    def test_single_keyword(self):
+        cg = star([2.0, 5.0])
+        ns = neighbor(cg, [1, 2], rmax=10.0)
+        result = best_core([ns])
+        assert result is not None
+        assert result.core == (1,)
+        assert result.cost == 0.0  # keyword node itself is the center
+        assert result.center == 1
+
+    def test_disjoint_sets_return_none(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(2, 3, 1.0)
+        cg = g.compile()
+        n1 = neighbor(cg, [1], rmax=2.0)   # {0, 1}
+        n2 = neighbor(cg, [3], rmax=2.0)   # {2, 3}
+        assert best_core([n1, n2]) is None
+
+    def test_minimum_cost_core_selected(self):
+        # center 0 reaches kw1 nodes {1 (w=1), 2 (w=9)} and kw2 {3 (2)}
+        cg = star([1.0, 9.0, 2.0])
+        n1 = neighbor(cg, [1, 2], rmax=10.0)
+        n2 = neighbor(cg, [3], rmax=10.0)
+        result = best_core([n1, n2])
+        assert result.core == (1, 3)
+        assert result.cost == 3.0
+        assert result.center == 0
+
+    def test_cost_is_sum_over_positions(self):
+        # the same node serving two keyword positions counts twice
+        g = DiGraph(2)
+        g.add_edge(0, 1, 2.0)
+        cg = g.compile()
+        ns = neighbor(cg, [1], rmax=5.0)
+        result = best_core([ns, ns])
+        assert result.core == (1, 1)
+        assert result.cost == 0.0  # centered at the knode itself
+
+    def test_deterministic_tie_break(self):
+        # two centers with identical cost: smaller core wins, then
+        # smaller center id
+        g = DiGraph(4)
+        g.add_edge(0, 2, 1.0)
+        g.add_edge(1, 3, 1.0)
+        cg = g.compile()
+        n1 = neighbor(cg, [2, 3], rmax=5.0)
+        result = best_core([n1])
+        assert result.cost == 0.0
+        assert result.core == (2,)
+        assert result.center == 2
+
+    def test_result_accessors(self):
+        cg = star([1.0])
+        ns = neighbor(cg, [1], rmax=5.0)
+        result = best_core([ns])
+        core, cost, center = result
+        assert (core, cost, center) == (result.core, result.cost,
+                                        result.center)

@@ -1,0 +1,94 @@
+"""Unit tests for PDall (Algorithm 1)."""
+
+import pytest
+
+from repro.core.comm_all import (
+    AllCommunitiesEnumerator,
+    all_communities,
+    enumerate_all,
+    resolve_keyword_nodes,
+)
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    node_label,
+)
+from repro.exceptions import QueryError
+from repro.graph.generators import line_database_graph
+
+
+class TestResolveKeywordNodes:
+    def test_scan_fallback(self, fig4):
+        lists = resolve_keyword_nodes(fig4, ["a"], None)
+        assert [node_label(u) for u in lists[0]] == ["v4", "v13"]
+
+    def test_explicit_lists_used(self, fig4):
+        lists = resolve_keyword_nodes(fig4, ["a"], [[3]])
+        assert lists == [[3]]
+
+    def test_empty_query_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            resolve_keyword_nodes(fig4, [], None)
+
+    def test_list_count_mismatch_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            resolve_keyword_nodes(fig4, ["a", "b"], [[1]])
+
+
+class TestEnumeration:
+    def test_fig4_complete_and_duplication_free(self, fig4):
+        results = all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        cores = [c.core for c in results]
+        assert len(cores) == 5
+        assert len(set(cores)) == 5
+
+    def test_first_answer_is_best(self, fig4):
+        # Algorithm 1 line 5 finds the *best* first core.
+        results = all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert results[0].cost == min(c.cost for c in results)
+        assert results[0].cost == 7.0
+
+    def test_streaming_is_lazy(self, fig4):
+        it = enumerate_all(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        first = next(it)
+        assert first.cost == 7.0
+
+    def test_emitted_counter(self, fig4):
+        enum = AllCommunitiesEnumerator(fig4, list(FIG4_QUERY),
+                                        FIG4_RMAX)
+        list(iter(enum))
+        assert enum.emitted == 5
+
+    def test_missing_keyword_yields_nothing(self, fig4):
+        assert all_communities(fig4, ["a", "nope"], FIG4_RMAX) == []
+
+    def test_negative_rmax_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            AllCommunitiesEnumerator(fig4, ["a"], -2.0)
+
+    def test_single_keyword_enumerates_each_knode(self):
+        dbg = line_database_graph(
+            [1.0, 1.0], [{"a"}, set(), {"a"}])
+        results = all_communities(dbg, ["a"], 2.0)
+        assert sorted(c.core for c in results) == [(0,), (2,)]
+
+    def test_rmax_zero_keyword_nodes_only(self):
+        dbg = line_database_graph([1.0], [{"a"}, {"b"}])
+        results = all_communities(dbg, ["a", "b"], 0.0)
+        assert results == []  # no node contains both
+
+    def test_rmax_zero_same_node(self):
+        dbg = line_database_graph([1.0], [{"a", "b"}, set()])
+        results = all_communities(dbg, ["a", "b"], 0.0)
+        assert [c.core for c in results] == [(0, 0)]
+        assert results[0].cost == 0.0
+
+    def test_repeated_keyword_in_query(self, fig4):
+        # querying {a, a} enumerates ordered pairs of a-nodes that
+        # share a center
+        results = all_communities(fig4, ["a", "a"], FIG4_RMAX)
+        cores = {c.core for c in results}
+        assert all(
+            fig4.keywords_of(u) >= {"a"}
+            for core in cores for u in core)
+        assert len(cores) == len(results)

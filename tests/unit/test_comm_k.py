@@ -1,0 +1,92 @@
+"""Unit tests for PDk (Algorithm 5) and the interactive stream."""
+
+import pytest
+
+from repro.core.comm_k import CanTuple, TopKStream, top_k
+from repro.core.naive import naive_all
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.exceptions import QueryError
+
+
+class TestTopK:
+    def test_fig4_ranked_order(self, fig4):
+        results = top_k(fig4, list(FIG4_QUERY), 5, FIG4_RMAX)
+        assert [c.cost for c in results] == [7.0, 10.0, 11.0, 14.0,
+                                             15.0]
+
+    def test_k_larger_than_output(self, fig4):
+        results = top_k(fig4, list(FIG4_QUERY), 100, FIG4_RMAX)
+        assert len(results) == 5
+
+    def test_k_validation(self, fig4):
+        with pytest.raises(QueryError):
+            top_k(fig4, ["a"], 0, FIG4_RMAX)
+        with pytest.raises(QueryError):
+            top_k(fig4, ["a"], -3, FIG4_RMAX)
+
+    def test_costs_non_decreasing(self, fig4):
+        results = top_k(fig4, list(FIG4_QUERY), 5, FIG4_RMAX)
+        costs = [c.cost for c in results]
+        assert costs == sorted(costs)
+
+    def test_matches_naive_prefix(self, fig4):
+        ref = naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        got = top_k(fig4, list(FIG4_QUERY), 3, FIG4_RMAX)
+        assert [c.cost for c in got] == [c.cost for c in ref[:3]]
+
+    def test_no_duplicate_cores(self, fig4):
+        results = top_k(fig4, list(FIG4_QUERY), 100, FIG4_RMAX)
+        cores = [c.core for c in results]
+        assert len(cores) == len(set(cores))
+
+
+class TestStream:
+    def test_incremental_take(self, fig4):
+        stream = TopKStream(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        first = stream.take(2)
+        rest = stream.more(10)
+        assert [c.cost for c in first + rest] == [7.0, 10.0, 11.0,
+                                                  14.0, 15.0]
+        assert stream.exhausted
+        assert stream.emitted == 5
+
+    def test_next_community_none_when_done(self, fig4):
+        stream = TopKStream(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        stream.take(5)
+        assert stream.next_community() is None
+
+    def test_iteration_protocol(self, fig4):
+        stream = TopKStream(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert len(list(stream)) == 5
+
+    def test_take_zero(self, fig4):
+        stream = TopKStream(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert stream.take(0) == []
+        assert not stream.exhausted
+
+    def test_take_negative_rejected(self, fig4):
+        stream = TopKStream(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        with pytest.raises(QueryError):
+            stream.take(-1)
+
+    def test_empty_result_stream(self, fig4):
+        stream = TopKStream(fig4, ["a", "missing"], FIG4_RMAX)
+        assert stream.exhausted
+        assert stream.next_community() is None
+
+    def test_negative_rmax_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            TopKStream(fig4, ["a"], -1.0)
+
+
+class TestCanTuple:
+    def test_repr(self):
+        g = CanTuple((1, 2), 3.5, 0, None)
+        assert "core=(1, 2)" in repr(g)
+        assert "cost=3.5" in repr(g)
+
+    def test_prev_chain(self):
+        root = CanTuple((1, 2), 1.0, 0, None)
+        child = CanTuple((1, 3), 2.0, 1, root)
+        assert child.prev is root
+        assert root.prev is None

@@ -1,0 +1,83 @@
+"""Unit tests for the Community model."""
+
+from repro.core.community import (
+    Community,
+    community_sort_key,
+    rank_table,
+)
+from repro.datasets.paper_example import figure4_graph
+
+
+def make(core=(0, 1), cost=3.0, centers=(2,), pnodes=(3,),
+         nodes=(0, 1, 2, 3), edges=((0, 1, 1.0),)):
+    return Community(core=core, cost=cost, centers=centers,
+                     pnodes=pnodes, nodes=nodes, edges=edges)
+
+
+class TestBasics:
+    def test_knodes_deduplicate_core(self):
+        c = make(core=(0, 0, 1))
+        assert c.knodes == frozenset({0, 1})
+
+    def test_size(self):
+        assert make().size == 4
+
+    def test_multi_center(self):
+        assert not make(centers=(2,)).is_multi_center()
+        assert make(centers=(2, 3)).is_multi_center()
+
+    def test_frozen(self):
+        c = make()
+        try:
+            c.cost = 0.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestRelabel:
+    def test_relabel_all_fields(self):
+        c = make(core=(0, 1), centers=(2,), pnodes=(3,),
+                 nodes=(0, 1, 2, 3), edges=((0, 1, 1.0), (2, 3, 2.0)))
+        mapping = {0: 10, 1: 11, 2: 12, 3: 13}
+        r = c.relabel(mapping)
+        assert r.core == (10, 11)
+        assert r.centers == (12,)
+        assert r.pnodes == (13,)
+        assert r.nodes == (10, 11, 12, 13)
+        assert r.edges == ((10, 11, 1.0), (12, 13, 2.0))
+        assert r.cost == c.cost
+
+    def test_relabel_sorts_outputs(self):
+        c = make(centers=(2, 3))
+        r = c.relabel({0: 5, 1: 4, 2: 9, 3: 8})
+        assert r.centers == (8, 9)
+
+
+class TestDescribe:
+    def test_describe_uses_labels(self):
+        dbg = figure4_graph()
+        c = make(core=(3, 7), centers=(6,), pnodes=(),
+                 nodes=(3, 6, 7), edges=())
+        text = c.describe(dbg)
+        assert "v4" in text and "v8" in text and "v7" in text
+        assert "cost=3" in text
+
+    def test_describe_includes_pnodes_when_present(self):
+        dbg = figure4_graph()
+        text = make(pnodes=(9,), nodes=(0, 1, 2, 3, 9)).describe(dbg)
+        assert "pnodes" in text and "v10" in text
+
+
+class TestOrdering:
+    def test_sort_key_cost_then_core(self):
+        a = make(core=(0, 1), cost=1.0)
+        b = make(core=(0, 2), cost=1.0)
+        c = make(core=(0, 0), cost=2.0)
+        assert sorted([c, b, a], key=community_sort_key) == [a, b, c]
+
+    def test_rank_table(self):
+        a, b = make(cost=1.0), make(cost=2.0)
+        table = rank_table([a, b])
+        assert table[1] is a and table[2] is b

@@ -1,0 +1,95 @@
+"""Unit tests for pluggable cost aggregates ("sum" vs "max")."""
+
+import pytest
+
+from repro.core import all_communities, naive_all, top_k
+from repro.core.cost import MAX, SUM, CostAggregate, resolve_aggregate
+from repro.core.getcommunity import find_centers
+from repro.core.search import CommunitySearch
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    node_id,
+)
+from repro.exceptions import QueryError
+
+
+class TestResolution:
+    def test_named_aggregates(self):
+        assert resolve_aggregate("sum") is SUM
+        assert resolve_aggregate("max") is MAX
+        assert resolve_aggregate() is SUM
+
+    def test_pass_through(self):
+        custom = CostAggregate("min", min)
+        assert resolve_aggregate(custom) is custom
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_aggregate("median")
+
+    def test_callable(self):
+        assert SUM([1.0, 2.0]) == 3.0
+        assert MAX([1.0, 2.0]) == 2.0
+
+
+class TestMaxAggregateOnFig4:
+    def test_find_centers_max(self, fig4):
+        core = tuple(node_id(x) for x in ("v13", "v8", "v11"))
+        centers = find_centers(fig4.graph, core, FIG4_RMAX, MAX)
+        # v11: distances (6, 5, 0) -> max 6; v12: (3, 8, 3) -> max 8
+        assert centers[node_id("v11")] == 6.0
+        assert centers[node_id("v12")] == 8.0
+
+    def test_same_core_set_different_ranking(self, fig4):
+        by_sum = all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        by_max = all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX,
+                                 aggregate="max")
+        assert sorted(c.core for c in by_sum) \
+            == sorted(c.core for c in by_max)
+        # under max, R3's best center v4 has distances (0, 3, 4)
+        best = top_k(fig4, list(FIG4_QUERY), 1, FIG4_RMAX,
+                     aggregate="max")[0]
+        assert best.cost == 4.0
+
+    def test_topk_sorted_under_max(self, fig4):
+        results = top_k(fig4, list(FIG4_QUERY), 10, FIG4_RMAX,
+                        aggregate="max")
+        costs = [c.cost for c in results]
+        assert costs == sorted(costs)
+
+    def test_naive_agrees_under_max(self, fig4):
+        ref = naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX,
+                        aggregate="max")
+        got = top_k(fig4, list(FIG4_QUERY), 10, FIG4_RMAX,
+                    aggregate="max")
+        assert [c.cost for c in got] == [c.cost for c in ref]
+
+    def test_max_cost_bounded_by_rmax(self, fig4):
+        # under max, every community cost is <= Rmax by definition
+        for c in all_communities(fig4, list(FIG4_QUERY), FIG4_RMAX,
+                                 aggregate="max"):
+            assert c.cost <= FIG4_RMAX
+
+
+class TestFacadeAggregate:
+    def test_facade_threads_aggregate(self, fig4):
+        search = CommunitySearch(fig4)
+        search.build_index(radius=FIG4_RMAX)
+        by_max = search.top_k(list(FIG4_QUERY), 5, FIG4_RMAX,
+                              aggregate="max")
+        assert [c.cost for c in by_max] == sorted(
+            c.cost for c in by_max)
+        assert by_max[0].cost == 4.0
+
+    def test_baselines_agree_under_max(self, fig4):
+        search = CommunitySearch(fig4)
+        reference = None
+        for alg in ("pd", "bu", "td", "naive"):
+            costs = sorted(
+                c.cost for c in search.all_communities(
+                    list(FIG4_QUERY), FIG4_RMAX, algorithm=alg,
+                    aggregate="max"))
+            if reference is None:
+                reference = costs
+            assert costs == reference

@@ -1,0 +1,99 @@
+"""Unit tests for the compiled CSR graph."""
+
+import pytest
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.csr import CompiledGraph, subgraph_mapping
+
+
+@pytest.fixture()
+def triangle():
+    return CompiledGraph.from_edges(
+        3, [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+
+
+class TestFromEdges:
+    def test_empty_graph(self):
+        cg = CompiledGraph.from_edges(4, [])
+        assert cg.n == 4 and cg.m == 0
+        assert list(cg.out_edges(2)) == []
+        assert list(cg.edges()) == []
+
+    def test_rejects_out_of_range_source(self):
+        with pytest.raises(NodeNotFoundError):
+            CompiledGraph.from_edges(2, [(5, 0, 1.0)])
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(NodeNotFoundError):
+            CompiledGraph.from_edges(2, [(0, 5, 1.0)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(EdgeError):
+            CompiledGraph.from_edges(2, [(0, 1, -0.1)])
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(EdgeError):
+            CompiledGraph.from_edges(-1, [])
+
+    def test_parallel_edges_keep_minimum_weight(self):
+        cg = CompiledGraph.from_edges(
+            2, [(0, 1, 4.0), (0, 1, 1.5), (0, 1, 9.0)])
+        assert cg.m == 1
+        assert cg.edge_weight(0, 1) == 1.5
+
+
+class TestAdjacency:
+    def test_out_edges(self, triangle):
+        assert list(triangle.out_edges(0)) == [(1, 1.0)]
+        assert list(triangle.out_edges(1)) == [(2, 2.0)]
+
+    def test_in_edges_reverse_view(self, triangle):
+        assert list(triangle.in_edges(0)) == [(2, 3.0)]
+        assert list(triangle.in_edges(1)) == [(0, 1.0)]
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+
+    def test_in_degree_counts_all_sources(self):
+        cg = CompiledGraph.from_edges(
+            3, [(0, 2, 1.0), (1, 2, 1.0)])
+        assert cg.in_degree(2) == 2
+        assert cg.in_degree(0) == 0
+
+    def test_node_bounds_checked(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.out_degree(7)
+        with pytest.raises(NodeNotFoundError):
+            list(triangle.in_edges(-1))
+
+    def test_edges_iterates_all(self, triangle):
+        assert sorted(triangle.edges()) == [
+            (0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+
+
+class TestEdgeLookup:
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_edge_weight_missing_raises(self, triangle):
+        with pytest.raises(EdgeError):
+            triangle.edge_weight(1, 0)
+
+
+class TestInducedEdges:
+    def test_induced_subgraph_edges(self, triangle):
+        assert triangle.induced_edges([0, 1]) == [(0, 1, 1.0)]
+        assert triangle.induced_edges([0, 1, 2]) == sorted(
+            triangle.edges())
+
+    def test_induced_empty(self, triangle):
+        assert triangle.induced_edges([]) == []
+
+    def test_induced_deduplicates_input(self, triangle):
+        assert triangle.induced_edges([0, 0, 1, 1]) == [(0, 1, 1.0)]
+
+
+def test_subgraph_mapping_is_dense_and_sorted():
+    assert subgraph_mapping([7, 3, 9, 3]) == {3: 0, 7: 1, 9: 2}

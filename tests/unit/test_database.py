@@ -1,0 +1,123 @@
+"""Unit tests for the Database: schemas, integrity, stats."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.rdb.database import Database, foreign_key_pairs
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database("test")
+    database.create_table(TableSchema(
+        "Parent", [Column("id", int), Column("name", str)], "id"))
+    database.create_table(TableSchema(
+        "Child",
+        [Column("id", int), Column("parent", int, nullable=True)],
+        "id",
+        [ForeignKey("parent", "Parent")]))
+    return database
+
+
+class TestSchemaManagement:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table(TableSchema(
+                "Parent", [Column("id", int)], "id"))
+
+    def test_fk_to_unknown_table_rejected(self):
+        database = Database()
+        with pytest.raises(SchemaError):
+            database.create_table(TableSchema(
+                "T", [Column("x", int)], "x",
+                [ForeignKey("x", "Missing")]))
+
+    def test_fk_must_target_single_column_pk(self, db):
+        db.create_table(TableSchema(
+            "Link", [Column("a", int), Column("b", int)], ("a", "b")))
+        with pytest.raises(SchemaError):
+            db.create_table(TableSchema(
+                "T", [Column("x", int)], "x",
+                [ForeignKey("x", "Link")]))
+
+    def test_self_referencing_table_allowed(self):
+        database = Database()
+        database.create_table(TableSchema(
+            "Node",
+            [Column("id", int), Column("next", int, nullable=True)],
+            "id",
+            [ForeignKey("next", "Node")]))
+        database.insert("Node", {"id": 1, "next": None})
+        database.insert("Node", {"id": 2, "next": 1})
+
+    def test_table_lookup(self, db):
+        assert db.table("Parent").schema.name == "Parent"
+        with pytest.raises(SchemaError):
+            db.table("Missing")
+        assert db.table_names == ("Parent", "Child")
+        assert [t.schema.name for t in db.tables()] \
+            == ["Parent", "Child"]
+
+
+class TestIntegrity:
+    def test_valid_reference(self, db):
+        db.insert("Parent", {"id": 1, "name": "p"})
+        db.insert("Child", {"id": 10, "parent": 1})
+
+    def test_dangling_reference_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("Child", {"id": 10, "parent": 999})
+
+    def test_null_fk_allowed_when_nullable(self, db):
+        db.insert("Child", {"id": 10, "parent": None})
+
+    def test_null_fk_rejected_when_not_nullable(self):
+        database = Database()
+        database.create_table(TableSchema(
+            "P", [Column("id", int)], "id"))
+        database.create_table(TableSchema(
+            "C", [Column("id", int), Column("p", int)], "id",
+            [ForeignKey("p", "P")]))
+        with pytest.raises(IntegrityError):
+            database.insert("C", {"id": 1})
+
+    def test_insert_many(self, db):
+        db.insert("Parent", {"id": 1, "name": "p"})
+        count = db.insert_many(
+            "Child", iter([{"id": i, "parent": 1} for i in range(5)]))
+        assert count == 5
+        assert len(db.table("Child")) == 5
+
+
+class TestStats:
+    def test_totals(self, db):
+        db.insert("Parent", {"id": 1, "name": "p"})
+        db.insert("Child", {"id": 10, "parent": 1})
+        db.insert("Child", {"id": 11, "parent": None})
+        assert db.total_rows() == 3
+        assert db.total_references() == 1
+        stats = db.stats()
+        assert stats["Parent"] == 1 and stats["Child"] == 2
+        assert stats["__total_references__"] == 1
+
+    def test_foreign_key_pairs(self, db):
+        db.insert("Parent", {"id": 1, "name": "p"})
+        db.insert("Child", {"id": 10, "parent": 1})
+        pairs = list(foreign_key_pairs(db))
+        assert pairs == [(("Child", 10), ("Parent", 1))]
+
+    def test_composite_pk_in_pairs(self):
+        database = Database()
+        database.create_table(TableSchema(
+            "P", [Column("id", int)], "id"))
+        database.create_table(TableSchema(
+            "W", [Column("a", int), Column("p", int)], ("a", "p"),
+            [ForeignKey("p", "P")]))
+        database.insert("P", {"id": 7})
+        database.insert("W", {"a": 1, "p": 7})
+        assert list(foreign_key_pairs(database)) \
+            == [(("W", (1, 7)), ("P", 7))]
+
+    def test_repr(self, db):
+        assert "Parent=0" in repr(db)

@@ -1,0 +1,92 @@
+"""Unit tests for DatabaseGraph."""
+
+import pytest
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+
+
+def make(n=3, edges=((0, 1, 1.0), (1, 2, 2.0)), keywords=None,
+         labels=None, provenance=None):
+    g = DiGraph(n)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    if keywords is None:
+        keywords = [set() for _ in range(n)]
+    return DatabaseGraph(g.compile(), keywords, labels, provenance)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dbg = make()
+        assert dbg.n == 3 and dbg.m == 2
+
+    def test_keyword_length_mismatch_rejected(self):
+        g = DiGraph(2).compile()
+        with pytest.raises(GraphError):
+            DatabaseGraph(g, [set()])
+
+    def test_label_length_mismatch_rejected(self):
+        g = DiGraph(2).compile()
+        with pytest.raises(GraphError):
+            DatabaseGraph(g, [set(), set()], labels=["x"])
+
+    def test_provenance_length_mismatch_rejected(self):
+        g = DiGraph(2).compile()
+        with pytest.raises(GraphError):
+            DatabaseGraph(g, [set(), set()], provenance=[None])
+
+    def test_default_labels(self):
+        dbg = make()
+        assert dbg.label_of(0) == "v0"
+        assert dbg.label_of(2) == "v2"
+
+    def test_default_provenance_is_none(self):
+        dbg = make()
+        assert dbg.provenance_of(1) is None
+
+
+class TestKeywords:
+    def test_keywords_frozen(self):
+        dbg = make(keywords=[{"a"}, {"a", "b"}, set()])
+        assert dbg.keywords_of(1) == frozenset({"a", "b"})
+
+    def test_nodes_with_keyword(self):
+        dbg = make(keywords=[{"a"}, {"a", "b"}, {"b"}])
+        assert dbg.nodes_with_keyword("a") == [0, 1]
+        assert dbg.nodes_with_keyword("b") == [1, 2]
+        assert dbg.nodes_with_keyword("zzz") == []
+
+    def test_vocabulary(self):
+        dbg = make(keywords=[{"a"}, {"b"}, set()])
+        assert dbg.vocabulary() == {"a", "b"}
+
+    def test_node_bounds(self):
+        dbg = make()
+        with pytest.raises(NodeNotFoundError):
+            dbg.keywords_of(99)
+        with pytest.raises(NodeNotFoundError):
+            dbg.label_of(-1)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        dbg = make(keywords=[{"a"}, {"b"}, {"c"}],
+                   labels=["x", "y", "z"])
+        sub, mapping = dbg.induced_subgraph([0, 1])
+        assert sub.n == 2 and sub.m == 1
+        assert mapping == {0: 0, 1: 1}
+        assert sub.label_of(0) == "x"
+        assert sub.keywords_of(1) == frozenset({"b"})
+
+    def test_relabeling_is_dense_sorted(self):
+        dbg = make()
+        sub, mapping = dbg.induced_subgraph([2, 0])
+        assert mapping == {0: 0, 2: 1}
+        assert sub.n == 2 and sub.m == 0
+
+    def test_duplicate_nodes_deduplicated(self):
+        dbg = make()
+        sub, _ = dbg.induced_subgraph([1, 1, 2])
+        assert sub.n == 2

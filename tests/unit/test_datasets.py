@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic DBLP / IMDB generators."""
+
+import pytest
+
+from repro.datasets.dblp import (
+    DBLPConfig,
+    PAPERS_PER_AUTHOR,
+    WRITES_PER_PAPER,
+    dblp_graph,
+    generate_dblp,
+)
+from repro.datasets.imdb import IMDBConfig, generate_imdb, imdb_graph
+from repro.datasets.vocab import query_keywords
+
+
+class TestDBLPConfig:
+    def test_ratios_follow_paper(self):
+        config = DBLPConfig(n_authors=1000)
+        assert config.n_papers == round(1000 * PAPERS_PER_AUTHOR)
+        assert config.n_writes_target \
+            == round(config.n_papers * WRITES_PER_PAPER)
+
+    def test_tiny_is_small(self):
+        assert DBLPConfig.tiny().total_tuples_estimate < 1500
+
+
+class TestDBLPGeneration:
+    def test_schema_tables(self, tiny_dblp):
+        db, _ = tiny_dblp
+        assert db.table_names == ("Author", "Paper", "Write", "Cite")
+
+    def test_deterministic(self):
+        a = generate_dblp(DBLPConfig.tiny())
+        b = generate_dblp(DBLPConfig.tiny())
+        assert a.stats() == b.stats()
+
+    def test_different_seed_differs(self):
+        a = generate_dblp(DBLPConfig.tiny(seed=1))
+        b = generate_dblp(DBLPConfig.tiny(seed=2))
+        assert [r["Title"] for r in a.table("Paper").scan()] \
+            != [r["Title"] for r in b.table("Paper").scan()]
+
+    def test_authors_per_paper_near_paper_average(self):
+        db = generate_dblp(DBLPConfig(n_authors=800))
+        ratio = len(db.table("Write")) / len(db.table("Paper"))
+        assert 2.1 < ratio < 2.8  # paper: 2.46
+
+    def test_graph_is_bidirected(self, tiny_dblp):
+        _, dbg = tiny_dblp
+        assert dbg.m == 2 * dbg.graph.m // 2  # sanity
+        for u, v, _ in list(dbg.graph.edges())[:50]:
+            assert dbg.graph.has_edge(v, u)
+
+    def test_keywords_planted_at_kwf(self, tiny_dblp):
+        db, dbg = tiny_dblp
+        total = db.total_rows()
+        for kwf in (0.0009, 0.0015):
+            for kw in query_keywords(kwf, 2):
+                count = len(dbg.nodes_with_keyword(kw))
+                target = max(1, round(kwf * total))
+                assert abs(count - target) <= max(1, target // 5)
+
+    def test_author_labels_used(self, tiny_dblp):
+        db, dbg = tiny_dblp
+        first_author = next(db.table("Author").scan())
+        assert dbg.label_of(0) == first_author["Name"]
+
+
+class TestIMDBConfig:
+    def test_density_properties(self):
+        config = IMDBConfig(n_users=10, n_movies=5, n_ratings=100)
+        assert config.ratings_per_user == 10.0
+        assert config.ratings_per_movie == 20.0
+
+
+class TestIMDBGeneration:
+    def test_schema_tables(self, tiny_imdb):
+        db, _ = tiny_imdb
+        assert db.table_names == ("Users", "Movies", "Ratings")
+
+    def test_deterministic(self):
+        a = generate_imdb(IMDBConfig.tiny())
+        b = generate_imdb(IMDBConfig.tiny())
+        assert a.stats() == b.stats()
+
+    def test_ratings_dominate(self, tiny_imdb):
+        db, _ = tiny_imdb
+        stats = db.stats()
+        assert stats["Ratings"] > stats["Users"] + stats["Movies"]
+
+    def test_denser_than_dblp(self, tiny_imdb, tiny_dblp):
+        # the property the paper leans on: IMDB references per tuple
+        # far exceed DBLP's
+        imdb_db, _ = tiny_imdb
+        dblp_db, _ = tiny_dblp
+        imdb_density = imdb_db.total_references() / imdb_db.total_rows()
+        dblp_density = dblp_db.total_references() / dblp_db.total_rows()
+        assert imdb_density > dblp_density
+
+    def test_rating_pairs_unique(self, tiny_imdb):
+        db, _ = tiny_imdb
+        pairs = [(r["UserID"], r["MovieID"])
+                 for r in db.table("Ratings").scan()]
+        assert len(pairs) == len(set(pairs))
+
+    def test_movie_titles_carry_keywords(self, tiny_imdb):
+        _, dbg = tiny_imdb
+        kw = query_keywords(0.0015, 1)[0]
+        assert dbg.nodes_with_keyword(kw)
+
+    def test_graph_shape(self, tiny_imdb):
+        db, dbg = tiny_imdb
+        assert dbg.n == db.total_rows()
+        assert dbg.m == 4 * len(db.table("Ratings"))

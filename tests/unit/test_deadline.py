@@ -1,0 +1,59 @@
+"""Unit tests for the baseline time budget (Deadline / censoring)."""
+
+from repro.core.baselines import BaselineStats, bu_top_k, td_top_k
+from repro.core.baselines.pool import Deadline
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+)
+
+
+class TestDeadline:
+    def test_none_never_expires(self):
+        deadline = Deadline(None, stride=1)
+        assert not any(deadline.check() for _ in range(1000))
+
+    def test_zero_budget_expires(self):
+        deadline = Deadline(0.0, stride=1)
+        assert deadline.check()
+        assert deadline.expired
+
+    def test_stride_batches_clock_reads(self):
+        # an already-passed (but positive) deadline is only noticed on
+        # the stride-th call
+        deadline = Deadline(1e-9, stride=10)
+        for _ in range(9):
+            assert not deadline.check()
+        assert deadline.check()
+
+    def test_check_now_reads_clock_immediately(self):
+        deadline = Deadline(1e-9, stride=10)
+        assert deadline.check_now()
+
+    def test_expired_is_sticky(self):
+        deadline = Deadline(0.0, stride=1)
+        deadline.check()
+        assert deadline.check()
+
+
+class TestCensoredRuns:
+    def test_generous_budget_is_complete(self, fig4):
+        stats = BaselineStats()
+        results = bu_top_k(fig4, list(FIG4_QUERY), 10, FIG4_RMAX,
+                           stats=stats, budget_seconds=60.0)
+        assert len(results) == 5
+        assert "timed_out" not in stats.extra
+
+    def test_zero_budget_is_censored(self, fig4):
+        for runner in (bu_top_k, td_top_k):
+            stats = BaselineStats()
+            results = runner(fig4, list(FIG4_QUERY), 10, FIG4_RMAX,
+                             stats=stats, budget_seconds=0.0)
+            assert stats.extra.get("timed_out") == 1.0
+            # censored results are a (possibly empty) partial answer
+            assert len(results) <= 5
+
+    def test_default_no_budget_unchanged(self, fig4):
+        results = bu_top_k(fig4, list(FIG4_QUERY), 10, FIG4_RMAX)
+        assert [c.cost for c in results] == [7.0, 10.0, 11.0, 14.0,
+                                             15.0]

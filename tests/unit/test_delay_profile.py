@@ -1,0 +1,50 @@
+"""Unit tests for the per-answer delay profiler."""
+
+import math
+
+from repro.analysis.delay_profile import DelayProfile, profile_delays
+from repro.core.comm_all import enumerate_all
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+
+
+class TestDelayProfile:
+    def test_profile_of_real_enumeration(self, fig4):
+        profile = profile_delays(
+            enumerate_all(fig4, list(FIG4_QUERY), FIG4_RMAX))
+        assert profile.answers == 5
+        assert len(profile.delays_ms) == 5
+        assert profile.total_seconds > 0
+        assert profile.average_ms > 0
+        assert profile.max_ms >= profile.percentile_ms(50)
+
+    def test_max_answers_cap(self, fig4):
+        profile = profile_delays(
+            enumerate_all(fig4, list(FIG4_QUERY), FIG4_RMAX),
+            max_answers=2)
+        assert profile.answers == 2
+
+    def test_empty_iterator(self):
+        profile = profile_delays(iter(()))
+        assert profile.answers == 0
+        assert math.isnan(profile.average_ms)
+        assert math.isnan(profile.max_ms)
+        assert math.isnan(profile.drift_ratio)
+
+    def test_percentiles_monotone(self):
+        profile = DelayProfile(5, 1.0, [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert profile.percentile_ms(0) == 1.0
+        assert profile.percentile_ms(50) == 3.0
+        assert profile.percentile_ms(100) == 5.0
+
+    def test_drift_ratio_flat(self):
+        profile = DelayProfile(6, 1.0, [2.0] * 6)
+        assert profile.drift_ratio == 1.0
+
+    def test_drift_ratio_growing(self):
+        profile = DelayProfile(6, 1.0, [1.0, 1.0, 1.0, 3.0, 3.0, 3.0])
+        assert profile.drift_ratio == 3.0
+
+    def test_render_mentions_everything(self):
+        profile = DelayProfile(4, 0.1, [10.0, 20.0, 30.0, 40.0])
+        text = profile.render()
+        assert "4 answers" in text and "drift" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the mutable DiGraph builder."""
+
+import pytest
+
+from repro.exceptions import EdgeError, NodeNotFoundError
+from repro.graph.digraph import DiGraph, from_edge_list
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(EdgeError):
+            DiGraph(-1)
+
+    def test_add_node_returns_sequential_ids(self):
+        g = DiGraph()
+        assert g.add_node() == 0
+        assert g.add_node() == 1
+        assert g.n == 2
+
+    def test_add_nodes_returns_range(self):
+        g = DiGraph(2)
+        assert list(g.add_nodes(3)) == [2, 3, 4]
+        assert g.n == 5
+
+    def test_add_negative_nodes_rejected(self):
+        with pytest.raises(EdgeError):
+            DiGraph().add_nodes(-2)
+
+    def test_contains(self):
+        g = DiGraph(3)
+        assert 0 in g and 2 in g
+        assert 3 not in g
+        assert -1 not in g
+
+
+class TestEdges:
+    def test_add_edge_records_weight(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 2.5)
+        assert list(g.edges()) == [(0, 1, 2.5)]
+
+    def test_edge_to_missing_node_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge(0, 5)
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge(5, 0)
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph(2)
+        with pytest.raises(EdgeError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_zero_weight_allowed(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 0.0)
+        assert g.m == 1
+
+    def test_bidirected_edge_adds_both_directions(self):
+        g = DiGraph(2)
+        g.add_bidirected_edge(0, 1, 2.0, 3.0)
+        assert sorted(g.edges()) == [(0, 1, 2.0), (1, 0, 3.0)]
+
+    def test_self_loop_allowed_at_build_time(self):
+        g = DiGraph(1)
+        g.add_edge(0, 0, 1.0)
+        assert g.m == 1
+
+    def test_repr_mentions_sizes(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        assert "n=3" in repr(g) and "m=1" in repr(g)
+
+
+class TestFromEdgeList:
+    def test_round_trip(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.n == 3
+        assert sorted(g.edges()) == [(0, 1, 1.0), (1, 2, 2.0)]
+
+
+class TestCompile:
+    def test_compile_preserves_sizes(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 2.0)
+        cg = g.compile()
+        assert cg.n == 3 and cg.m == 2
+
+    def test_compile_collapses_parallel_edges_to_lightest(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 3.0)
+        cg = g.compile()
+        assert cg.m == 1
+        assert cg.edge_weight(0, 1) == 2.0

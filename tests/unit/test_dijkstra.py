@@ -1,0 +1,106 @@
+"""Unit tests for bounded multi-source Dijkstra."""
+
+import math
+
+from repro.graph.csr import CompiledGraph
+from repro.graph.digraph import DiGraph
+from repro.graph.dijkstra import (
+    bounded_dijkstra,
+    multi_source_distances,
+    single_source_distances,
+)
+
+
+def build(n, edges):
+    return CompiledGraph.from_edges(n, edges)
+
+
+class TestSingleSource:
+    def test_line_distances(self):
+        cg = build(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        d = single_source_distances(cg, 0)
+        assert d[0] == 0.0 and d[1] == 1.0 and d[2] == 3.0
+
+    def test_unreachable_absent(self):
+        cg = build(3, [(0, 1, 1.0)])
+        d = single_source_distances(cg, 0)
+        assert 2 not in d
+        assert d.get(2) == math.inf
+        assert d.get(2, -1.0) == -1.0
+
+    def test_radius_bound_inclusive(self):
+        cg = build(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        d = single_source_distances(cg, 0, radius=4.0)
+        assert d[2] == 4.0  # exactly Rmax is kept (Def. 2.1)
+        d = single_source_distances(cg, 0, radius=3.9)
+        assert 2 not in d
+
+    def test_reverse_gives_distance_to_source(self):
+        cg = build(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        d = single_source_distances(cg, 2, reverse=True)
+        assert d[0] == 3.0 and d[1] == 2.0 and d[2] == 0.0
+
+    def test_shorter_path_wins(self, ):
+        g = DiGraph(4)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 2.0)
+        g.add_edge(1, 3, 1.0)
+        g.add_edge(2, 3, 0.5)
+        d = single_source_distances(g.compile(), 0)
+        assert d[3] == 2.0  # 0->1->3, not 0->2->3 (2.5)
+
+    def test_zero_weight_edges(self):
+        cg = build(3, [(0, 1, 0.0), (1, 2, 0.0)])
+        d = single_source_distances(cg, 0)
+        assert d[2] == 0.0
+
+
+class TestMultiSource:
+    def test_nearest_source_tracked(self):
+        cg = build(4, [(0, 2, 1.0), (1, 2, 5.0), (1, 3, 1.0)])
+        d = bounded_dijkstra(cg.forward, [0, 1])
+        assert d.source(2) == 0
+        assert d.source(3) == 1
+        assert d.source(0) == 0 and d.source(1) == 1
+
+    def test_weighted_seeds(self):
+        cg = build(2, [(0, 1, 1.0)])
+        d = bounded_dijkstra(cg.forward, [(0, 2.0)])
+        assert d[0] == 2.0 and d[1] == 3.0
+
+    def test_seed_above_radius_ignored(self):
+        cg = build(2, [(0, 1, 1.0)])
+        d = bounded_dijkstra(cg.forward, [(0, 5.0)], radius=4.0)
+        assert len(d) == 0
+
+    def test_duplicate_seeds_keep_smallest(self):
+        cg = build(2, [(0, 1, 1.0)])
+        d = bounded_dijkstra(cg.forward, [(0, 3.0), (0, 1.0)])
+        assert d[0] == 1.0
+
+    def test_empty_sources(self):
+        cg = build(3, [(0, 1, 1.0)])
+        d = bounded_dijkstra(cg.forward, [])
+        assert len(d) == 0
+
+    def test_tie_breaks_toward_smaller_node_id(self):
+        # nodes 0 and 1 both reach 2 at distance 1.0
+        cg = build(3, [(0, 2, 1.0), (1, 2, 1.0)])
+        d = bounded_dijkstra(cg.forward, [0, 1])
+        assert d.source(2) == 0
+
+    def test_multi_source_reverse_helper(self):
+        cg = build(3, [(0, 1, 1.0), (2, 1, 2.0)])
+        d = multi_source_distances(cg, [1], reverse=True)
+        assert d[0] == 1.0 and d[2] == 2.0
+
+
+class TestDistanceMap:
+    def test_mapping_protocol(self):
+        cg = build(2, [(0, 1, 1.0)])
+        d = single_source_distances(cg, 0)
+        assert set(iter(d)) == {0, 1}
+        assert len(d) == 2
+        assert dict(d.items()) == {0: 0.0, 1: 1.0}
+        assert d.distances() == {0: 0.0, 1: 1.0}
+        assert d.sources() == {0: 0, 1: 0}

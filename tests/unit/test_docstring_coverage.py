@@ -1,0 +1,14 @@
+"""Every public item in src/repro must carry a docstring."""
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_docstrings import missing_docstrings  # noqa: E402
+
+
+def test_public_api_fully_documented():
+    problems = missing_docstrings()
+    assert problems == [], "\n".join(problems)

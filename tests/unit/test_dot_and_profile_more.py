@@ -1,0 +1,78 @@
+"""More analysis-module coverage: DOT structure, profile math."""
+
+import re
+
+import pytest
+
+from repro.analysis.dot import community_to_dot
+
+NODE_LINE = re.compile(r"^\s*n\d+ \[")
+from repro.analysis.result_stats import (
+    ResultProfile,
+    overlap_matrix,
+    profile_results,
+)
+from repro.core.community import Community
+
+
+def community(core=(0, 1), cost=2.0, centers=(2,), pnodes=(),
+              nodes=(0, 1, 2), edges=((2, 0, 1.0), (2, 1, 1.0))):
+    return Community(core=core, cost=cost, centers=centers,
+                     pnodes=pnodes, nodes=nodes, edges=edges)
+
+
+class TestDotDetails:
+    def test_every_node_declared_before_edges(self):
+        dot = community_to_dot(community())
+        lines = dot.splitlines()
+        node_lines = [i for i, l in enumerate(lines)
+                      if NODE_LINE.match(l)]
+        edge_lines = [i for i, l in enumerate(lines) if "->" in l]
+        assert max(node_lines) < min(edge_lines)
+
+    def test_node_and_edge_counts(self):
+        c = community()
+        dot = community_to_dot(c)
+        assert dot.count("->") == len(c.edges)
+        declared = sum(
+            1 for line in dot.splitlines() if NODE_LINE.match(line))
+        assert declared == len(c.nodes)
+
+    def test_center_and_knode_styling_disjoint_sets(self):
+        c = community(core=(0,), centers=(0,), nodes=(0,), edges=())
+        dot = community_to_dot(c)
+        # one node that is both knode and center gets both styles
+        assert "peripheries=2" in dot and "fillcolor" in dot
+
+
+class TestProfileMath:
+    def test_single_community(self):
+        p = profile_results([community(cost=3.5)])
+        assert p.count == 1
+        assert p.avg_cost == 3.5
+        assert p.min_cost == p.max_cost == 3.5
+        assert p.distinct_nodes == 3
+        assert p.multi_center_rate == 0.0
+
+    def test_multi_center_rate(self):
+        single = community(centers=(2,))
+        multi = community(centers=(2, 0))
+        p = profile_results([single, multi])
+        assert p.multi_center == 1
+        assert p.multi_center_rate == 0.5
+        assert p.avg_centers == 1.5
+
+    def test_empty_profile_is_all_zero(self):
+        p = profile_results([])
+        assert p == ResultProfile(0, 0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0)
+
+    def test_overlap_matrix_symmetry(self):
+        a = community(nodes=(0, 1, 2))
+        b = community(nodes=(1, 2, 3))
+        matrix = overlap_matrix([a, b])
+        assert matrix[0][1] == matrix[1][0] == pytest.approx(2 / 4)
+
+    def test_overlap_matrix_top_limits(self):
+        items = [community() for _ in range(10)]
+        matrix = overlap_matrix(items, top=3)
+        assert len(matrix) == 3

@@ -1,0 +1,39 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeError,
+    GraphError,
+    IntegrityError,
+    NodeNotFoundError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, NodeNotFoundError, EdgeError, SchemaError,
+        IntegrityError, QueryError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_graph_errors(self):
+        assert issubclass(NodeNotFoundError, GraphError)
+        assert issubclass(EdgeError, GraphError)
+
+    def test_node_not_found_carries_context(self):
+        error = NodeNotFoundError(7, 5)
+        assert error.node == 7 and error.n == 5
+        assert "7" in str(error) and "5" in str(error)
+
+    def test_one_except_catches_everything(self):
+        for raiser in (
+            lambda: (_ for _ in ()).throw(EdgeError("x")),
+            lambda: (_ for _ in ()).throw(QueryError("y")),
+        ):
+            with pytest.raises(ReproError):
+                next(raiser())

@@ -1,0 +1,78 @@
+"""Unit tests for the random graph generators."""
+
+from repro.graph.generators import (
+    gnp_random_digraph,
+    line_database_graph,
+    power_law_digraph,
+    random_database_graph,
+)
+
+
+class TestGnp:
+    def test_deterministic_by_seed(self):
+        a = gnp_random_digraph(10, 0.3, seed=5)
+        b = gnp_random_digraph(10, 0.3, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = gnp_random_digraph(12, 0.3, seed=1)
+        b = gnp_random_digraph(12, 0.3, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_no_self_loops(self):
+        g = gnp_random_digraph(10, 0.8, seed=0)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_extreme_probabilities(self):
+        assert gnp_random_digraph(5, 0.0, seed=0).m == 0
+        assert gnp_random_digraph(5, 1.0, seed=0).m == 20
+
+    def test_integer_weights_default(self):
+        g = gnp_random_digraph(8, 0.5, seed=3)
+        assert all(w == int(w) for _, _, w in g.edges())
+
+
+class TestPowerLaw:
+    def test_connected_in_degree_skew(self):
+        g = power_law_digraph(200, m_per_node=2, seed=1)
+        cg = g.compile()
+        degrees = sorted(
+            (cg.in_degree(u) for u in range(cg.n)), reverse=True)
+        # preferential attachment: the top node clearly beats the median
+        assert degrees[0] >= 3 * max(1, degrees[len(degrees) // 2])
+
+    def test_bidirected(self):
+        cg = power_law_digraph(30, seed=2).compile()
+        for u, v, _ in cg.edges():
+            assert cg.has_edge(v, u)
+
+
+class TestRandomDatabaseGraph:
+    def test_every_keyword_planted(self):
+        dbg = random_database_graph(10, 0.2, ["a", "b", "c"],
+                                    keyword_prob=0.0, seed=4)
+        for kw in ("a", "b", "c"):
+            assert dbg.nodes_with_keyword(kw)
+
+    def test_without_ensure_can_be_empty(self):
+        dbg = random_database_graph(10, 0.2, ["a"], keyword_prob=0.0,
+                                    seed=4, ensure_keywords=False)
+        assert dbg.nodes_with_keyword("a") == []
+
+    def test_bidirected_flag(self):
+        dbg = random_database_graph(12, 0.3, ["a"], seed=9,
+                                    bidirected=True)
+        for u, v, _ in dbg.graph.edges():
+            assert dbg.graph.has_edge(v, u)
+
+
+class TestLineGraph:
+    def test_distances_along_path(self):
+        dbg = line_database_graph([1.0, 2.0], [{"a"}, set(), {"b"}])
+        assert dbg.n == 3 and dbg.m == 4  # bidirected
+        assert dbg.nodes_with_keyword("a") == [0]
+
+    def test_directed_variant(self):
+        dbg = line_database_graph([1.0], [set(), set()],
+                                  bidirected=False)
+        assert dbg.m == 1

@@ -1,0 +1,91 @@
+"""Unit tests for GetCommunity() (Algorithm 4)."""
+
+import pytest
+
+from repro.core.getcommunity import find_centers, get_community
+from repro.datasets.paper_example import figure4_graph, node_id
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def fig4_graph():
+    return figure4_graph().graph
+
+
+class TestFindCenters:
+    def test_r5_centers_and_costs(self, fig4_graph):
+        core = tuple(node_id(x) for x in ("v13", "v8", "v11"))
+        centers = find_centers(fig4_graph, core, 8.0)
+        assert set(centers) == {node_id("v11"), node_id("v12")}
+        assert centers[node_id("v11")] == 11.0
+        assert centers[node_id("v12")] == 14.0
+
+    def test_duplicate_positions_count_twice(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 3.0)
+        centers = find_centers(g.compile(), (1, 1), 5.0)
+        assert centers[0] == 6.0  # 3 + 3, one per position
+        assert centers[1] == 0.0
+
+    def test_no_centers_when_unreachable(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        assert find_centers(g.compile(), (1, 2), 5.0) == {}
+
+
+class TestGetCommunity:
+    def test_r5_community_structure(self, fig4_graph):
+        core = tuple(node_id(x) for x in ("v13", "v8", "v11"))
+        community = get_community(fig4_graph, core, 8.0)
+        assert community.cost == 11.0
+        assert community.centers == (node_id("v11"), node_id("v12"))
+        assert community.pnodes == (node_id("v10"),)
+        assert set(community.nodes) == {
+            node_id(x) for x in ("v8", "v10", "v11", "v12", "v13")}
+
+    def test_edges_are_induced_subgraph(self, fig4_graph):
+        core = tuple(node_id(x) for x in ("v13", "v8", "v11"))
+        community = get_community(fig4_graph, core, 8.0)
+        expected = fig4_graph.induced_edges(list(community.nodes))
+        assert list(community.edges) == expected
+
+    def test_empty_core_rejected(self, fig4_graph):
+        with pytest.raises(QueryError):
+            get_community(fig4_graph, (), 8.0)
+
+    def test_negative_rmax_rejected(self, fig4_graph):
+        with pytest.raises(QueryError):
+            get_community(fig4_graph, (0,), -1.0)
+
+    def test_core_without_center_rejected(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(QueryError):
+            get_community(g.compile(), (1, 2), 5.0)
+
+    def test_single_node_community(self):
+        g = DiGraph(1)
+        community = get_community(g.compile(), (0,), 5.0)
+        assert community.nodes == (0,)
+        assert community.centers == (0,)
+        assert community.cost == 0.0
+        assert community.pnodes == ()
+
+    def test_every_center_reaches_every_knode(self, fig4_graph):
+        from repro.graph.dijkstra import single_source_distances
+        core = tuple(node_id(x) for x in ("v4", "v8", "v6"))
+        community = get_community(fig4_graph, core, 8.0)
+        for center in community.centers:
+            dist = single_source_distances(fig4_graph, center, 8.0)
+            for knode in community.knodes:
+                assert dist.get(knode) <= 8.0
+
+    def test_pnode_on_qualifying_path(self, fig4_graph):
+        # v10 is a pnode of R5: it lies on v11 -> v10 -> v8 (5 <= 8)
+        core = tuple(node_id(x) for x in ("v13", "v8", "v11"))
+        community = get_community(fig4_graph, core, 8.0)
+        v10 = node_id("v10")
+        assert v10 in community.pnodes
+        assert v10 not in community.knodes
+        assert v10 not in community.centers

@@ -1,0 +1,104 @@
+"""Unit tests for database graph materialization."""
+
+import math
+
+import pytest
+
+from repro.rdb.database import Database
+from repro.rdb.graph_builder import (
+    banks_weight,
+    build_database_graph,
+    node_lookup,
+)
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+
+
+@pytest.fixture()
+def mini_db():
+    db = Database("mini")
+    db.create_table(TableSchema(
+        "Author", [Column("Aid", int), Column("Name", str)], "Aid",
+        text_columns=["Name"]))
+    db.create_table(TableSchema(
+        "Paper", [Column("Pid", int), Column("Title", str)], "Pid",
+        text_columns=["Title"]))
+    db.create_table(TableSchema(
+        "Write", [Column("Aid", int), Column("Pid", int)],
+        ("Aid", "Pid"),
+        [ForeignKey("Aid", "Author"), ForeignKey("Pid", "Paper")]))
+    db.insert("Author", {"Aid": 1, "Name": "John Smith"})
+    db.insert("Paper", {"Pid": 10, "Title": "graph search"})
+    db.insert("Write", {"Aid": 1, "Pid": 10})
+    return db
+
+
+class TestBanksWeight:
+    def test_formula(self):
+        assert banks_weight(0) == 0.0
+        assert banks_weight(1) == 1.0
+        assert banks_weight(3) == 2.0
+        assert abs(banks_weight(2) - math.log2(3)) < 1e-12
+
+
+class TestBuild:
+    def test_node_per_tuple(self, mini_db):
+        dbg = build_database_graph(mini_db)
+        assert dbg.n == 3
+
+    def test_bidirected_edges(self, mini_db):
+        dbg = build_database_graph(mini_db)
+        # write node has 2 references -> 4 directed edges
+        assert dbg.m == 4
+        for u, v, _ in dbg.graph.edges():
+            assert dbg.graph.has_edge(v, u)
+
+    def test_unidirected_option(self, mini_db):
+        dbg = build_database_graph(mini_db, bidirected=False)
+        assert dbg.m == 2
+
+    def test_weights_follow_banks_formula(self, mini_db):
+        dbg = build_database_graph(mini_db)
+        for u, v, w in dbg.graph.edges():
+            assert w == banks_weight(dbg.graph.in_degree(v))
+
+    def test_keywords_from_text_columns(self, mini_db):
+        dbg = build_database_graph(mini_db)
+        lookup = node_lookup(mini_db, dbg)
+        author = lookup[("Author", 1)]
+        paper = lookup[("Paper", 10)]
+        write = lookup[("Write", (1, 10))]
+        assert dbg.keywords_of(author) == frozenset({"john", "smith"})
+        assert dbg.keywords_of(paper) == frozenset({"graph", "search"})
+        assert dbg.keywords_of(write) == frozenset()
+
+    def test_labels_default_and_custom(self, mini_db):
+        plain = build_database_graph(mini_db)
+        lookup = node_lookup(mini_db, plain)
+        assert plain.label_of(lookup[("Author", 1)]) == "Author:1"
+        named = build_database_graph(
+            mini_db, label_columns={"Author": "Name"})
+        lookup = node_lookup(mini_db, named)
+        assert named.label_of(lookup[("Author", 1)]) == "John Smith"
+
+    def test_provenance_round_trip(self, mini_db):
+        dbg = build_database_graph(mini_db)
+        lookup = node_lookup(mini_db, dbg)
+        for key, node in lookup.items():
+            assert dbg.provenance_of(node) == key
+
+    def test_custom_tokenizer(self, mini_db):
+        dbg = build_database_graph(
+            mini_db, tokenizer=lambda text: {"fixed"})
+        lookup = node_lookup(mini_db, dbg)
+        assert dbg.keywords_of(lookup[("Paper", 10)]) \
+            == frozenset({"fixed"})
+
+    def test_null_fk_produces_no_edge(self):
+        db = Database()
+        db.create_table(TableSchema("P", [Column("id", int)], "id"))
+        db.create_table(TableSchema(
+            "C", [Column("id", int), Column("p", int, nullable=True)],
+            "id", [ForeignKey("p", "P")]))
+        db.insert("C", {"id": 1, "p": None})
+        dbg = build_database_graph(db)
+        assert dbg.n == 1 and dbg.m == 0

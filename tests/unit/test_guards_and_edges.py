@@ -1,0 +1,101 @@
+"""Edge-case and guard-rail tests across modules."""
+
+import pytest
+
+from repro.bench.workloads import clear_cache, load_dataset
+from repro.core.naive import naive_cores
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+
+
+def complete_keyword_graph(n: int, keywords) -> DatabaseGraph:
+    """Complete digraph where every node carries every keyword."""
+    g = DiGraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v:
+                g.add_edge(u, v, 1.0)
+    return DatabaseGraph(g.compile(), [set(keywords)] * n)
+
+
+class TestExplosionGuards:
+    def test_naive_refuses_huge_products(self):
+        # 40 keyword nodes x 4 keywords = 2.56M cores per center
+        dbg = complete_keyword_graph(40, ["a", "b", "c", "d"])
+        with pytest.raises(QueryError):
+            naive_cores(dbg, ["a", "b", "c", "d"], rmax=5.0)
+
+    def test_bu_refuses_huge_products(self):
+        from repro.core.baselines import bu_all
+        dbg = complete_keyword_graph(40, ["a", "b", "c", "d"])
+        with pytest.raises(QueryError):
+            bu_all(dbg, ["a", "b", "c", "d"], rmax=5.0)
+
+    def test_td_refuses_huge_products(self):
+        from repro.core.baselines import td_all
+        dbg = complete_keyword_graph(40, ["a", "b", "c", "d"])
+        with pytest.raises(QueryError):
+            td_all(dbg, ["a", "b", "c", "d"], rmax=5.0)
+
+    def test_pd_handles_the_same_graph_fine(self):
+        # the point of polynomial delay: no product enumeration
+        from repro.core.comm_all import enumerate_all
+        dbg = complete_keyword_graph(40, ["a", "b", "c", "d"])
+        stream = enumerate_all(dbg, ["a", "b", "c", "d"], rmax=5.0)
+        first = [next(stream) for _ in range(5)]
+        assert len(first) == 5
+        # Algorithm 1 guarantees the first answer is the best core
+        # (a node carrying all four keywords, centered at itself);
+        # later answers follow depth-first order
+        assert first[0].cost == 0.0
+        cores = [c.core for c in first]
+        assert len(cores) == len(set(cores))
+
+
+class TestWorkloadCache:
+    def test_cache_returns_same_bundle(self):
+        first = load_dataset("dblp", "tiny")
+        second = load_dataset("dblp", "tiny")
+        assert first is second
+
+    def test_clear_cache_regenerates(self):
+        first = load_dataset("dblp", "tiny")
+        clear_cache()
+        second = load_dataset("dblp", "tiny")
+        assert first is not second
+        assert first.dbg.n == second.dbg.n  # deterministic generator
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_graph_queries(self):
+        dbg = DatabaseGraph(DiGraph(0).compile(), [])
+        from repro.core.comm_all import all_communities
+        assert all_communities(dbg, ["a"], 5.0) == []
+
+    def test_isolated_keyword_nodes(self):
+        # two keywords on disconnected nodes: no community
+        g = DiGraph(2)
+        dbg = DatabaseGraph(g.compile(), [{"a"}, {"b"}])
+        from repro.core.comm_all import all_communities
+        from repro.core.comm_k import top_k
+        assert all_communities(dbg, ["a", "b"], 100.0) == []
+        assert top_k(dbg, ["a", "b"], 5, 100.0) == []
+
+    def test_self_core_when_one_node_has_both(self):
+        g = DiGraph(1)
+        dbg = DatabaseGraph(g.compile(), [{"a", "b"}])
+        from repro.core.comm_all import all_communities
+        results = all_communities(dbg, ["a", "b"], 0.0)
+        assert [c.core for c in results] == [(0, 0)]
+        assert results[0].centers == (0,)
+
+    def test_zero_weight_cycle(self):
+        g = DiGraph(2)
+        g.add_bidirected_edge(0, 1, 0.0, 0.0)
+        dbg = DatabaseGraph(g.compile(), [{"a"}, {"b"}])
+        from repro.core.comm_k import top_k
+        results = top_k(dbg, ["a", "b"], 5, 0.0)
+        # both nodes are centers at distance 0
+        assert results and results[0].cost == 0.0
+        assert set(results[0].centers) == {0, 1}

@@ -1,0 +1,107 @@
+"""Unit tests for invertedN / invertedE / CommunityIndex."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.graph.database_graph import DatabaseGraph
+from repro.text.inverted_index import (
+    CommunityIndex,
+    EdgeInvertedIndex,
+    NodeInvertedIndex,
+    python_object_size,
+)
+
+
+@pytest.fixture()
+def chain():
+    """0(a) -> 1 -> 2(b) -> 3, unit weights, bidirected."""
+    g = DiGraph(4)
+    for u in range(3):
+        g.add_bidirected_edge(u, u + 1, 1.0, 1.0)
+    return DatabaseGraph(
+        g.compile(), [{"a"}, set(), {"b"}, set()])
+
+
+class TestNodeIndex:
+    def test_postings_sorted(self, chain):
+        idx = NodeInvertedIndex.build(chain)
+        assert idx.nodes("a") == [0]
+        assert idx.nodes("b") == [2]
+        assert idx.nodes("zzz") == []
+
+    def test_restricted_vocabulary(self, chain):
+        idx = NodeInvertedIndex.build(chain, keywords=["a"])
+        assert "a" in idx
+        assert "b" not in idx
+
+    def test_entry_count_and_frequency(self, chain):
+        idx = NodeInvertedIndex.build(chain)
+        assert idx.entry_count() == 2
+        assert idx.frequency("a", 4) == 0.25
+        with pytest.raises(QueryError):
+            idx.frequency("a", 0)
+
+    def test_keywords_sorted(self, chain):
+        assert NodeInvertedIndex.build(chain).keywords() == ["a", "b"]
+
+
+class TestEdgeIndex:
+    def test_radius_limits_edges(self, chain):
+        nodes = NodeInvertedIndex.build(chain)
+        idx = EdgeInvertedIndex.build(chain, nodes, radius=1.0)
+        # nodes within 1 of node 0 (keyword a): {0, 1}
+        assert idx.edges("a") == [(0, 1, 1.0), (1, 0, 1.0)]
+
+    def test_direction_is_reach_toward_keyword(self, chain):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)  # 0 -> 1(a): 0 reaches a
+        dbg = DatabaseGraph(g.compile(), [set(), {"a"}])
+        nodes = NodeInvertedIndex.build(dbg)
+        idx = EdgeInvertedIndex.build(dbg, nodes, radius=2.0)
+        assert idx.edges("a") == [(0, 1, 1.0)]
+
+    def test_unreachable_keyword_empty(self):
+        g = DiGraph(2)  # no edges
+        dbg = DatabaseGraph(g.compile(), [{"a"}, set()])
+        nodes = NodeInvertedIndex.build(dbg)
+        idx = EdgeInvertedIndex.build(dbg, nodes, radius=5.0)
+        assert idx.edges("a") == []
+
+    def test_negative_radius_rejected(self, chain):
+        nodes = NodeInvertedIndex.build(chain)
+        with pytest.raises(QueryError):
+            EdgeInvertedIndex.build(chain, nodes, radius=-1.0)
+
+
+class TestCommunityIndex:
+    def test_build_and_lookups(self, chain):
+        idx = CommunityIndex.build(chain, radius=2.0)
+        assert idx.nodes("a") == [0]
+        assert (1, 2, 1.0) in idx.edges("b")
+        assert idx.radius == 2.0
+
+    def test_require_keyword(self, chain):
+        idx = CommunityIndex.build(chain, radius=2.0)
+        idx.require_keyword("a")
+        with pytest.raises(QueryError):
+            idx.require_keyword("missing")
+
+    def test_stats_shape(self, chain):
+        idx = CommunityIndex.build(chain, radius=2.0)
+        stats = idx.stats()
+        assert stats["keywords"] == 2
+        assert stats["node_postings"] == 2
+        assert stats["size_bytes"] == idx.size_bytes()
+        assert stats["build_seconds"] >= 0.0
+
+    def test_size_accounting(self, chain):
+        idx = CommunityIndex.build(chain, radius=2.0)
+        expected = (8 * idx.node_index.entry_count()
+                    + 24 * idx.edge_index.entry_count())
+        assert idx.size_bytes() == expected
+        assert python_object_size(idx) > 0
+
+    def test_restricted_vocab_passed_through(self, chain):
+        idx = CommunityIndex.build(chain, radius=2.0, keywords=["a"])
+        assert idx.nodes("b") == []

@@ -1,0 +1,48 @@
+"""Unit tests for the naive reference enumerator."""
+
+import pytest
+
+from repro.core.naive import naive_all, naive_cores, naive_top_k
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX, node_id
+from repro.exceptions import QueryError
+from repro.graph.generators import line_database_graph
+
+
+class TestNaiveCores:
+    def test_fig4_core_costs(self, fig4):
+        cores = naive_cores(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        key = tuple(node_id(x) for x in ("v4", "v8", "v6"))
+        assert cores[key] == 7.0
+        assert len(cores) == 5
+
+    def test_cost_is_min_over_centers(self):
+        # two centers for the same core with different costs
+        dbg = line_database_graph([1.0, 3.0], [{"a"}, set(), {"b"}])
+        cores = naive_cores(dbg, ["a", "b"], 10.0)
+        # center 0: 0+4; center 1: 1+3; center 2: 4+0 -> min 4
+        assert cores[(0, 2)] == 4.0
+
+    def test_negative_rmax_rejected(self, fig4):
+        with pytest.raises(QueryError):
+            naive_cores(fig4, ["a"], -1.0)
+
+
+class TestNaiveAll:
+    def test_sorted_by_cost_then_core(self, fig4):
+        results = naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        keys = [(c.cost, c.core) for c in results]
+        assert keys == sorted(keys)
+
+    def test_missing_keyword_empty(self, fig4):
+        assert naive_all(fig4, ["nope"], FIG4_RMAX) == []
+
+
+class TestNaiveTopK:
+    def test_prefix(self, fig4):
+        full = naive_all(fig4, list(FIG4_QUERY), FIG4_RMAX)
+        assert naive_top_k(fig4, list(FIG4_QUERY), 2, FIG4_RMAX) \
+            == full[:2]
+
+    def test_k_validation(self, fig4):
+        with pytest.raises(QueryError):
+            naive_top_k(fig4, ["a"], 0, FIG4_RMAX)

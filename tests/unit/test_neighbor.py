@@ -1,0 +1,106 @@
+"""Unit tests for Neighbor() (Algorithm 2)."""
+
+import math
+
+from repro.core.neighbor import neighbor
+from repro.datasets.paper_example import (
+    FIG4_KEYWORDS,
+    figure4_graph,
+    node_id,
+    node_label,
+)
+from repro.graph.digraph import DiGraph
+
+
+def labels(ns):
+    return sorted(node_label(u) for u in ns)
+
+
+class TestNeighborSemantics:
+    def test_sources_always_included(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        ns = neighbor(g.compile(), [1], rmax=0.0)
+        assert 1 in ns and len(ns) == 1
+        assert ns.min_dist(1) == 0.0 and ns.src(1) == 1
+
+    def test_direction_is_u_reaches_source(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 2.0)
+        cg = g.compile()
+        ns = neighbor(cg, [1], rmax=5.0)
+        assert 0 in ns and ns.min_dist(0) == 2.0
+        ns = neighbor(cg, [0], rmax=5.0)
+        assert 1 not in ns  # 1 cannot reach 0
+
+    def test_rmax_inclusive(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 3.0)
+        assert 0 in neighbor(g.compile(), [1], rmax=3.0)
+        assert 0 not in neighbor(g.compile(), [1], rmax=2.999)
+
+    def test_nearest_source_tracked(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 2, 5.0)
+        ns = neighbor(g.compile(), [1, 2], rmax=10.0)
+        assert ns.src(0) == 1 and ns.min_dist(0) == 1.0
+
+    def test_empty_sources_empty_set(self):
+        g = DiGraph(2)
+        ns = neighbor(g.compile(), [], rmax=5.0)
+        assert len(ns) == 0
+
+    def test_get_and_pairs(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 2.0)
+        ns = neighbor(g.compile(), [1], rmax=5.0)
+        assert ns.get(0) == 2.0
+        assert ns.get(42) == math.inf
+        assert ns.pairs() == {0: (2.0, 1), 1: (0.0, 1)}
+
+
+class TestPaperNeighborSets:
+    """Every neighbor set the paper states for Fig. 4 (Section IV)."""
+
+    def test_full_keyword_sets(self, fig4):
+        g = fig4.graph
+        expectations = {
+            "a": ["v1", "v11", "v12", "v13", "v4", "v5", "v7", "v8",
+                  "v9"],
+            "b": ["v1", "v10", "v11", "v12", "v2", "v4", "v5", "v7",
+                  "v8", "v9"],
+            "c": ["v1", "v11", "v12", "v2", "v3", "v4", "v5", "v6",
+                  "v7", "v9"],
+        }
+        for kw, expected in expectations.items():
+            sources = [node_id(x) for x in FIG4_KEYWORDS[kw]]
+            assert labels(neighbor(g, sources, 8.0)) == sorted(expected)
+
+    def test_pinned_sets(self, fig4):
+        g = fig4.graph
+        expectations = {
+            "v4": ["v1", "v4", "v5", "v7"],
+            "v8": ["v10", "v11", "v12", "v4", "v7", "v8", "v9"],
+            "v6": ["v4", "v6", "v7"],
+            "v2": ["v1", "v2", "v5"],
+        }
+        for label, expected in expectations.items():
+            assert labels(neighbor(g, [node_id(label)], 8.0)) \
+                == sorted(expected)
+
+    def test_restricted_c_set(self, fig4):
+        sources = [node_id(x) for x in ("v3", "v9", "v11")]
+        assert labels(neighbor(fig4.graph, sources, 8.0)) == sorted(
+            ["v1", "v11", "v12", "v2", "v3", "v5", "v9"])
+
+    def test_center_intersection(self, fig4):
+        g = fig4.graph
+        sets = [
+            neighbor(g, [node_id(x) for x in FIG4_KEYWORDS[kw]], 8.0)
+            for kw in ("a", "b", "c")]
+        common = set(sets[0])
+        for ns in sets[1:]:
+            common &= set(ns)
+        assert labels(common) == sorted(
+            ["v1", "v4", "v5", "v7", "v9", "v11", "v12"])

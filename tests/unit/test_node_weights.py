@@ -1,0 +1,65 @@
+"""Unit tests for node-weighted views (paper footnote 1 extension)."""
+
+import pytest
+
+from repro.core import all_communities, top_k
+from repro.exceptions import GraphError
+from repro.graph.dijkstra import single_source_distances
+from repro.graph.generators import line_database_graph
+from repro.graph.node_weights import node_weighted_view
+
+
+@pytest.fixture()
+def path():
+    """0(a) -1- 1 -2- 2(b), bidirected."""
+    return line_database_graph([1.0, 2.0], [{"a"}, set(), {"b"}])
+
+
+class TestView:
+    def test_arrival_charging(self, path):
+        view = node_weighted_view(path, [5.0, 7.0, 9.0])
+        dist = single_source_distances(view.graph, 0)
+        # 0 -> 1: edge 1 + nw(1)=7; 0 -> 2: + edge 2 + nw(2)=9
+        assert dist[1] == 8.0
+        assert dist[2] == 19.0
+        assert dist[0] == 0.0  # source weight not charged
+
+    def test_mapping_weights_default_zero(self, path):
+        view = node_weighted_view(path, {1: 4.0})
+        dist = single_source_distances(view.graph, 0)
+        assert dist[1] == 5.0
+        assert dist[2] == 7.0
+
+    def test_zero_weights_is_identity(self, path):
+        view = node_weighted_view(path, [0.0] * 3)
+        assert sorted(view.graph.edges()) \
+            == sorted(path.graph.edges())
+
+    def test_metadata_carried_over(self, path):
+        view = node_weighted_view(path, [1.0, 1.0, 1.0])
+        assert view.keywords_of(0) == frozenset({"a"})
+        assert view.label_of(2) == path.label_of(2)
+
+    def test_length_mismatch_rejected(self, path):
+        with pytest.raises(GraphError):
+            node_weighted_view(path, [1.0])
+
+    def test_negative_weight_rejected(self, path):
+        with pytest.raises(GraphError):
+            node_weighted_view(path, [0.0, -1.0, 0.0])
+
+
+class TestQueriesOnView:
+    def test_node_weights_change_costs(self, path):
+        # charging the knodes raises every center->knode distance
+        # (a center's own weight is never charged: it is a source)
+        plain = top_k(path, ["a", "b"], 1, 10.0)[0]
+        weighted = top_k(node_weighted_view(path, [10.0, 0.0, 10.0]),
+                         ["a", "b"], 1, 30.0)[0]
+        assert weighted.cost > plain.cost
+
+    def test_node_weights_can_exclude_communities(self, path):
+        # heavy knodes push the a—b connection beyond Rmax
+        view = node_weighted_view(path, [100.0, 0.0, 100.0])
+        assert all_communities(view, ["a", "b"], 10.0) == []
+        assert all_communities(path, ["a", "b"], 10.0) != []

@@ -1,0 +1,96 @@
+"""Unit tests for graph and index serialization."""
+
+import pytest
+
+from repro.core import top_k
+from repro.core.search import CommunitySearch
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.exceptions import GraphError, QueryError
+from repro.graph.io import load_database_graph, save_database_graph
+from repro.text.inverted_index import CommunityIndex
+from repro.text.persistence import load_index, save_index
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_plain(self, fig4, tmp_path):
+        path = tmp_path / "g.json"
+        save_database_graph(fig4, path)
+        loaded = load_database_graph(path)
+        assert loaded.n == fig4.n and loaded.m == fig4.m
+        assert sorted(loaded.graph.edges()) \
+            == sorted(fig4.graph.edges())
+        for u in range(fig4.n):
+            assert loaded.keywords_of(u) == fig4.keywords_of(u)
+            assert loaded.label_of(u) == fig4.label_of(u)
+
+    def test_round_trip_gzip(self, fig4, tmp_path):
+        path = tmp_path / "g.json.gz"
+        save_database_graph(fig4, path)
+        loaded = load_database_graph(path)
+        assert loaded.n == fig4.n
+
+    def test_composite_pk_provenance_restored(self, tiny_dblp,
+                                              tmp_path):
+        _, dbg = tiny_dblp
+        path = tmp_path / "dblp.json.gz"
+        save_database_graph(dbg, path)
+        loaded = load_database_graph(path)
+        restored = [loaded.provenance_of(u) for u in range(loaded.n)]
+        original = [dbg.provenance_of(u) for u in range(dbg.n)]
+        assert restored == original  # tuples, not lists
+
+    def test_queries_identical_after_reload(self, fig4, tmp_path):
+        path = tmp_path / "g.json"
+        save_database_graph(fig4, path)
+        loaded = load_database_graph(path)
+        before = top_k(fig4, list(FIG4_QUERY), 5, FIG4_RMAX)
+        after = top_k(loaded, list(FIG4_QUERY), 5, FIG4_RMAX)
+        assert [(c.core, c.cost) for c in before] \
+            == [(c.core, c.cost) for c in after]
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(GraphError):
+            load_database_graph(path)
+
+
+class TestIndexRoundTrip:
+    def test_round_trip(self, fig4, tmp_path):
+        index = CommunityIndex.build(fig4, radius=FIG4_RMAX)
+        path = tmp_path / "idx.json.gz"
+        save_index(index, path)
+        loaded = load_index(path, fig4)
+        assert loaded.radius == index.radius
+        for kw in index.node_index.keywords():
+            assert loaded.nodes(kw) == index.nodes(kw)
+            assert loaded.edges(kw) == index.edges(kw)
+
+    def test_queries_identical_with_loaded_index(self, fig4, tmp_path):
+        index = CommunityIndex.build(fig4, radius=FIG4_RMAX)
+        path = tmp_path / "idx.json"
+        save_index(index, path)
+        search = CommunitySearch(fig4, index=load_index(path, fig4))
+        results = search.top_k(list(FIG4_QUERY), 5, FIG4_RMAX)
+        assert [c.cost for c in results] == [7.0, 10.0, 11.0, 14.0,
+                                             15.0]
+
+    def test_wrong_graph_rejected(self, fig4, tmp_path):
+        index = CommunityIndex.build(fig4, radius=FIG4_RMAX)
+        path = tmp_path / "idx.json"
+        save_index(index, path)
+        from repro.graph.digraph import DiGraph
+        from repro.graph.database_graph import DatabaseGraph
+        small = DatabaseGraph(DiGraph(2).compile(), [set(), set()])
+        with pytest.raises(QueryError):
+            load_index(path, small)
+
+    def test_rejects_foreign_file(self, fig4, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(QueryError):
+            load_index(path, fig4)

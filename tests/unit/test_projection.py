@@ -1,0 +1,82 @@
+"""Unit tests for Algorithm 6 graph projection."""
+
+import pytest
+
+from repro.core.naive import naive_all
+from repro.core.projection import project
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+    node_id,
+)
+from repro.exceptions import QueryError
+from repro.text.inverted_index import CommunityIndex
+
+
+@pytest.fixture(scope="module")
+def indexed_fig4():
+    dbg = figure4_graph()
+    return dbg, CommunityIndex.build(dbg, radius=FIG4_RMAX)
+
+
+class TestProjection:
+    def test_projection_contains_all_community_nodes(self, indexed_fig4):
+        dbg, index = indexed_fig4
+        result = project(index, list(FIG4_QUERY), FIG4_RMAX)
+        needed = set()
+        for community in naive_all(dbg, list(FIG4_QUERY), FIG4_RMAX):
+            needed.update(community.nodes)
+        assert needed <= set(result.mapping)
+
+    def test_keyword_postings_translated(self, indexed_fig4):
+        dbg, index = indexed_fig4
+        result = project(index, list(FIG4_QUERY), FIG4_RMAX)
+        for position, keyword in enumerate(FIG4_QUERY):
+            for new in result.node_lists[position]:
+                original = result.to_original(new)
+                assert keyword in dbg.keywords_of(original)
+
+    def test_fraction(self, indexed_fig4):
+        dbg, index = indexed_fig4
+        result = project(index, list(FIG4_QUERY), FIG4_RMAX)
+        assert 0.0 < result.fraction_of(dbg) <= 1.0
+        assert result.n <= result.union_nodes
+
+    def test_projection_excludes_irrelevant_nodes(self, indexed_fig4):
+        dbg, index = indexed_fig4
+        # with a small Rmax only tight neighborhoods survive
+        result = project(index, ["a", "b"], 3.0)
+        assert result.n < dbg.n
+
+    def test_rmax_above_index_radius_rejected(self, indexed_fig4):
+        _, index = indexed_fig4
+        with pytest.raises(QueryError):
+            project(index, list(FIG4_QUERY), FIG4_RMAX + 1.0)
+
+    def test_empty_query_rejected(self, indexed_fig4):
+        _, index = indexed_fig4
+        with pytest.raises(QueryError):
+            project(index, [], FIG4_RMAX)
+
+    def test_negative_rmax_rejected(self, indexed_fig4):
+        _, index = indexed_fig4
+        with pytest.raises(QueryError):
+            project(index, ["a"], -1.0)
+
+    def test_unknown_keyword_empty_projection(self, indexed_fig4):
+        _, index = indexed_fig4
+        result = project(index, ["a", "doesnotexist"], FIG4_RMAX)
+        assert result.n == 0
+
+    def test_labels_carried_over(self, indexed_fig4):
+        dbg, index = indexed_fig4
+        result = project(index, list(FIG4_QUERY), FIG4_RMAX)
+        v4_new = result.mapping[node_id("v4")]
+        assert result.subgraph.label_of(v4_new) == "v4"
+
+    def test_smaller_rmax_smaller_projection(self, indexed_fig4):
+        _, index = indexed_fig4
+        big = project(index, list(FIG4_QUERY), 8.0)
+        small = project(index, list(FIG4_QUERY), 5.0)
+        assert small.n <= big.n

@@ -1,0 +1,162 @@
+"""Unit tests for the relational query layer and secondary indexes."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.rdb.database import Database
+from repro.rdb.query import col, query
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+
+
+@pytest.fixture()
+def db():
+    database = Database("shop")
+    database.create_table(TableSchema(
+        "Customer",
+        [Column("cid", int), Column("name", str), Column("age", int)],
+        "cid"))
+    database.create_table(TableSchema(
+        "Order",
+        [Column("oid", int), Column("cid", int),
+         Column("total", float), Column("note", str, nullable=True)],
+        "oid",
+        [ForeignKey("cid", "Customer")]))
+    customers = [(1, "ana", 34), (2, "bora", 28), (3, "chen", 41),
+                 (4, "dai", 28)]
+    for cid, name, age in customers:
+        database.insert("Customer", {"cid": cid, "name": name,
+                                     "age": age})
+    orders = [(10, 1, 99.5, "gift"), (11, 1, 15.0, None),
+              (12, 2, 42.0, "rush order"), (13, 3, 7.25, None)]
+    for oid, cid, total, note in orders:
+        database.insert("Order", {"oid": oid, "cid": cid,
+                                  "total": total, "note": note})
+    return database
+
+
+class TestPredicates:
+    def test_comparison_operators(self, db):
+        rows = query(db, "Customer").where(col("age").ge(30)).run()
+        assert sorted(r["name"] for r in rows) == ["ana", "chen"]
+        rows = query(db, "Customer").where(col("age").lt(30)).run()
+        assert sorted(r["name"] for r in rows) == ["bora", "dai"]
+        assert query(db, "Customer").where(col("age").ne(28)).count() \
+            == 2
+        assert query(db, "Customer").where(col("age").le(28)).count() \
+            == 2
+        assert query(db, "Customer").where(col("age").gt(40)).count() \
+            == 1
+
+    def test_combinators(self, db):
+        both = query(db, "Customer").where(
+            col("age").eq(28) & col("name").eq("dai")).run()
+        assert [r["cid"] for r in both] == [4]
+        either = query(db, "Customer").where(
+            col("name").eq("ana") | col("name").eq("chen")).run()
+        assert len(either) == 2
+        negated = query(db, "Customer").where(~col("age").eq(28)).run()
+        assert len(negated) == 2
+
+    def test_null_handling(self, db):
+        rows = query(db, "Order").where(col("note").is_null()).run()
+        assert sorted(r["oid"] for r in rows) == [11, 13]
+        # comparisons never match NULLs
+        assert query(db, "Order").where(col("note").lt("z")).count() \
+            == 2
+
+    def test_contains(self, db):
+        rows = query(db, "Order").where(
+            col("note").contains("rush")).run()
+        assert [r["oid"] for r in rows] == [12]
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SchemaError):
+            query(db, "Customer").where(col("bogus").eq(1)).run()
+
+
+class TestProjectionOrderLimit:
+    def test_select(self, db):
+        rows = query(db, "Customer").select("name").run()
+        assert all(set(r) == {"name"} for r in rows)
+
+    def test_order_by(self, db):
+        rows = query(db, "Customer").order_by("age").run()
+        assert [r["age"] for r in rows] == [28, 28, 34, 41]
+        rows = query(db, "Customer").order_by(
+            "age", descending=True).run()
+        assert rows[0]["age"] == 41
+
+    def test_limit(self, db):
+        rows = query(db, "Customer").order_by("cid").limit(2).run()
+        assert [r["cid"] for r in rows] == [1, 2]
+
+    def test_limit_validation(self, db):
+        with pytest.raises(SchemaError):
+            query(db, "Customer").limit(-1)
+
+    def test_iteration(self, db):
+        assert len(list(query(db, "Customer"))) == 4
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = (query(db, "Order")
+                .join("Customer", on=("cid", "cid"))
+                .where(col("name").eq("ana"))
+                .run())
+        assert sorted(r["oid"] for r in rows) == [10, 11]
+
+    def test_join_column_disambiguation(self, db):
+        rows = (query(db, "Order")
+                .join("Customer", on=("cid", "cid"))
+                .run())
+        # cid matches on both sides -> no disambiguation needed
+        assert all("Customer.cid" not in r for r in rows)
+        assert all("name" in r for r in rows)
+
+    def test_join_then_aggregate_style(self, db):
+        rows = (query(db, "Order")
+                .join("Customer", on=("cid", "cid"))
+                .where(col("total").gt(20.0))
+                .order_by("total", descending=True)
+                .select("name", "total")
+                .run())
+        assert rows[0] == {"name": "ana", "total": 99.5}
+
+    def test_join_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            query(db, "Order").join("Customer", on=("cid", "bogus"))
+
+
+class TestSecondaryIndexes:
+    def test_index_lookup(self, db):
+        table = db.table("Order")
+        table.create_index("cid")
+        assert table.has_index("cid")
+        rows = table.index_lookup("cid", 1)
+        assert sorted(r["oid"] for r in rows) == [10, 11]
+        assert table.index_lookup("cid", 99) == []
+
+    def test_lookup_without_index_raises(self, db):
+        with pytest.raises(SchemaError):
+            db.table("Order").index_lookup("cid", 1)
+
+    def test_index_maintained_on_insert(self, db):
+        table = db.table("Order")
+        table.create_index("cid")
+        db.insert("Order", {"oid": 14, "cid": 1, "total": 1.0,
+                            "note": None})
+        assert sorted(r["oid"] for r in table.index_lookup("cid", 1)) \
+            == [10, 11, 14]
+
+    def test_query_layer_uses_index(self, db):
+        db.table("Customer").create_index("name")
+        rows = query(db, "Customer").where(col("name").eq("chen")).run()
+        assert [r["cid"] for r in rows] == [3]
+
+    def test_index_and_residual_predicates(self, db):
+        db.table("Order").create_index("cid")
+        rows = (query(db, "Order")
+                .where(col("cid").eq(1) & col("total").gt(50.0))
+                .run())
+        assert [r["oid"] for r in rows] == [10]

@@ -1,0 +1,61 @@
+"""Additional reporting/rendering edge cases."""
+
+import math
+
+from repro.bench.harness import RunResult
+from repro.bench.reporting import counts_note, format_table, series_table
+
+
+def run(seconds=1.0, communities=5, **kwargs):
+    return RunResult("d", "pd", "all", ["x"], 1.0, seconds,
+                     communities, **kwargs)
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("a")
+        assert len(lines) == 2  # header + rule
+
+    def test_mixed_types(self):
+        text = format_table(["x"], [[1], ["two"], [3.14159]])
+        assert "3.142" in text and "two" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["aa", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert len({line.index("v") if "v" in line else None
+                    for line in lines[:1]}) == 1
+
+
+class TestSeriesTable:
+    def test_nan_for_missing_memory(self):
+        results = {"pd": [run(peak_kb=None)]}
+        text = series_table("T", "x", [1], results, metric="peak_kb")
+        assert "nan" in text
+
+    def test_multiple_x_values(self):
+        results = {"pd": [run(seconds=1.0), run(seconds=2.0)]}
+        text = series_table("T", "x", [1, 2], results,
+                            metric="seconds", unit="s")
+        assert "1.000" in text and "2.000" in text
+
+
+class TestCountsNote:
+    def test_marks_both_flags(self):
+        results = {
+            "bu": [run(capped=True, timed_out=True)],
+            "pd": [run()],
+        }
+        note = counts_note(results)
+        assert "5+!" in note
+        assert "bu" in note and "pd" in note
+
+
+class TestRunResult:
+    def test_avg_delay(self):
+        assert run(seconds=1.0, communities=4).avg_delay_ms == 250.0
+
+    def test_avg_delay_nan_when_zero(self):
+        assert math.isnan(run(communities=0).avg_delay_ms)

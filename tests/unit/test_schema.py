@@ -1,0 +1,108 @@
+"""Unit tests for relational schema objects."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.rdb.schema import Column, ForeignKey, TableSchema
+
+
+class TestColumn:
+    def test_valid_column(self):
+        col = Column("name", str)
+        assert col.validate("x") == "x"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("9bad", str)
+        with pytest.raises(SchemaError):
+            Column("", str)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("c", list)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("c", int).validate("7")
+
+    def test_int_coerces_to_float(self):
+        assert Column("c", float).validate(3) == 3.0
+
+    def test_bool_not_coerced_to_float(self):
+        with pytest.raises(SchemaError):
+            Column("c", float).validate(True)
+
+    def test_nullable(self):
+        assert Column("c", str, nullable=True).validate(None) is None
+        with pytest.raises(SchemaError):
+            Column("c", str).validate(None)
+
+
+class TestForeignKey:
+    def test_requires_column_and_table(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("", "T")
+        with pytest.raises(SchemaError):
+            ForeignKey("c", "")
+
+    def test_defaults(self):
+        fk = ForeignKey("c", "T")
+        assert fk.ref_column is None
+
+
+class TestTableSchema:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="T",
+            columns=[Column("id", int), Column("txt", str)],
+            primary_key="id",
+        )
+        defaults.update(kwargs)
+        return TableSchema(**defaults)
+
+    def test_single_column_pk_string_form(self):
+        schema = self.make()
+        assert schema.primary_key == ("id",)
+
+    def test_composite_pk(self):
+        schema = TableSchema(
+            "W", [Column("a", int), Column("b", int)], ("a", "b"))
+        assert schema.primary_key == ("a", "b")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [], "id")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [Column("a", int), Column("a", str)], "a")
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            self.make(primary_key="nope")
+
+    def test_nullable_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [Column("id", int, nullable=True)], "id")
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            self.make(foreign_keys=[ForeignKey("nope", "T")])
+
+    def test_text_column_must_exist_and_be_str(self):
+        with pytest.raises(SchemaError):
+            self.make(text_columns=["nope"])
+        with pytest.raises(SchemaError):
+            self.make(text_columns=["id"])
+
+    def test_column_lookup(self):
+        schema = self.make()
+        assert schema.column("txt").type is str
+        assert schema.column_index("txt") == 1
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+        assert schema.column_names == ("id", "txt")
+
+    def test_bad_table_name(self):
+        with pytest.raises(SchemaError):
+            self.make(name="bad name")

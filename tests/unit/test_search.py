@@ -1,0 +1,120 @@
+"""Unit tests for the CommunitySearch facade."""
+
+import pytest
+
+from repro.core.search import CommunitySearch
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.exceptions import QueryError
+from repro.rdb.database import Database
+from repro.rdb.schema import Column, TableSchema
+
+
+@pytest.fixture()
+def search(fig4):
+    s = CommunitySearch(fig4)
+    s.build_index(radius=FIG4_RMAX)
+    return s
+
+
+class TestIndexing:
+    def test_project_requires_index(self, fig4):
+        s = CommunitySearch(fig4)
+        with pytest.raises(QueryError):
+            s.project(["a"], 5.0)
+
+    def test_unknown_keyword_raises(self, search):
+        with pytest.raises(QueryError):
+            search.project(["a", "nope"], 5.0)
+        with pytest.raises(QueryError):
+            search.all_communities(["nope"], 5.0)
+
+    def test_build_index_attaches(self, fig4):
+        s = CommunitySearch(fig4)
+        idx = s.build_index(radius=4.0)
+        assert s.index is idx
+        assert idx.radius == 4.0
+
+
+class TestQueries:
+    def test_all_with_and_without_projection_agree(self, search):
+        with_proj = search.all_communities(
+            list(FIG4_QUERY), FIG4_RMAX, use_projection=True)
+        without = search.all_communities(
+            list(FIG4_QUERY), FIG4_RMAX, use_projection=False)
+        assert sorted((c.core, c.cost) for c in with_proj) \
+            == sorted((c.core, c.cost) for c in without)
+
+    def test_results_in_gd_id_space(self, search, fig4):
+        results = search.all_communities(list(FIG4_QUERY), FIG4_RMAX)
+        for community in results:
+            for node in community.nodes:
+                assert 0 <= node < fig4.n
+
+    def test_all_algorithms_agree(self, search):
+        reference = None
+        for alg in ("pd", "bu", "td", "naive"):
+            got = sorted(
+                (c.core, c.cost)
+                for c in search.all_communities(
+                    list(FIG4_QUERY), FIG4_RMAX, algorithm=alg))
+            if reference is None:
+                reference = got
+            assert got == reference
+
+    def test_unknown_algorithm_rejected(self, search):
+        with pytest.raises(QueryError):
+            search.all_communities(["a"], 5.0, algorithm="bogus")
+        with pytest.raises(QueryError):
+            search.top_k(["a"], 5, 5.0, algorithm="bogus")
+
+    def test_top_k_all_algorithms_agree_on_costs(self, search):
+        reference = None
+        for alg in ("pd", "bu", "td", "naive"):
+            costs = [
+                c.cost for c in search.top_k(list(FIG4_QUERY), 4,
+                                             FIG4_RMAX, algorithm=alg)]
+            if reference is None:
+                reference = costs
+            assert costs == reference
+
+    def test_top_k_validation(self, search):
+        with pytest.raises(QueryError):
+            search.top_k(["a"], 0, 5.0)
+
+    def test_empty_keywords_rejected(self, search):
+        with pytest.raises(QueryError):
+            search.all_communities([], 5.0)
+
+    def test_edges_reinduced_against_gd(self, search, fig4):
+        for community in search.all_communities(list(FIG4_QUERY),
+                                                FIG4_RMAX):
+            assert list(community.edges) \
+                == fig4.graph.induced_edges(list(community.nodes))
+
+
+class TestStream:
+    def test_projected_stream_interface(self, search):
+        stream = search.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        first = stream.take(2)
+        assert [c.cost for c in first] == [7.0, 10.0]
+        assert stream.emitted == 2
+        rest = list(stream)
+        assert len(rest) == 3
+        assert stream.exhausted
+
+    def test_unprojected_stream(self, fig4):
+        s = CommunitySearch(fig4)  # no index
+        stream = s.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        assert [c.cost for c in stream.take(2)] == [7.0, 10.0]
+
+
+class TestFromDatabase:
+    def test_builds_graph(self):
+        db = Database()
+        db.create_table(TableSchema(
+            "T", [Column("id", int), Column("txt", str)], "id",
+            text_columns=["txt"]))
+        db.insert("T", {"id": 1, "txt": "hello world"})
+        s = CommunitySearch.from_database(db)
+        assert s.dbg.n == 1
+        assert s.dbg.nodes_with_keyword("hello") == [0]

@@ -1,0 +1,100 @@
+"""Unit tests for row storage and the PK index."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.rdb.schema import Column, TableSchema
+from repro.rdb.table import Row, Table, row_values
+
+
+@pytest.fixture()
+def table():
+    return Table(TableSchema(
+        "T", [Column("id", int), Column("txt", str, nullable=True)],
+        "id"))
+
+
+@pytest.fixture()
+def composite():
+    return Table(TableSchema(
+        "W", [Column("a", int), Column("b", int)], ("a", "b")))
+
+
+class TestInsert:
+    def test_insert_and_get(self, table):
+        table.insert({"id": 1, "txt": "x"})
+        row = table.get(1)
+        assert row["txt"] == "x"
+        assert row.primary_key() == (1,)
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert({"id": 1, "txt": "x"})
+        with pytest.raises(IntegrityError):
+            table.insert({"id": 1, "txt": "y"})
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": 1, "bogus": 2})
+
+    def test_missing_nullable_defaults_to_none(self, table):
+        table.insert({"id": 1})
+        assert table.get(1)["txt"] is None
+
+    def test_missing_required_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"txt": "x"})
+
+    def test_type_checked(self, table):
+        with pytest.raises(SchemaError):
+            table.insert({"id": "not an int"})
+
+
+class TestLookup:
+    def test_get_missing_returns_none(self, table):
+        assert table.get(42) is None
+
+    def test_contains_pk(self, table):
+        table.insert({"id": 7})
+        assert table.contains_pk(7)
+        assert not table.contains_pk(8)
+
+    def test_composite_pk_lookup(self, composite):
+        composite.insert({"a": 1, "b": 2})
+        assert composite.contains_pk((1, 2))
+        assert not composite.contains_pk((2, 1))
+        assert composite.get((1, 2)).primary_key() == (1, 2)
+
+    def test_wrong_pk_arity_rejected(self, composite):
+        with pytest.raises(SchemaError):
+            composite.get(1)
+
+    def test_scan_insertion_order(self, table):
+        for i in (3, 1, 2):
+            table.insert({"id": i})
+        assert [r["id"] for r in table.scan()] == [3, 1, 2]
+
+    def test_select_predicate(self, table):
+        for i in range(5):
+            table.insert({"id": i})
+        assert [r["id"] for r in table.select(lambda r: r["id"] % 2 == 0)] \
+            == [0, 2, 4]
+
+    def test_len(self, table):
+        assert len(table) == 0
+        table.insert({"id": 1})
+        assert len(table) == 1
+
+
+class TestRow:
+    def test_mapping_protocol(self, table):
+        table.insert({"id": 1, "txt": "x"})
+        row = table.get(1)
+        assert isinstance(row, Row)
+        assert dict(row) == {"id": 1, "txt": "x"}
+        assert len(row) == 2
+        assert "id=1" in repr(row)
+
+    def test_row_values_helper(self, table):
+        for i in range(3):
+            table.insert({"id": i})
+        assert row_values(list(table.scan()), "id") == [0, 1, 2]

@@ -1,0 +1,53 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import DEFAULT_STOPWORDS, Tokenizer, tokenize
+
+
+class TestDefaultTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Graph Databases") == {"graph", "databases"}
+
+    def test_punctuation_is_separator(self):
+        assert tokenize("top-k, query!") == {"top", "k", "query"}
+
+    def test_digits_kept(self):
+        assert tokenize("dblp 2008") == {"dblp", "2008"}
+
+    def test_empty_text(self):
+        assert tokenize("") == set()
+        assert tokenize("!!!") == set()
+
+    def test_duplicates_collapse(self):
+        assert tokenize("data data data") == {"data"}
+
+    def test_no_stopword_removal_by_default(self):
+        # The paper queries words like "all"; defaults must keep them.
+        assert tokenize("all the data") == {"all", "the", "data"}
+
+
+class TestConfiguredTokenizer:
+    def test_stopwords_removed(self):
+        t = Tokenizer(stopwords=DEFAULT_STOPWORDS)
+        assert t("the data of graphs") == {"data", "graphs"}
+
+    def test_stopwords_case_insensitive(self):
+        t = Tokenizer(stopwords=["THE"])
+        assert t("The theory") == {"theory"}
+
+    def test_min_length(self):
+        t = Tokenizer(min_length=3)
+        assert t("a db query") == {"query"}
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            Tokenizer(min_length=0)
+
+    def test_tokens_preserve_order(self):
+        t = Tokenizer()
+        assert t.tokens("b a b c") == ["b", "a", "b", "c"]
+
+    def test_callable_matches_keyword_set(self):
+        t = Tokenizer()
+        assert t("x y") == t.keyword_set("x y")

@@ -1,0 +1,109 @@
+"""Unit tests for tree-answer internals (module-level helpers)."""
+
+import pytest
+
+from repro.core.trees import (
+    TreeAnswer,
+    _assemble,
+    _is_minimal,
+    _simple_paths,
+    enumerate_trees,
+)
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture()
+def diamond_dbg():
+    """0 -> {1, 2} -> 3 plus a long arc 0 -> 3."""
+    g = DiGraph(4)
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(0, 2, 1.0)
+    g.add_edge(1, 3, 1.0)
+    g.add_edge(2, 3, 1.0)
+    g.add_edge(0, 3, 5.0)
+    return DatabaseGraph(g.compile(), [set(), {"a"}, {"b"}, {"c"}])
+
+
+class TestSimplePaths:
+    def test_all_paths_found(self, diamond_dbg):
+        paths = _simple_paths(diamond_dbg, 0, frozenset({3}), 10.0,
+                              1000)
+        found = sorted(p for p, _ in paths[3])
+        assert found == [(0, 1, 3), (0, 2, 3), (0, 3)]
+
+    def test_weight_bound_prunes(self, diamond_dbg):
+        paths = _simple_paths(diamond_dbg, 0, frozenset({3}), 2.0,
+                              1000)
+        assert sorted(p for p, _ in paths[3]) == [(0, 1, 3), (0, 2, 3)]
+
+    def test_max_paths_guard(self, diamond_dbg):
+        with pytest.raises(QueryError):
+            _simple_paths(diamond_dbg, 0, frozenset({1, 2, 3}), 10.0,
+                          1)
+
+
+class TestAssemble:
+    def test_branching_union_is_tree(self, diamond_dbg):
+        result = _assemble(0, [(0, 1), (0, 2)], diamond_dbg)
+        assert result is not None
+        nodes, edges, weight = result
+        assert nodes == (0, 1, 2)
+        assert weight == 2.0
+
+    def test_remerging_union_rejected(self, diamond_dbg):
+        # two different paths to node 3 give it two parents
+        assert _assemble(0, [(0, 1, 3), (0, 2, 3)], diamond_dbg) \
+            is None
+
+    def test_shared_prefix_ok(self, diamond_dbg):
+        result = _assemble(0, [(0, 1, 3), (0, 1)], diamond_dbg)
+        assert result is not None
+        _, edges, _ = result
+        assert len(edges) == 2
+
+
+class TestMinimality:
+    def test_non_keyword_leaf_rejected(self, diamond_dbg):
+        # leaf 0? build tree 1 -> ... cannot; craft directly:
+        keyword_sets = [frozenset({1})]
+        # tree: 0 -> 1 -> ... wait leaf is 1 (keyword) fine; test a
+        # tree whose leaf 2 carries no queried keyword
+        assert not _is_minimal(
+            0, [0, 1, 2], [(0, 1, 1.0), (0, 2, 1.0)], keyword_sets)
+
+    def test_single_child_non_keyword_root_rejected(self):
+        keyword_sets = [frozenset({1})]
+        assert not _is_minimal(0, [0, 1], [(0, 1, 1.0)],
+                               keyword_sets)
+        # but a keyword root with one child is fine
+        keyword_sets = [frozenset({0, 1})]
+        assert _is_minimal(0, [0, 1], [(0, 1, 1.0)], keyword_sets)
+
+    def test_branching_root_accepted(self):
+        keyword_sets = [frozenset({1}), frozenset({2})]
+        assert _is_minimal(0, [0, 1, 2],
+                           [(0, 1, 1.0), (0, 2, 1.0)], keyword_sets)
+
+
+class TestEnumerate:
+    def test_diamond_two_keyword_query(self, diamond_dbg):
+        trees = enumerate_trees(diamond_dbg, ["a", "b"], 5.0)
+        # only root 0 reaches both keyword nodes
+        assert trees
+        assert all(t.root == 0 for t in trees)
+        best = trees[0]
+        assert best.weight == 2.0
+        assert set(best.nodes) == {0, 1, 2}
+
+    def test_tree_answer_size_and_describe(self, diamond_dbg):
+        tree = enumerate_trees(diamond_dbg, ["a", "b"], 5.0)[0]
+        assert tree.size == 3
+        text = tree.describe(diamond_dbg)
+        assert "root=v0" in text and "weight=2" in text
+
+    def test_dedupe_keeps_one_per_edge_set(self, diamond_dbg):
+        trees = enumerate_trees(diamond_dbg, ["a", "a"], 5.0)
+        keys = [frozenset(t.edges) for t in trees]
+        assert len(keys) == len(set(keys))

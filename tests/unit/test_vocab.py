@@ -1,0 +1,118 @@
+"""Unit tests for the KWF-banded benchmark vocabulary."""
+
+import random
+
+import pytest
+
+from repro.datasets import vocab
+from repro.exceptions import QueryError
+
+
+class TestBands:
+    def test_default_bands_cover_paper_kwfs(self):
+        assert tuple(b.kwf for b in vocab.BENCH_BANDS) \
+            == vocab.KWF_VALUES
+
+    def test_band_names_stable(self):
+        assert vocab.band_name(0.0009) == "0009"
+        assert vocab.band_name(0.0015) == "0015"
+
+    def test_keywords_per_band(self):
+        for band in vocab.BENCH_BANDS:
+            assert len(band.keywords) == vocab.KEYWORDS_PER_BAND
+            assert all(
+                kw.startswith(f"kw{vocab.band_name(band.kwf)}")
+                for kw in band.keywords)
+
+    def test_band_for(self):
+        assert vocab.band_for(0.0009).kwf == 0.0009
+        with pytest.raises(QueryError):
+            vocab.band_for(0.5)
+
+    def test_query_keywords(self):
+        kws = vocab.query_keywords(0.0009, 3)
+        assert len(kws) == 3
+        assert len(set(kws)) == 3
+
+    def test_query_keywords_l_validation(self):
+        with pytest.raises(QueryError):
+            vocab.query_keywords(0.0009, 0)
+        with pytest.raises(QueryError):
+            vocab.query_keywords(0.0009, 99)
+
+
+class TestPlanting:
+    def test_uniform_plant_exact_counts(self):
+        rng = random.Random(0)
+        plan = vocab.plan_plants(rng, total_tuples=20_000, slots=5_000)
+        for band in vocab.BENCH_BANDS:
+            expected = max(1, round(band.kwf * 20_000))
+            for kw in band.keywords:
+                slots = plan[kw]
+                assert len(slots) == expected
+                assert len(set(slots)) == expected
+                assert all(0 <= s < 5_000 for s in slots)
+
+    def test_clustered_plant_exact_counts(self):
+        rng = random.Random(0)
+        plan = vocab.plan_plants_clustered(rng, total_tuples=20_000,
+                                           slots=5_000)
+        for band in vocab.BENCH_BANDS:
+            expected = max(1, round(band.kwf * 20_000))
+            for kw in band.keywords:
+                assert len(plan[kw]) == expected
+
+    def test_clustered_plant_is_clustered(self):
+        rng = random.Random(1)
+        plan = vocab.plan_plants_clustered(rng, total_tuples=50_000,
+                                           slots=10_000)
+        band = vocab.band_for(0.0009)
+        slots = sorted(plan[band.keywords[0]])
+        span = slots[-1] - slots[0]
+        # 45 occurrences clustered into ~7 clusters must span far less
+        # than a uniform sample would (expected span ~ slots)
+        assert span < 10_000 * 0.9
+
+    def test_band_keywords_share_clusters(self):
+        rng = random.Random(2)
+        plan = vocab.plan_plants_clustered(rng, total_tuples=50_000,
+                                           slots=10_000)
+        band = vocab.band_for(0.0009)
+        a = plan[band.keywords[0]]
+        b = plan[band.keywords[1]]
+        # some a-slot must sit within the cluster spread of a b-slot
+        closest = min(abs(x - y) for x in a for y in b)
+        assert closest <= 3 * max(3.0, 10_000 * 0.0015)
+
+    def test_center_grid_snapping(self):
+        rng = random.Random(3)
+        plan = vocab.plan_plants_clustered(
+            rng, total_tuples=50_000, slots=10_000, center_grid=500)
+        band = vocab.band_for(0.0003)
+        slots = plan[band.keywords[0]]
+        spread = max(3.0, 10_000 * 0.0015)
+        assert all(
+            min(abs(s - round(s / 500) * 500) for _ in (0,))
+            <= 5 * spread
+            for s in slots)
+
+    def test_plant_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(QueryError):
+            vocab.plan_plants(rng, total_tuples=0, slots=10)
+        with pytest.raises(QueryError):
+            vocab.plan_plants(rng, total_tuples=10_000_000, slots=2)
+        with pytest.raises(QueryError):
+            vocab.plan_plants_clustered(rng, total_tuples=10_000_000,
+                                        slots=2)
+
+
+class TestFiller:
+    def test_filler_title_word_count(self):
+        rng = random.Random(0)
+        assert len(vocab.filler_title(rng, 4).split()) == 4
+
+    def test_filler_does_not_collide_with_planted(self):
+        planted = {
+            kw for band in vocab.BENCH_BANDS for kw in band.keywords}
+        assert not planted & set(vocab.FILLER_WORDS)

@@ -1,0 +1,66 @@
+"""Docstring coverage checker.
+
+Walks ``src/repro`` and reports every public module, class, function,
+and method without a docstring. Used by the test suite to enforce the
+"documented public API" requirement; exits nonzero on violations when
+run as a script.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _api_nodes(tree: ast.Module):
+    """Module-level defs/classes and class-level methods — the public
+    API surface. Functions nested inside functions are implementation
+    detail and are skipped."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            yield node
+            if isinstance(node, ast.ClassDef):
+                for member in node.body:
+                    if isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                        yield member
+
+
+def missing_docstrings(root: Path = SRC) -> List[str]:
+    """Return "path:line kind name" for undocumented public items."""
+    problems: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        rel = path.relative_to(root.parents[1])
+        if ast.get_docstring(tree) is None:
+            problems.append(f"{rel}:1 module {path.stem}")
+        for node in _api_nodes(tree):
+            if not _public(node.name):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = ("class" if isinstance(node, ast.ClassDef)
+                        else "def")
+                problems.append(
+                    f"{rel}:{node.lineno} {kind} {node.name}")
+    return problems
+
+
+def main() -> int:
+    problems = missing_docstrings()
+    for problem in problems:
+        print(problem)
+    print(f"{len(problems)} undocumented public items")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Insert the generated figure tables into EXPERIMENTS.md.
+
+Replaces the ``<!-- GENERATED-FIGURES -->`` marker with the output of
+:mod:`tools.make_experiments_md` so the measured tables live inline.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from make_experiments_md import main as render  # noqa: E402
+
+MARKER = "<!-- GENERATED-FIGURES -->"
+
+
+def insert(experiments_path: str, json_path: str) -> None:
+    """Render the tables from ``json_path`` into ``experiments_path``."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        render(json_path)
+    tables = buffer.getvalue()
+    path = Path(experiments_path)
+    text = path.read_text()
+    if MARKER not in text:
+        raise SystemExit(f"no {MARKER} marker in {experiments_path}")
+    block = ("## Measured figure tables (bench scale)\n\n"
+             + tables.rstrip() + "\n")
+    path.write_text(text.replace(MARKER, block))
+    print(f"inserted {len(tables.splitlines())} generated lines")
+
+
+if __name__ == "__main__":
+    insert(sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md",
+           sys.argv[2] if len(sys.argv) > 2 else "bench_results.json")

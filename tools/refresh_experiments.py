@@ -1,0 +1,38 @@
+"""Refresh the generated-figures section of EXPERIMENTS.md in place.
+
+Cuts the previous "Measured figure tables" section (or the
+``<!-- GENERATED-FIGURES -->`` marker) and re-inserts tables rendered
+from a fresh ``bench_results.json``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from insert_generated_figures import MARKER, insert  # noqa: E402
+
+SECTION_RE = re.compile(
+    r"## Measured figure tables \(bench scale\)\n.*?(?=\n## )",
+    re.S)
+
+
+def refresh(experiments_path: str = "EXPERIMENTS.md",
+            json_path: str = "bench_results.json") -> None:
+    """Replace any previous generated section, then insert fresh."""
+    path = Path(experiments_path)
+    text = path.read_text()
+    if MARKER not in text:
+        text, count = SECTION_RE.subn(MARKER + "\n", text)
+        if count != 1:
+            raise SystemExit(
+                "could not find the generated section to replace")
+        path.write_text(text)
+    insert(experiments_path, json_path)
+
+
+if __name__ == "__main__":
+    refresh(*sys.argv[1:3])
