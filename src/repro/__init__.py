@@ -20,6 +20,9 @@ Layout:
 
 * :mod:`repro.core` — the paper's algorithms (PDall, PDk, BU/TD
   baselines, projection, naive reference) and the community model;
+* :mod:`repro.engine` — the execution layer: query specs, the
+  algorithm registry, the LRU projection cache, and per-stage
+  instrumentation contexts;
 * :mod:`repro.graph` — weighted digraph substrate with bounded
   multi-source Dijkstra;
 * :mod:`repro.rdb` — the relational engine and graph materialization;
@@ -36,6 +39,14 @@ from repro.core.community import Community, Core
 from repro.core.getcommunity import get_community
 from repro.core.projection import ProjectionResult, project
 from repro.core.search import CommunitySearch, ProjectedTopKStream
+from repro.engine import (
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    ProjectionCache,
+    QueryContext,
+    QueryEngine,
+    QuerySpec,
+)
 from repro.exceptions import (
     EdgeError,
     GraphError,
@@ -56,6 +67,8 @@ from repro.text.tokenizer import Tokenizer, tokenize
 __version__ = "1.0.0"
 
 __all__ = [
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
     "Column",
     "Community",
     "CommunityIndex",
@@ -70,8 +83,12 @@ __all__ = [
     "IntegrityError",
     "NodeNotFoundError",
     "ProjectedTopKStream",
+    "ProjectionCache",
     "ProjectionResult",
+    "QueryContext",
+    "QueryEngine",
     "QueryError",
+    "QuerySpec",
     "ReproError",
     "SchemaError",
     "TableSchema",

@@ -8,10 +8,18 @@
 * :mod:`repro.analysis.dot` — Graphviz DOT export for communities and
   tree answers (renders the paper's Fig. 3/5/7-style drawings);
 * :mod:`repro.analysis.delay_profile` — per-answer delay measurement
-  (the distribution behind the paper's "polynomial delay" claim).
+  (the distribution behind the paper's "polynomial delay" claim);
+* :mod:`repro.analysis.stage_report` — rendering the execution
+  engine's per-stage instrumentation (where a query's time goes,
+  projection-cache effectiveness).
 """
 
 from repro.analysis.delay_profile import DelayProfile, profile_delays
+from repro.analysis.stage_report import (
+    cache_effectiveness,
+    stage_breakdown,
+    stage_table,
+)
 from repro.analysis.dot import community_to_dot, tree_to_dot
 from repro.analysis.graph_stats import (
     DatasetProfile,
@@ -25,11 +33,14 @@ __all__ = [
     "DatasetProfile",
     "DelayProfile",
     "ResultProfile",
-    "profile_delays",
+    "cache_effectiveness",
     "community_to_dot",
     "degree_statistics",
     "profile_database",
+    "profile_delays",
     "profile_graph",
     "profile_results",
+    "stage_breakdown",
+    "stage_table",
     "tree_to_dot",
 ]

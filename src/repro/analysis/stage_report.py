@@ -1,0 +1,77 @@
+"""Rendering engine instrumentation: where a query's time goes.
+
+The execution engine reports every query through one
+:class:`~repro.engine.context.QueryContext` — stage wall-clock
+(resolve → project → enumerate → translate), projection-cache traffic
+and the baseline pool counters. This module turns contexts into the
+same plain-text tables the rest of :mod:`repro.analysis` produces, so
+"why was this query slow" and "is the cache earning its memory" are
+answerable from a terminal:
+
+>>> ctx = QueryContext()
+>>> search.all_communities(["kate", "smith"], 6.0, context=ctx)
+>>> print(stage_table(ctx))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.context import STAGES, QueryContext
+
+
+def stage_breakdown(context: QueryContext) -> List[Tuple[str, float, float]]:
+    """``(stage, seconds, share)`` rows, canonical stages first.
+
+    ``share`` is the stage's fraction of the context's total recorded
+    time (0.0 when nothing was recorded).
+    """
+    total = context.total_seconds
+    names = [name for name in STAGES if name in context.timings]
+    names += [name for name in sorted(context.timings)
+              if name not in STAGES]
+    return [
+        (name, context.timings[name],
+         context.timings[name] / total if total else 0.0)
+        for name in names
+    ]
+
+
+def stage_table(context: QueryContext) -> str:
+    """A two-section text report: stage timings, then counters."""
+    lines = ["stage        seconds      share",
+             "-----        -------      -----"]
+    rows = stage_breakdown(context)
+    if not rows:
+        lines.append("(no stages recorded)")
+    for name, seconds, share in rows:
+        lines.append(f"{name:<12} {seconds:>10.6f}  {share:>8.1%}")
+    if context.counters:
+        lines.append("")
+        lines.append("counter                       value")
+        lines.append("-------                       -----")
+        for name in sorted(context.counters):
+            lines.append(f"{name:<28} {context.counters[name]:>6}")
+    return "\n".join(lines)
+
+
+def cache_effectiveness(contexts: Sequence[QueryContext]
+                        ) -> Dict[str, float]:
+    """Aggregate projection-cache behaviour over a workload.
+
+    Returns hit/miss/run totals, the hit rate, and the total seconds
+    spent inside Algorithm 6 — the number the cache exists to shrink.
+    """
+    hits = sum(c.counter("projection_cache_hits") for c in contexts)
+    misses = sum(c.counter("projection_cache_misses") for c in contexts)
+    runs = sum(c.counter("projection_runs") for c in contexts)
+    project_seconds = sum(c.seconds("project") for c in contexts)
+    lookups = hits + misses
+    return {
+        "queries": float(len(contexts)),
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+        "projection_runs": float(runs),
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "project_seconds": project_seconds,
+    }

@@ -20,12 +20,11 @@ import tracemalloc
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.baselines.bottom_up import bu_iter, bu_top_k
 from repro.core.baselines.pool import BaselineStats
-from repro.core.baselines.top_down import td_iter, td_top_k
-from repro.core.comm_all import enumerate_all
 from repro.core.comm_k import TopKStream
 from repro.core.search import CommunitySearch
+from repro.engine.context import QueryContext
+from repro.engine.registry import REGISTRY
 from repro.exceptions import QueryError
 
 #: Default per-run time budget for the pool-based baselines: BU/TD
@@ -35,48 +34,38 @@ from repro.exceptions import QueryError
 DEFAULT_BUDGET_SECONDS = 60.0
 
 
-def _prepare(search: CommunitySearch, keywords, rmax: float):
+def _prepare(search: CommunitySearch, keywords, rmax: float,
+             context: Optional[QueryContext] = None):
     """Project once, outside the measured region.
 
     The paper's setup: "for all algorithms to be tested, we first
     project a database subgraph … and test the algorithms" — so both
     the timing and the tracemalloc peak cover the *algorithm* on the
-    projected graph, not the shared projection construction.
+    projected graph, not the shared projection construction. The
+    projection goes through the engine's cache, so a sweep re-visiting
+    one ``(keywords, rmax)`` point pays Algorithm 6 once; the cache
+    traffic lands in ``context`` (and thus ``RunResult.extra``).
     """
     if search.index is not None:
-        projection = search.project(keywords, rmax)
+        projection = search.project(keywords, rmax, context)
         return projection.subgraph, projection.node_lists
     return search.dbg, None
 
 
 def _all_runner(algorithm: str, dbg, keywords, rmax, node_lists,
                 budget_seconds, stats):
-    if algorithm == "pd":
-        return enumerate_all(dbg, list(keywords), rmax,
-                             node_lists=node_lists)
-    if algorithm == "bu":
-        return bu_iter(dbg, list(keywords), rmax, node_lists=node_lists,
-                       stats=stats, budget_seconds=budget_seconds)
-    if algorithm == "td":
-        return td_iter(dbg, list(keywords), rmax, node_lists=node_lists,
-                       stats=stats, budget_seconds=budget_seconds)
-    raise QueryError(f"unknown COMM-all algorithm {algorithm!r}")
+    """COMM-all through the engine registry's uniform contract."""
+    return REGISTRY.get(algorithm).run_all(
+        dbg, list(keywords), rmax, node_lists=node_lists,
+        budget_seconds=budget_seconds, stats=stats)
 
 
 def _topk_result(algorithm: str, dbg, keywords, k, rmax, node_lists,
                  budget_seconds, stats):
-    if algorithm == "pd":
-        return TopKStream(dbg, list(keywords), rmax,
-                          node_lists=node_lists).take(k)
-    if algorithm == "bu":
-        return bu_top_k(dbg, list(keywords), k, rmax,
-                        node_lists=node_lists, stats=stats,
-                        budget_seconds=budget_seconds)
-    if algorithm == "td":
-        return td_top_k(dbg, list(keywords), k, rmax,
-                        node_lists=node_lists, stats=stats,
-                        budget_seconds=budget_seconds)
-    raise QueryError(f"unknown COMM-k algorithm {algorithm!r}")
+    """COMM-k through the engine registry's uniform contract."""
+    return REGISTRY.get(algorithm).run_top_k(
+        dbg, list(keywords), k, rmax, node_lists=node_lists,
+        budget_seconds=budget_seconds, stats=stats)
 
 
 @dataclass
@@ -124,9 +113,12 @@ def measure_all(search: CommunitySearch, dataset: str,
 
     ``budget_seconds`` censors BU/TD candidate enumeration (PD has
     polynomial delay and needs no budget; the cap bounds it).
+    ``RunResult.extra`` carries the engine instrumentation for the
+    run (projection stage timing, cache traffic, pool statistics).
     """
-    stats = BaselineStats()
-    dbg, node_lists = _prepare(search, keywords, rmax)
+    context = QueryContext()
+    stats = context.baseline
+    dbg, node_lists = _prepare(search, keywords, rmax, context)
     start = time.perf_counter()
     count, capped = _consume(
         _all_runner(algorithm, dbg, keywords, rmax, node_lists,
@@ -149,7 +141,8 @@ def measure_all(search: CommunitySearch, dataset: str,
     return RunResult(dataset=dataset, algorithm=algorithm, mode="all",
                      keywords=list(keywords), rmax=rmax, seconds=seconds,
                      communities=count, capped=capped,
-                     timed_out=timed_out, peak_kb=peak_kb)
+                     timed_out=timed_out, peak_kb=peak_kb,
+                     extra=context.as_dict())
 
 
 def measure_topk(search: CommunitySearch, dataset: str,
@@ -161,8 +154,9 @@ def measure_topk(search: CommunitySearch, dataset: str,
     """COMM-k: total time to produce the top-k (BU/TD censored by
     ``budget_seconds``; a censored run reports the partial answer and
     ``timed_out=True``)."""
-    stats = BaselineStats()
-    dbg, node_lists = _prepare(search, keywords, rmax)
+    context = QueryContext()
+    stats = context.baseline
+    dbg, node_lists = _prepare(search, keywords, rmax, context)
     start = time.perf_counter()
     results = _topk_result(algorithm, dbg, keywords, k, rmax,
                            node_lists, budget_seconds, stats)
@@ -181,7 +175,8 @@ def measure_topk(search: CommunitySearch, dataset: str,
     return RunResult(dataset=dataset, algorithm=algorithm, mode="topk",
                      keywords=list(keywords), rmax=rmax, seconds=seconds,
                      communities=len(results), k=k,
-                     timed_out=timed_out, peak_kb=peak_kb)
+                     timed_out=timed_out, peak_kb=peak_kb,
+                     extra=context.as_dict())
 
 
 def measure_interactive(search: CommunitySearch, dataset: str,
@@ -195,7 +190,8 @@ def measure_interactive(search: CommunitySearch, dataset: str,
     query with ``k + extra_k`` (their pruned pools cannot resume), so
     their reported time is *both* runs — exactly the paper's setup.
     """
-    dbg, node_lists = _prepare(search, keywords, rmax)
+    context = QueryContext()
+    dbg, node_lists = _prepare(search, keywords, rmax, context)
     if algorithm == "pd":
         start = time.perf_counter()
         stream = TopKStream(dbg, list(keywords), rmax,
@@ -206,7 +202,7 @@ def measure_interactive(search: CommunitySearch, dataset: str,
         produced = len(first) + len(more)
         timed_out = False
     elif algorithm in ("bu", "td"):
-        stats = BaselineStats()
+        stats = context.baseline
         start = time.perf_counter()
         first = _topk_result(algorithm, dbg, keywords, k, rmax,
                              node_lists, budget_seconds, stats)
@@ -218,11 +214,12 @@ def measure_interactive(search: CommunitySearch, dataset: str,
     else:
         raise QueryError(
             f"interactive mode supports pd/bu/td, got {algorithm!r}")
+    extra = context.as_dict()
+    extra["extra_k"] = float(extra_k)
     return RunResult(dataset=dataset, algorithm=algorithm,
                      mode="interactive", keywords=list(keywords),
                      rmax=rmax, seconds=seconds, communities=produced,
-                     k=k, timed_out=timed_out,
-                     extra={"extra_k": float(extra_k)})
+                     k=k, timed_out=timed_out, extra=extra)
 
 
 def sweep(points: Sequence, runner: Callable[[object], RunResult]

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.search import CommunitySearch
+from repro.engine.engine import QueryEngine
 from repro.datasets.dblp import DBLPConfig, dblp_graph
 from repro.datasets.imdb import IMDBConfig, imdb_graph
 from repro.datasets.vocab import KWF_VALUES, query_keywords
@@ -105,6 +106,16 @@ class DatasetBundle:
     def label(self) -> str:
         """Display name: ``"dblp/bench"``."""
         return f"{self.name}/{self.scale}"
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The facade's query engine (registry + projection cache).
+
+        Benchmarks that sweep one ``(keywords, rmax)`` point per
+        algorithm hit the cache after the first projection; pass
+        ``use_cache=False`` to :meth:`QueryEngine.project` to measure
+        Algorithm 6 itself."""
+        return self.search.engine
 
 
 _CACHE: Dict[Tuple[str, str], DatasetBundle] = {}

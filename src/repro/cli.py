@@ -24,6 +24,8 @@ import time
 from typing import Tuple
 
 from repro.core.search import CommunitySearch
+from repro.engine.context import QueryContext
+from repro.engine.spec import QuerySpec
 from repro.exceptions import ReproError
 from repro.graph.database_graph import DatabaseGraph
 from repro.graph.io import load_database_graph, save_database_graph
@@ -76,7 +78,13 @@ def cmd_build(args) -> int:
 
 
 def cmd_query(args) -> int:
-    """``query``: run a community query and print the answers."""
+    """``query``: run a community query and print the answers.
+
+    Queries are normalized into a :class:`~repro.engine.QuerySpec`
+    and executed by the facade's engine; ``--stats`` prints the
+    engine's per-stage instrumentation (resolve/project/enumerate/
+    translate timings, projection-cache traffic) afterwards.
+    """
     dbg, search = _resolve_search(args)
     keywords = [kw.strip() for kw in args.keywords.split(",")
                 if kw.strip()]
@@ -85,15 +93,17 @@ def cmd_query(args) -> int:
               file=sys.stderr)
         search.build_index(radius=args.rmax)
 
-    start = time.perf_counter()
     if args.all:
-        results = search.all_communities(keywords, args.rmax,
-                                         algorithm=args.algorithm,
-                                         aggregate=args.aggregate)
+        spec = QuerySpec.comm_all(keywords, args.rmax,
+                                  algorithm=args.algorithm,
+                                  aggregate=args.aggregate)
     else:
-        results = search.top_k(keywords, args.k, args.rmax,
-                               algorithm=args.algorithm,
-                               aggregate=args.aggregate)
+        spec = QuerySpec.comm_k(keywords, args.k, args.rmax,
+                                algorithm=args.algorithm,
+                                aggregate=args.aggregate)
+    context = QueryContext()
+    start = time.perf_counter()
+    results = search.engine.execute(spec, context)
     elapsed = time.perf_counter() - start
 
     for rank, community in enumerate(results, start=1):
@@ -103,6 +113,8 @@ def cmd_query(args) -> int:
     mode = "all" if args.all else f"top-{args.k}"
     print(f"{len(results)} communities ({mode}, Rmax={args.rmax:g}, "
           f"{args.algorithm}) in {elapsed:.2f}s")
+    if args.stats:
+        print(f"stages: {context.render()}")
     return 0
 
 
@@ -144,6 +156,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("pd", "bu", "td", "naive"))
     query.add_argument("--aggregate", default="sum",
                        choices=("sum", "max"))
+    query.add_argument("--stats", action="store_true",
+                       help="print per-stage engine instrumentation "
+                            "(timings, cache traffic) after the "
+                            "answers")
     query.set_defaults(func=cmd_query)
     return parser
 

@@ -26,8 +26,8 @@ equality, edges included.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.graph.csr import CompiledGraph
@@ -48,6 +48,23 @@ class ProjectionResult:
     node_lists: List[List[int]]    # keyword postings, projected ids
     union_nodes: int               # |V'| before the s/t filter
     union_edges: int               # |E'| before the s/t filter
+    _relabel_map: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def relabel_map(self) -> Dict[int, int]:
+        """``{projected id: G_D id}``, built once and memoized.
+
+        Translating a community back to ``G_D`` needs this dict;
+        building it per answer used to cost O(|V_P|) for every
+        community yielded. It is query-invariant, so it lives here —
+        one construction per projection, shared by every consumer
+        (including cached-projection reuse across queries).
+        """
+        if self._relabel_map is None:
+            self._relabel_map = {
+                new: old for new, old in enumerate(self.inverse)}
+        return self._relabel_map
 
     @property
     def n(self) -> int:

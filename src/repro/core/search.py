@@ -11,6 +11,15 @@
     first = stream.take(10)
     fifty_more = stream.more(50)           # no recomputation (PDk)
 
+Since the engine refactor this class is a thin wrapper over
+:class:`repro.engine.QueryEngine`: it normalizes arguments into
+:class:`~repro.engine.spec.QuerySpec` s and delegates. That buys every
+caller the engine's algorithm registry (no per-backend kwargs
+plumbing), its LRU projection cache (repeated ``(keywords, rmax)``
+queries skip Algorithm 6 — see :mod:`repro.engine.cache`), and its
+per-stage instrumentation (pass ``context=QueryContext()`` to any
+query method and read back stage timings and counters).
+
 Queries run on the Algorithm-6 projection whenever an index exists
 (exactly how the paper benchmarks every algorithm); results are
 translated back to ``G_D`` ids, and their edge sets re-induced against
@@ -20,96 +29,48 @@ translated back to ``G_D`` ids, and their edge sets re-induced against
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.baselines.bottom_up import bu_iter, bu_top_k
 from repro.core.baselines.pool import BaselineStats
-from repro.core.baselines.top_down import td_iter, td_top_k
-from repro.core.comm_all import enumerate_all
-from repro.core.comm_k import TopKStream
 from repro.core.community import Community
 from repro.core.cost import AggregateSpec
-from repro.core.naive import naive_all, naive_top_k
-from repro.core.projection import ProjectionResult, project
-from repro.exceptions import QueryError
+from repro.core.projection import ProjectionResult
+from repro.engine.cache import DEFAULT_CAPACITY
+from repro.engine.context import QueryContext
+from repro.engine.engine import QueryEngine
+from repro.engine.registry import REGISTRY, AlgorithmRegistry
+from repro.engine.spec import QuerySpec
+from repro.engine.stream import ProjectedTopKStream
 from repro.graph.database_graph import DatabaseGraph
 from repro.text.inverted_index import CommunityIndex
+from repro.text.maintenance import GraphDelta
 
-#: Algorithms accepted by :meth:`CommunitySearch.all_communities`.
+#: Algorithms accepted by :meth:`CommunitySearch.all_communities`
+#: (the default registry's backends; a custom registry may add more).
 ALL_ALGORITHMS = ("pd", "bu", "td", "naive")
 
 #: Algorithms accepted by :meth:`CommunitySearch.top_k`.
 TOPK_ALGORITHMS = ("pd", "bu", "td", "naive")
 
-
-class ProjectedTopKStream:
-    """A :class:`TopKStream` over a projection, translated to ``G_D``."""
-
-    def __init__(self, inner: TopKStream, projection: ProjectionResult,
-                 dbg: DatabaseGraph) -> None:
-        self._inner = inner
-        self._projection = projection
-        self._dbg = dbg
-
-    def next_community(self) -> Optional[Community]:
-        """Next ranked community in ``G_D`` id space, or ``None``."""
-        community = self._inner.next_community()
-        if community is None:
-            return None
-        return _translate(community, self._projection, self._dbg)
-
-    def take(self, k: int) -> List[Community]:
-        """Up to ``k`` further communities."""
-        result = []
-        for _ in range(k):
-            community = self.next_community()
-            if community is None:
-                break
-            result.append(community)
-        return result
-
-    more = take
-
-    @property
-    def emitted(self) -> int:
-        """How many communities this stream has produced."""
-        return self._inner.emitted
-
-    @property
-    def exhausted(self) -> bool:
-        """True when the stream has no more communities."""
-        return self._inner.exhausted
-
-    def __iter__(self) -> Iterator[Community]:
-        while True:
-            community = self.next_community()
-            if community is None:
-                return
-            yield community
-
-
-def _translate(community: Community, projection: ProjectionResult,
-               dbg: DatabaseGraph) -> Community:
-    """Projected ids -> G_D ids, re-inducing edges against G_D."""
-    relabeled = community.relabel(
-        {new: old for new, old in enumerate(projection.inverse)})
-    return Community(
-        core=relabeled.core,
-        cost=relabeled.cost,
-        centers=relabeled.centers,
-        pnodes=relabeled.pnodes,
-        nodes=relabeled.nodes,
-        edges=tuple(dbg.graph.induced_edges(relabeled.nodes)),
-    )
+__all__ = [
+    "ALL_ALGORITHMS",
+    "TOPK_ALGORITHMS",
+    "CommunitySearch",
+    "ProjectedTopKStream",
+]
 
 
 class CommunitySearch:
     """Community search over one database graph."""
 
     def __init__(self, dbg: DatabaseGraph,
-                 index: Optional[CommunityIndex] = None) -> None:
-        self.dbg = dbg
-        self.index = index
+                 index: Optional[CommunityIndex] = None,
+                 registry: Optional[AlgorithmRegistry] = None,
+                 cache_capacity: int = DEFAULT_CAPACITY) -> None:
+        self.engine = QueryEngine(
+            dbg, index=index,
+            registry=registry if registry is not None else REGISTRY,
+            cache_capacity=cache_capacity)
 
     @classmethod
     def from_database(cls, db, **graph_kwargs) -> "CommunitySearch":
@@ -118,25 +79,52 @@ class CommunitySearch:
         return cls(build_database_graph(db, **graph_kwargs))
 
     # ------------------------------------------------------------------
-    # indexing / projection
+    # delegated state
+    # ------------------------------------------------------------------
+    @property
+    def dbg(self) -> DatabaseGraph:
+        """The database graph queries run against."""
+        return self.engine.dbg
+
+    @property
+    def index(self) -> Optional[CommunityIndex]:
+        """The attached index; assigning one evicts cached projections."""
+        return self.engine.index
+
+    @index.setter
+    def index(self, index: Optional[CommunityIndex]) -> None:
+        """Attach/replace the index through the engine (generation
+        bump + cache invalidation)."""
+        self.engine.index = index
+
+    # ------------------------------------------------------------------
+    # indexing / projection / maintenance
     # ------------------------------------------------------------------
     def build_index(self, radius: float,
                     keywords: Optional[Sequence[str]] = None
                     ) -> CommunityIndex:
         """Build (and attach) the two inverted indexes for radius R."""
-        self.index = CommunityIndex.build(self.dbg, radius, keywords)
-        return self.index
+        return self.engine.build_index(radius, keywords)
 
-    def project(self, keywords: Sequence[str], rmax: float
+    def project(self, keywords: Sequence[str], rmax: float,
+                context: Optional[QueryContext] = None
                 ) -> ProjectionResult:
-        """Algorithm 6 projection for one query (requires an index)."""
-        if self.index is None:
-            raise QueryError(
-                "no index built; call build_index(radius=...) first or "
-                "query with use_projection=False")
-        for keyword in keywords:
-            self.index.require_keyword(keyword)
-        return project(self.index, keywords, rmax)
+        """Algorithm 6 projection for one query (requires an index).
+
+        Served from the engine's LRU cache when the same
+        ``(keyword set, rmax)`` was projected since the last index
+        change."""
+        return self.engine.project(keywords, rmax, context)
+
+    def apply_delta(self, delta: GraphDelta,
+                    banks_reweight: bool = False
+                    ) -> Tuple[DatabaseGraph, CommunityIndex]:
+        """Grow the graph + index in place and evict stale projections.
+
+        Convenience wrapper over
+        :func:`repro.text.maintenance.apply_delta` that keeps this
+        facade (and its projection cache) consistent afterwards."""
+        return self.engine.apply_delta(delta, banks_reweight)
 
     # ------------------------------------------------------------------
     # queries
@@ -146,114 +134,68 @@ class CommunitySearch:
                         use_projection: Optional[bool] = None,
                         aggregate: AggregateSpec = "sum",
                         budget_seconds: Optional[float] = None,
-                        stats: Optional[BaselineStats] = None
+                        stats: Optional[BaselineStats] = None,
+                        context: Optional[QueryContext] = None
                         ) -> List[Community]:
         """COMM-all: every community, duplication-free.
 
-        ``algorithm`` is one of ``"pd"`` (Algorithm 1), ``"bu"``,
-        ``"td"`` or ``"naive"``. With ``use_projection`` unset, the
-        projection is used whenever an index exists. ``aggregate``
-        picks the cost function ("sum" — the paper's — or "max").
+        ``algorithm`` names any registered backend (``"pd"`` —
+        Algorithm 1 —, ``"bu"``, ``"td"``, ``"naive"`` by default).
+        With ``use_projection`` unset, the projection is used whenever
+        an index exists. ``aggregate`` picks the cost function ("sum"
+        — the paper's — or "max").
         """
         return list(self.iter_all(keywords, rmax, algorithm,
                                   use_projection, aggregate,
-                                  budget_seconds, stats))
+                                  budget_seconds, stats, context))
 
     def iter_all(self, keywords: Sequence[str], rmax: float,
                  algorithm: str = "pd",
                  use_projection: Optional[bool] = None,
                  aggregate: AggregateSpec = "sum",
                  budget_seconds: Optional[float] = None,
-                 stats: Optional[BaselineStats] = None
+                 stats: Optional[BaselineStats] = None,
+                 context: Optional[QueryContext] = None
                  ) -> Iterator[Community]:
         """Streaming COMM-all (PDall streams with polynomial delay;
         the baselines materialize before yielding)."""
-        if algorithm not in ALL_ALGORITHMS:
-            raise QueryError(
-                f"unknown algorithm {algorithm!r}; expected one of "
-                f"{ALL_ALGORITHMS}")
-        runner: Dict[str, Callable] = {
-            "pd": enumerate_all,
-            "bu": bu_iter,
-            "td": td_iter,
-            "naive": naive_all,
-        }
-        dbg, node_lists, projection = self._query_graph(
-            keywords, rmax, use_projection)
-        kwargs = {"node_lists": node_lists, "aggregate": aggregate}
-        if algorithm in ("bu", "td"):
-            # budget/stats only apply to the pool-based baselines
-            kwargs["budget_seconds"] = budget_seconds
-            if stats is not None:
-                kwargs["stats"] = stats
-        results = runner[algorithm](dbg, list(keywords), rmax, **kwargs)
-        for community in results:
-            if projection is not None:
-                community = _translate(community, projection, self.dbg)
-            yield community
+        spec = QuerySpec.comm_all(
+            keywords, rmax, algorithm=algorithm,
+            use_projection=use_projection, aggregate=aggregate,
+            budget_seconds=budget_seconds)
+        return self.engine.iter_all(
+            spec, self._context(context, stats))
 
     def top_k(self, keywords: Sequence[str], k: int, rmax: float,
               algorithm: str = "pd",
               use_projection: Optional[bool] = None,
               aggregate: AggregateSpec = "sum",
               budget_seconds: Optional[float] = None,
-              stats: Optional[BaselineStats] = None
+              stats: Optional[BaselineStats] = None,
+              context: Optional[QueryContext] = None
               ) -> List[Community]:
         """COMM-k: the top-k communities in ascending cost order."""
-        if k <= 0:
-            raise QueryError(f"k must be positive, got {k}")
-        if algorithm == "pd":
-            return self.top_k_stream(keywords, rmax, use_projection,
-                                     aggregate).take(k)
-        if algorithm not in TOPK_ALGORITHMS:
-            raise QueryError(
-                f"unknown algorithm {algorithm!r}; expected one of "
-                f"{TOPK_ALGORITHMS}")
-        runner: Dict[str, Callable] = {
-            "bu": bu_top_k,
-            "td": td_top_k,
-            "naive": naive_top_k,
-        }
-        dbg, node_lists, projection = self._query_graph(
-            keywords, rmax, use_projection)
-        kwargs = {"node_lists": node_lists, "aggregate": aggregate}
-        if algorithm in ("bu", "td"):
-            kwargs["budget_seconds"] = budget_seconds
-            if stats is not None:
-                kwargs["stats"] = stats
-        results = runner[algorithm](dbg, list(keywords), k, rmax,
-                                    **kwargs)
-        if projection is not None:
-            results = [
-                _translate(c, projection, self.dbg) for c in results]
-        return results
+        spec = QuerySpec.comm_k(
+            keywords, k, rmax, algorithm=algorithm,
+            use_projection=use_projection, aggregate=aggregate,
+            budget_seconds=budget_seconds)
+        return self.engine.top_k(spec, self._context(context, stats))
 
     def top_k_stream(self, keywords: Sequence[str], rmax: float,
                      use_projection: Optional[bool] = None,
-                     aggregate: AggregateSpec = "sum"):
+                     aggregate: AggregateSpec = "sum",
+                     context: Optional[QueryContext] = None):
         """A PDk stream: iterate, or ``take(k)`` then ``more(n)``
         interactively with no recomputation."""
-        dbg, node_lists, projection = self._query_graph(
-            keywords, rmax, use_projection)
-        inner = TopKStream(dbg, list(keywords), rmax,
-                           node_lists=node_lists, aggregate=aggregate)
-        if projection is None:
-            return inner
-        return ProjectedTopKStream(inner, projection, self.dbg)
+        return self.engine.top_k_stream(keywords, rmax, use_projection,
+                                        aggregate, context)
 
     # ------------------------------------------------------------------
-    def _query_graph(self, keywords: Sequence[str], rmax: float,
-                     use_projection: Optional[bool]):
-        if not keywords:
-            raise QueryError("a query needs at least one keyword")
-        if use_projection is None:
-            use_projection = self.index is not None
-        if use_projection:
-            projection = self.project(keywords, rmax)
-            return projection.subgraph, projection.node_lists, projection
-        node_lists = None
-        if self.index is not None:
-            for keyword in keywords:
-                self.index.require_keyword(keyword)
-            node_lists = [self.index.nodes(kw) for kw in keywords]
-        return self.dbg, node_lists, None
+    @staticmethod
+    def _context(context: Optional[QueryContext],
+                 stats: Optional[BaselineStats]) -> QueryContext:
+        """Merge the legacy ``stats`` argument into one context."""
+        ctx = context if context is not None else QueryContext()
+        if stats is not None:
+            ctx.baseline = stats
+        return ctx

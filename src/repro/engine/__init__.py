@@ -1,0 +1,46 @@
+"""The execution engine: specs, registry, projection cache, contexts.
+
+This subsystem is the seam between the inverted indexes and the
+paper's algorithms, introduced so every query path — facade, CLI,
+benchmarks — shares one plan/execute/instrument pipeline:
+
+* :mod:`repro.engine.spec` — :class:`QuerySpec`, the validated
+  immutable description of one COMM-all/COMM-k query;
+* :mod:`repro.engine.context` — :class:`QueryContext`, per-stage
+  wall-clock and counters flowing through one channel;
+* :mod:`repro.engine.registry` — :class:`AlgorithmRegistry` with the
+  uniform backend contract (``pd``/``bu``/``td``/``naive`` built in);
+* :mod:`repro.engine.cache` — :class:`ProjectionCache`, LRU over
+  Algorithm 6 results with generation-based invalidation;
+* :mod:`repro.engine.engine` — :class:`QueryEngine`, tying the above
+  together (and :func:`translate_community`);
+* :mod:`repro.engine.stream` — :class:`ProjectedTopKStream` for
+  interactive PDk over a projection.
+"""
+
+from repro.engine.cache import CacheStats, ProjectionCache
+from repro.engine.context import QueryContext, ensure_context
+from repro.engine.engine import QueryEngine, translate_community
+from repro.engine.registry import (
+    REGISTRY,
+    AlgorithmRegistry,
+    AlgorithmSpec,
+    default_registry,
+)
+from repro.engine.spec import QuerySpec
+from repro.engine.stream import ProjectedTopKStream
+
+__all__ = [
+    "REGISTRY",
+    "AlgorithmRegistry",
+    "AlgorithmSpec",
+    "CacheStats",
+    "ProjectedTopKStream",
+    "ProjectionCache",
+    "QueryContext",
+    "QueryEngine",
+    "QuerySpec",
+    "default_registry",
+    "ensure_context",
+    "translate_community",
+]

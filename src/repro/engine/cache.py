@@ -1,0 +1,143 @@
+"""LRU projection cache with generation-based invalidation.
+
+Algorithm 6 is the shared prefix of every indexed query: for a
+repeated or interactive ``(keyword set, Rmax)`` pair the projection is
+identical, yet the old facade re-ran it from scratch each call. The
+paper's own measurements motivate caching — projections are 0.4–1.8 %
+of ``G_D``, so a handful of retained
+:class:`~repro.core.projection.ProjectionResult` objects is cheap
+while saving the dominant per-query cost.
+
+Correctness across index maintenance is handled with **generations**:
+every cache entry records the generation number of the index it was
+computed from, and the owning engine bumps its generation whenever the
+index changes (``apply_delta``, ``build_index``, or any assignment).
+A lookup whose stored generation differs from the caller's current one
+is treated as a miss and the stale entry is dropped immediately — no
+scanning, no timestamps, no risk of serving pre-delta answers.
+
+Eviction is plain LRU over an :class:`collections.OrderedDict`;
+:class:`CacheStats` keeps the hit/miss/eviction counts the benchmark
+harness and the stage report surface.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.projection import ProjectionResult
+from repro.exceptions import QueryError
+
+#: Cache keys: the keyword *set* (order never matters to Algorithm 6)
+#: plus the query radius.
+CacheKey = Tuple[FrozenSet[str], float]
+
+#: Default number of retained projections per engine.
+DEFAULT_CAPACITY = 32
+
+
+@dataclass
+class CacheStats:
+    """Occupancy and traffic counters for one projection cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    stale_drops: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when never queried)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat metric view for reports."""
+        return {
+            "cache_hits": float(self.hits),
+            "cache_misses": float(self.misses),
+            "cache_evictions": float(self.evictions),
+            "cache_invalidations": float(self.invalidations),
+            "cache_stale_drops": float(self.stale_drops),
+        }
+
+
+class ProjectionCache:
+    """Bounded LRU of ``(keyword set, rmax) -> ProjectionResult``."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise QueryError(
+                f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, Tuple[int, ProjectionResult]]" \
+            = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # lookup / insert
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey,
+            generation: int) -> Optional[ProjectionResult]:
+        """The cached projection, or ``None`` on miss/stale entry.
+
+        An entry built against an older index generation is dropped on
+        sight: after :func:`repro.text.maintenance.apply_delta` the
+        old projection may lack new nodes/edges entirely.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        stored_generation, projection = entry
+        if stored_generation != generation:
+            del self._entries[key]
+            self.stats.stale_drops += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return projection
+
+    def put(self, key: CacheKey, generation: int,
+            projection: ProjectionResult) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (generation, projection)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # invalidation / inspection
+    # ------------------------------------------------------------------
+    def invalidate(self) -> int:
+        """Drop everything; returns how many entries were removed.
+
+        The engine calls this when the index is *replaced* (not just
+        grown), where generation comparison alone could collide — a
+        rebuilt index restarts its own counter.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        if dropped:
+            self.stats.invalidations += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Tuple[CacheKey, ...]:
+        """Current keys, LRU-first (diagnostics)."""
+        return tuple(self._entries)

@@ -1,0 +1,141 @@
+"""Per-query instrumentation: one channel for counters and timings.
+
+Before the engine existed, measurement was threaded ad hoc: the
+baselines took an optional ``BaselineStats``, the harness timed around
+calls, and the projection reported nothing. A :class:`QueryContext`
+replaces all of that with a single object that rides along with one
+query execution and records
+
+* **stage timings** — wall-clock seconds per engine stage
+  (``resolve`` keyword postings, ``project`` Algorithm 6, ``enumerate``
+  the algorithm proper, ``translate`` back to ``G_D`` ids);
+* **counters** — cache hits/misses, projection runs, communities
+  produced, and anything a backend wants to add;
+* the familiar :class:`~repro.core.baselines.pool.BaselineStats` for
+  the BU/TD pool bookkeeping, so those numbers flow through the same
+  object.
+
+``repro.bench`` attaches a context per measured run and copies it into
+``RunResult.extra``; ``repro.analysis.stage_report`` renders it for
+humans. Contexts are cheap — a handful of dict entries — so passing
+one everywhere costs nothing when nobody reads it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.core.baselines.pool import BaselineStats
+
+#: The engine's canonical stages, in execution order.
+STAGES = ("resolve", "project", "enumerate", "translate")
+
+
+@dataclass
+class QueryContext:
+    """Instrumentation for one query execution.
+
+    ``timings`` maps stage name to accumulated wall-clock seconds;
+    ``counters`` maps event name to occurrence count; ``baseline``
+    collects the BU/TD pool statistics when those backends run.
+    """
+
+    timings: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    baseline: BaselineStats = field(default_factory=BaselineStats)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block, accumulating into ``timings[name]``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate externally measured seconds into a stage."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    def count(self, name: str, increment: int = 1) -> int:
+        """Bump a counter; returns the new value."""
+        value = self.counters.get(name, 0) + increment
+        self.counters[name] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        """Accumulated wall-clock for one stage (0.0 when never run)."""
+        return self.timings.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        """One counter's value (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of every recorded stage timing."""
+        return sum(self.timings.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """A flat ``{metric: value}`` view for ``RunResult.extra``.
+
+        Stage timings appear as ``<stage>_seconds``, counters under
+        their own names, and the baseline pool numbers (when any
+        backend touched them) as ``pool_*`` entries.
+        """
+        flat: Dict[str, float] = {
+            f"{name}_seconds": seconds
+            for name, seconds in self.timings.items()
+        }
+        for name, value in self.counters.items():
+            flat[name] = float(value)
+        if (self.baseline.candidates or self.baseline.duplicates
+                or self.baseline.pool_peak or self.baseline.expansions):
+            flat["pool_candidates"] = float(self.baseline.candidates)
+            flat["pool_duplicates"] = float(self.baseline.duplicates)
+            flat["pool_peak"] = float(self.baseline.pool_peak)
+            flat["pool_expansions"] = float(self.baseline.expansions)
+        return flat
+
+    def merge(self, other: "QueryContext") -> None:
+        """Fold another context's numbers into this one (sweeps)."""
+        for name, seconds in other.timings.items():
+            self.add_time(name, seconds)
+        for name, value in other.counters.items():
+            self.count(name, value)
+        self.baseline.candidates += other.baseline.candidates
+        self.baseline.duplicates += other.baseline.duplicates
+        self.baseline.expansions += other.baseline.expansions
+        self.baseline.pool_peak = max(self.baseline.pool_peak,
+                                      other.baseline.pool_peak)
+
+    def render(self) -> str:
+        """One-line summary: stages in canonical order, then counters."""
+        parts = [
+            f"{name}={self.timings[name] * 1000.0:.2f}ms"
+            for name in STAGES if name in self.timings
+        ]
+        parts += [
+            f"{name}={self.timings[name] * 1000.0:.2f}ms"
+            for name in sorted(self.timings) if name not in STAGES
+        ]
+        parts += [
+            f"{name}={self.counters[name]}"
+            for name in sorted(self.counters)
+        ]
+        return " ".join(parts) if parts else "(no instrumentation)"
+
+
+def ensure_context(context: Optional[QueryContext]) -> QueryContext:
+    """The given context, or a fresh throwaway one."""
+    return context if context is not None else QueryContext()

@@ -1,0 +1,284 @@
+"""The query engine: plan, project (with caching), run, translate.
+
+:class:`QueryEngine` is the execution layer between the inverted
+indexes and the paper's algorithms. One engine owns
+
+* the database graph and (optionally) its
+  :class:`~repro.text.inverted_index.CommunityIndex`;
+* an :class:`~repro.engine.registry.AlgorithmRegistry` of backends
+  sharing one invocation contract;
+* a :class:`~repro.engine.cache.ProjectionCache` so repeated and
+  interactive ``(keyword set, Rmax)`` queries skip Algorithm 6;
+* a monotonically increasing **generation** number, bumped on every
+  index change (``build_index``, ``apply_delta``, or assignment),
+  which stale-checks every cache entry.
+
+Execution is staged — resolve → project → enumerate → translate — and
+each stage reports wall-clock and counters into the caller's
+:class:`~repro.engine.context.QueryContext`, which is how both the
+benchmark harness and ``repro.analysis`` observe a query now.
+
+The :class:`~repro.core.search.CommunitySearch` facade is a thin
+wrapper over this class; new infrastructure (sharding, batching,
+async fan-out) should build against the engine directly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.community import Community
+from repro.core.comm_k import TopKStream
+from repro.core.cost import AggregateSpec
+from repro.core.projection import ProjectionResult
+from repro.core.projection import project as run_projection
+from repro.engine.cache import DEFAULT_CAPACITY, ProjectionCache
+from repro.engine.context import QueryContext, ensure_context
+from repro.engine.registry import REGISTRY, AlgorithmRegistry
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+from repro.text.inverted_index import CommunityIndex
+from repro.text.maintenance import GraphDelta, apply_delta
+
+
+def translate_community(community: Community,
+                        projection: ProjectionResult,
+                        dbg: DatabaseGraph) -> Community:
+    """Projected ids -> ``G_D`` ids, re-inducing edges against ``G_D``.
+
+    Uses the projection's memoized
+    :attr:`~repro.core.projection.ProjectionResult.relabel_map`, so
+    the ``{new: old}`` dict is built once per projection rather than
+    once per answer. Edge re-induction restores Definition 2.1 exactly
+    (see :mod:`repro.core.projection` for why ``E'`` may under-cover).
+    """
+    relabeled = community.relabel(projection.relabel_map)
+    return Community(
+        core=relabeled.core,
+        cost=relabeled.cost,
+        centers=relabeled.centers,
+        pnodes=relabeled.pnodes,
+        nodes=relabeled.nodes,
+        edges=tuple(dbg.graph.induced_edges(relabeled.nodes)),
+    )
+
+
+class QueryEngine:
+    """Executes :class:`~repro.engine.spec.QuerySpec` s on one graph."""
+
+    def __init__(self, dbg: DatabaseGraph,
+                 index: Optional[CommunityIndex] = None,
+                 registry: Optional[AlgorithmRegistry] = None,
+                 cache: Optional[ProjectionCache] = None,
+                 cache_capacity: int = DEFAULT_CAPACITY) -> None:
+        self.dbg = dbg
+        self.registry = registry if registry is not None else REGISTRY
+        self.cache = (cache if cache is not None
+                      else ProjectionCache(cache_capacity))
+        self._generation = 0
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # index lifecycle — every change advances the generation
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> Optional[CommunityIndex]:
+        """The attached community index, if any."""
+        return self._index
+
+    @index.setter
+    def index(self, index: Optional[CommunityIndex]) -> None:
+        """Attach/replace the index, invalidating cached projections."""
+        self._index = index
+        self._generation += 1
+        self.cache.invalidate()
+
+    @property
+    def generation(self) -> int:
+        """Monotonic index-change counter; tags every cache entry."""
+        return self._generation
+
+    def build_index(self, radius: float,
+                    keywords: Optional[Sequence[str]] = None
+                    ) -> CommunityIndex:
+        """Build and attach the two inverted indexes for radius R."""
+        self.index = CommunityIndex.build(self.dbg, radius, keywords)
+        return self.index
+
+    def apply_delta(self, delta: GraphDelta,
+                    banks_reweight: bool = False
+                    ) -> Tuple[DatabaseGraph, CommunityIndex]:
+        """Grow the graph, update the index, evict stale projections.
+
+        Delegates to :func:`repro.text.maintenance.apply_delta`, then
+        swaps in the grown graph/index. The assignment bumps the
+        generation, so projections computed before the delta can never
+        be served again — the cache-correctness property the
+        maintenance property tests assert.
+        """
+        if self.index is None:
+            raise QueryError(
+                "apply_delta needs an attached index; call "
+                "build_index(radius=...) first")
+        new_dbg, new_index = apply_delta(self.index, delta,
+                                         banks_reweight)
+        self.dbg = new_dbg
+        self.index = new_index          # bumps generation, evicts
+        return new_dbg, new_index
+
+    # ------------------------------------------------------------------
+    # projection (Algorithm 6), cached
+    # ------------------------------------------------------------------
+    def project(self, keywords: Sequence[str], rmax: float,
+                context: Optional[QueryContext] = None,
+                use_cache: bool = True) -> ProjectionResult:
+        """The query's projection, from cache when possible.
+
+        Counters: ``projection_cache_hits`` / ``projection_cache_misses``
+        record cache traffic, ``projection_runs`` counts actual
+        Algorithm 6 executions — a repeated query shows ``runs == 1``
+        however many times it is asked.
+        """
+        ctx = ensure_context(context)
+        if self.index is None:
+            raise QueryError(
+                "no index built; call build_index(radius=...) first or "
+                "query with use_projection=False")
+        with ctx.stage("resolve"):
+            for keyword in keywords:
+                self.index.require_keyword(keyword)
+        key = (frozenset(keywords), float(rmax))
+        if use_cache:
+            cached = self.cache.get(key, self._generation)
+            if cached is not None:
+                ctx.count("projection_cache_hits")
+                return cached
+            ctx.count("projection_cache_misses")
+        with ctx.stage("project"):
+            projection = run_projection(self.index, list(keywords),
+                                        rmax)
+        ctx.count("projection_runs")
+        if use_cache:
+            self.cache.put(key, self._generation, projection)
+        return projection
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def iter_all(self, spec: QuerySpec,
+                 context: Optional[QueryContext] = None
+                 ) -> Iterator[Community]:
+        """Streaming COMM-all through the registered backend.
+
+        Validation, projection and backend startup happen eagerly —
+        only the enumeration itself is lazy — so a bad algorithm name
+        or keyword fails at the call site, not on first ``next()``.
+        """
+        if spec.mode != "all":
+            raise QueryError(
+                f"iter_all needs an 'all' spec, got {spec.mode!r}")
+        ctx = ensure_context(context)
+        backend = self.registry.get(spec.algorithm)
+        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        results = iter(backend.run_all(
+            dbg, spec.keywords, spec.rmax, node_lists=node_lists,
+            aggregate=spec.aggregate,
+            budget_seconds=spec.budget_seconds, stats=ctx.baseline))
+        return self._drive(results, projection, ctx)
+
+    def _drive(self, results: Iterator[Community],
+               projection: Optional[ProjectionResult],
+               ctx: QueryContext) -> Iterator[Community]:
+        """Pump a backend iterator, timing enumerate/translate."""
+        while True:
+            start = time.perf_counter()
+            try:
+                community = next(results)
+            except StopIteration:
+                ctx.add_time("enumerate", time.perf_counter() - start)
+                return
+            ctx.add_time("enumerate", time.perf_counter() - start)
+            if projection is not None:
+                with ctx.stage("translate"):
+                    community = translate_community(
+                        community, projection, self.dbg)
+            ctx.count("communities")
+            yield community
+
+    def run_all(self, spec: QuerySpec,
+                context: Optional[QueryContext] = None
+                ) -> List[Community]:
+        """Materialized COMM-all."""
+        return list(self.iter_all(spec, context))
+
+    def top_k(self, spec: QuerySpec,
+              context: Optional[QueryContext] = None
+              ) -> List[Community]:
+        """COMM-k through the registered backend."""
+        if spec.mode != "topk":
+            raise QueryError(
+                f"top_k needs a 'topk' spec, got {spec.mode!r}")
+        ctx = ensure_context(context)
+        backend = self.registry.get(spec.algorithm)
+        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        with ctx.stage("enumerate"):
+            results = backend.run_top_k(
+                dbg, spec.keywords, spec.k, spec.rmax,
+                node_lists=node_lists, aggregate=spec.aggregate,
+                budget_seconds=spec.budget_seconds, stats=ctx.baseline)
+        if projection is not None:
+            with ctx.stage("translate"):
+                results = [
+                    translate_community(c, projection, self.dbg)
+                    for c in results]
+        ctx.count("communities", len(results))
+        return results
+
+    def execute(self, spec: QuerySpec,
+                context: Optional[QueryContext] = None
+                ) -> List[Community]:
+        """Run any spec to a materialized answer list."""
+        if spec.mode == "topk":
+            return self.top_k(spec, context)
+        return self.run_all(spec, context)
+
+    def top_k_stream(self, keywords: Sequence[str], rmax: float,
+                     use_projection: Optional[bool] = None,
+                     aggregate: AggregateSpec = "sum",
+                     context: Optional[QueryContext] = None
+                     ) -> Union[TopKStream, "ProjectedTopKStream"]:
+        """A resumable PDk stream (``take(k)`` then ``more(n)``)."""
+        ctx = ensure_context(context)
+        spec = QuerySpec(tuple(keywords), rmax, mode="all",
+                         aggregate=aggregate,
+                         use_projection=use_projection)
+        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        with ctx.stage("enumerate"):
+            inner = TopKStream(dbg, list(keywords), rmax,
+                               node_lists=node_lists,
+                               aggregate=aggregate)
+        if projection is None:
+            return inner
+        from repro.engine.stream import ProjectedTopKStream
+        return ProjectedTopKStream(inner, projection, self.dbg,
+                                   context=ctx)
+
+    # ------------------------------------------------------------------
+    def _query_graph(self, spec: QuerySpec, ctx: QueryContext):
+        """Pick the execution graph: projection, or ``G_D`` directly."""
+        use_projection = spec.use_projection
+        if use_projection is None:
+            use_projection = self._index is not None
+        if use_projection:
+            projection = self.project(spec.keywords, spec.rmax, ctx)
+            return projection.subgraph, projection.node_lists, projection
+        node_lists = None
+        if self._index is not None:
+            with ctx.stage("resolve"):
+                for keyword in spec.keywords:
+                    self._index.require_keyword(keyword)
+                node_lists = [
+                    self._index.nodes(kw) for kw in spec.keywords]
+        return self.dbg, node_lists, None

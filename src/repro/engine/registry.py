@@ -1,0 +1,230 @@
+"""The algorithm registry: one invocation contract for every backend.
+
+The facade used to keep per-method dicts of callables and hand-plumb
+``budget_seconds``/``stats`` kwargs into exactly the backends that
+accepted them. The registry replaces that with
+:class:`AlgorithmSpec` adapters that all share one signature:
+
+* ``run_all(dbg, keywords, rmax, *, node_lists, aggregate,
+  budget_seconds, stats) -> Iterator[Community]``
+* ``run_top_k(dbg, keywords, k, rmax, *, node_lists, aggregate,
+  budget_seconds, stats) -> List[Community]``
+
+Adapters for backends that ignore the budget (PD has polynomial
+delay; naive is the test oracle) simply drop those arguments, so
+callers never special-case again. New backends — future sharded or
+approximate engines — register themselves with
+:meth:`AlgorithmRegistry.register` and immediately work through the
+facade, the CLI and the benchmark harness.
+
+The default registry ships the paper's four backends: ``pd``
+(Algorithms 1/5), ``bu``, ``td`` and ``naive``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.baselines.bottom_up import bu_iter, bu_top_k
+from repro.core.baselines.pool import BaselineStats
+from repro.core.baselines.top_down import td_iter, td_top_k
+from repro.core.comm_all import enumerate_all
+from repro.core.comm_k import TopKStream
+from repro.core.community import Community
+from repro.core.cost import AggregateSpec
+from repro.core.naive import naive_all, naive_top_k
+from repro.exceptions import QueryError
+from repro.graph.database_graph import DatabaseGraph
+
+#: The uniform COMM-all entry point type.
+AllRunner = Callable[..., Iterator[Community]]
+#: The uniform COMM-k entry point type.
+TopKRunner = Callable[..., List[Community]]
+
+NodeLists = Optional[Sequence[Sequence[int]]]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered backend and its capabilities.
+
+    ``supports_budget`` marks the combinatorial baselines whose
+    enumeration the :class:`~repro.core.baselines.pool.Deadline`
+    censors; ``streams`` marks backends with a resumable ranked
+    stream (only ``pd``, via
+    :class:`~repro.core.comm_k.TopKStream`).
+    """
+
+    name: str
+    run_all: AllRunner
+    run_top_k: TopKRunner
+    supports_budget: bool = False
+    streams: bool = False
+    description: str = ""
+
+
+class AlgorithmRegistry:
+    """Named backends sharing the engine's invocation contract."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, AlgorithmSpec] = {}
+
+    def register(self, spec: AlgorithmSpec,
+                 replace: bool = False) -> AlgorithmSpec:
+        """Add a backend; re-registration needs ``replace=True``."""
+        if spec.name in self._specs and not replace:
+            raise QueryError(
+                f"algorithm {spec.name!r} is already registered; pass "
+                f"replace=True to override")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> AlgorithmSpec:
+        """Look a backend up, or raise listing the known names."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown algorithm {name!r}; expected one of "
+                f"{self.names()}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered backend names, sorted."""
+        return tuple(sorted(self._specs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# ----------------------------------------------------------------------
+# adapters — normalize each backend onto the uniform contract
+# ----------------------------------------------------------------------
+def _pd_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float, *,
+            node_lists: NodeLists = None,
+            aggregate: AggregateSpec = "sum",
+            budget_seconds: Optional[float] = None,
+            stats: Optional[BaselineStats] = None
+            ) -> Iterator[Community]:
+    """PDall (Algorithm 1): polynomial delay, no budget needed."""
+    del budget_seconds, stats
+    return enumerate_all(dbg, list(keywords), rmax,
+                         node_lists=node_lists, aggregate=aggregate)
+
+
+def _pd_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+              rmax: float, *, node_lists: NodeLists = None,
+              aggregate: AggregateSpec = "sum",
+              budget_seconds: Optional[float] = None,
+              stats: Optional[BaselineStats] = None
+              ) -> List[Community]:
+    """PDk (Algorithm 5): take k from a fresh ranked stream."""
+    del budget_seconds, stats
+    return TopKStream(dbg, list(keywords), rmax, node_lists=node_lists,
+                      aggregate=aggregate).take(k)
+
+
+def _bu_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float, *,
+            node_lists: NodeLists = None,
+            aggregate: AggregateSpec = "sum",
+            budget_seconds: Optional[float] = None,
+            stats: Optional[BaselineStats] = None
+            ) -> Iterator[Community]:
+    """BUall with pool stats and budget censoring."""
+    return bu_iter(dbg, list(keywords), rmax, node_lists=node_lists,
+                   stats=stats, aggregate=aggregate,
+                   budget_seconds=budget_seconds)
+
+
+def _bu_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+              rmax: float, *, node_lists: NodeLists = None,
+              aggregate: AggregateSpec = "sum",
+              budget_seconds: Optional[float] = None,
+              stats: Optional[BaselineStats] = None
+              ) -> List[Community]:
+    """BUk with pool stats and budget censoring."""
+    return bu_top_k(dbg, list(keywords), k, rmax, node_lists=node_lists,
+                    stats=stats, aggregate=aggregate,
+                    budget_seconds=budget_seconds)
+
+
+def _td_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float, *,
+            node_lists: NodeLists = None,
+            aggregate: AggregateSpec = "sum",
+            budget_seconds: Optional[float] = None,
+            stats: Optional[BaselineStats] = None
+            ) -> Iterator[Community]:
+    """TDall with pool stats and budget censoring."""
+    return td_iter(dbg, list(keywords), rmax, node_lists=node_lists,
+                   stats=stats, aggregate=aggregate,
+                   budget_seconds=budget_seconds)
+
+
+def _td_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+              rmax: float, *, node_lists: NodeLists = None,
+              aggregate: AggregateSpec = "sum",
+              budget_seconds: Optional[float] = None,
+              stats: Optional[BaselineStats] = None
+              ) -> List[Community]:
+    """TDk with pool stats and budget censoring."""
+    return td_top_k(dbg, list(keywords), k, rmax, node_lists=node_lists,
+                    stats=stats, aggregate=aggregate,
+                    budget_seconds=budget_seconds)
+
+
+def _naive_all(dbg: DatabaseGraph, keywords: Sequence[str], rmax: float,
+               *, node_lists: NodeLists = None,
+               aggregate: AggregateSpec = "sum",
+               budget_seconds: Optional[float] = None,
+               stats: Optional[BaselineStats] = None
+               ) -> Iterator[Community]:
+    """The O(n^l) reference enumerator (materializes, then yields)."""
+    del budget_seconds, stats
+    return iter(naive_all(dbg, list(keywords), rmax,
+                          node_lists=node_lists, aggregate=aggregate))
+
+
+def _naive_top_k(dbg: DatabaseGraph, keywords: Sequence[str], k: int,
+                 rmax: float, *, node_lists: NodeLists = None,
+                 aggregate: AggregateSpec = "sum",
+                 budget_seconds: Optional[float] = None,
+                 stats: Optional[BaselineStats] = None
+                 ) -> List[Community]:
+    """The reference top-k (full enumeration, then truncate)."""
+    del budget_seconds, stats
+    return naive_top_k(dbg, list(keywords), k, rmax,
+                       node_lists=node_lists, aggregate=aggregate)
+
+
+def default_registry() -> AlgorithmRegistry:
+    """A fresh registry with the paper's four backends."""
+    registry = AlgorithmRegistry()
+    registry.register(AlgorithmSpec(
+        "pd", _pd_all, _pd_top_k, supports_budget=False, streams=True,
+        description="polynomial-delay enumeration (Algorithms 1/5)"))
+    registry.register(AlgorithmSpec(
+        "bu", _bu_all, _bu_top_k, supports_budget=True,
+        description="bottom-up expansion baseline"))
+    registry.register(AlgorithmSpec(
+        "td", _td_all, _td_top_k, supports_budget=True,
+        description="top-down per-node baseline"))
+    registry.register(AlgorithmSpec(
+        "naive", _naive_all, _naive_top_k, supports_budget=False,
+        description="O(n^l) exhaustive reference"))
+    return registry
+
+
+#: The process-wide default registry every engine shares unless given
+#: its own (tests register experimental backends on private copies).
+REGISTRY = default_registry()

@@ -1,0 +1,82 @@
+"""Projected ranked streams: PDk translated back to ``G_D``.
+
+:class:`ProjectedTopKStream` wraps a
+:class:`~repro.core.comm_k.TopKStream` running on an Algorithm 6
+projection and translates every answer to ``G_D`` id space using the
+projection's memoized relabel map (built once, not per answer). When
+given a :class:`~repro.engine.context.QueryContext` it accounts each
+``Next()`` into the ``enumerate``/``translate`` stages and the
+``communities`` counter, so interactive sessions are observable the
+same way batch queries are.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional
+
+from repro.core.comm_k import TopKStream
+from repro.core.community import Community
+from repro.core.projection import ProjectionResult
+from repro.engine.context import QueryContext
+from repro.engine.engine import translate_community
+from repro.graph.database_graph import DatabaseGraph
+
+
+class ProjectedTopKStream:
+    """A :class:`TopKStream` over a projection, translated to ``G_D``."""
+
+    def __init__(self, inner: TopKStream, projection: ProjectionResult,
+                 dbg: DatabaseGraph,
+                 context: Optional[QueryContext] = None) -> None:
+        self._inner = inner
+        self._projection = projection
+        self._dbg = dbg
+        self._context = context
+
+    def next_community(self) -> Optional[Community]:
+        """Next ranked community in ``G_D`` id space, or ``None``."""
+        start = time.perf_counter()
+        community = self._inner.next_community()
+        if self._context is not None:
+            self._context.add_time("enumerate",
+                                   time.perf_counter() - start)
+        if community is None:
+            return None
+        start = time.perf_counter()
+        translated = translate_community(community, self._projection,
+                                         self._dbg)
+        if self._context is not None:
+            self._context.add_time("translate",
+                                   time.perf_counter() - start)
+            self._context.count("communities")
+        return translated
+
+    def take(self, k: int) -> List[Community]:
+        """Up to ``k`` further communities."""
+        result = []
+        for _ in range(k):
+            community = self.next_community()
+            if community is None:
+                break
+            result.append(community)
+        return result
+
+    more = take
+
+    @property
+    def emitted(self) -> int:
+        """How many communities this stream has produced."""
+        return self._inner.emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the stream has no more communities."""
+        return self._inner.exhausted
+
+    def __iter__(self) -> Iterator[Community]:
+        while True:
+            community = self.next_community()
+            if community is None:
+                return
+            yield community

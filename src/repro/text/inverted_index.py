@@ -143,12 +143,17 @@ class CommunityIndex:
 
     def __init__(self, dbg: DatabaseGraph, node_index: NodeInvertedIndex,
                  edge_index: EdgeInvertedIndex, radius: float,
-                 build_seconds: float) -> None:
+                 build_seconds: float, generation: int = 0) -> None:
         self.dbg = dbg
         self.node_index = node_index
         self.edge_index = edge_index
         self.radius = radius
         self.build_seconds = build_seconds
+        #: Maintenance lineage: 0 for a fresh build, +1 per applied
+        #: :class:`~repro.text.maintenance.GraphDelta`. The engine's
+        #: projection cache uses index changes to stale-check entries;
+        #: this counter makes the lineage observable in stats/reports.
+        self.generation = generation
 
     @classmethod
     def build(cls, dbg: DatabaseGraph, radius: float,
@@ -199,6 +204,7 @@ class CommunityIndex:
             "edge_postings": self.edge_index.entry_count(),
             "size_bytes": self.size_bytes(),
             "build_seconds": self.build_seconds,
+            "generation": self.generation,
         }
 
     def __repr__(self) -> str:

@@ -24,6 +24,14 @@ Soundness argument (why local recomputation is safe):
 
 The equivalence (updated index answers ≡ fresh-rebuild answers) is
 property-tested in ``tests/property/test_maintenance_props.py``.
+
+Each applied delta advances the index ``generation`` counter
+(:attr:`CommunityIndex.generation`); the execution engine's projection
+cache keys its entries on index generation, so applying a delta
+through :meth:`repro.engine.QueryEngine.apply_delta` (or the
+:class:`~repro.core.search.CommunitySearch` facade) automatically
+evicts every pre-delta projection — cached answers can never lag a
+grown graph (``tests/property/test_projection_cache_props.py``).
 """
 
 from __future__ import annotations
@@ -191,6 +199,7 @@ def update_index(index: CommunityIndex, new_dbg: DatabaseGraph,
         EdgeInvertedIndex(edge_postings, radius),
         radius,
         index.build_seconds + elapsed,
+        generation=index.generation + 1,
     )
 
 

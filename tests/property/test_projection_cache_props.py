@@ -1,0 +1,108 @@
+"""Property tests for projection-cache correctness.
+
+The engine's LRU projection cache must be *invisible* except for
+speed:
+
+1. answers served through a cached projection are identical — cores,
+   costs, ranks, node sets and edge sets — to answers from a fresh
+   Algorithm 6 run;
+2. applying a :class:`~repro.text.maintenance.GraphDelta` evicts the
+   affected entries (generation bump), and post-delta answers match a
+   from-scratch rebuild on the grown graph.
+
+These mirror ``test_maintenance_props.py``: growth cases are random
+graphs plus append-only deltas, and equality is full structural
+equality, edges included.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.community import community_sort_key
+from repro.core.search import CommunitySearch
+from repro.engine import QueryContext
+from repro.graph.generators import random_database_graph
+from repro.text.maintenance import GraphDelta
+
+KEYWORDS = ["a", "b"]
+
+
+def _fingerprint(communities):
+    return [(c.core, c.cost, c.centers, c.nodes, c.edges)
+            for c in communities]
+
+
+@st.composite
+def growth_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=3, max_value=10))
+    p = draw(st.sampled_from([0.15, 0.3]))
+    radius = float(draw(st.sampled_from([3, 5, 8])))
+    banks = draw(st.booleans())
+    dbg = random_database_graph(n, p, KEYWORDS, seed=seed,
+                                bidirected=draw(st.booleans()))
+
+    extra = draw(st.integers(min_value=1, max_value=3))
+    new_nodes = []
+    for i in range(extra):
+        kws = {kw for kw in KEYWORDS if rng.random() < 0.4}
+        new_nodes.append((kws, f"new{i}", None))
+    new_edges = []
+    total = n + extra
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        u, v = rng.randrange(total), rng.randrange(total)
+        if u != v and (u >= n or v >= n):
+            new_edges.append((u, v, float(rng.randint(1, 3))))
+    return dbg, radius, GraphDelta(new_nodes, new_edges), banks
+
+
+@settings(max_examples=40, deadline=None)
+@given(growth_cases())
+def test_cached_answers_equal_uncached(case):
+    dbg, radius, _, _ = case
+    if any(not dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+    search = CommunitySearch(dbg)
+    search.build_index(radius=radius)
+    ctx = QueryContext()
+    cold = search.all_communities(KEYWORDS, radius, context=ctx)
+    warm = search.all_communities(KEYWORDS, radius, context=ctx)
+    assert ctx.counter("projection_runs") == 1
+    assert ctx.counter("projection_cache_hits") == 1
+    assert _fingerprint(cold) == _fingerprint(warm)
+    # ranked answers agree too (same order, same structure)
+    k = max(1, len(cold))
+    assert _fingerprint(search.top_k(KEYWORDS, k, radius)) \
+        == _fingerprint(search.top_k(KEYWORDS, k, radius))
+
+
+@settings(max_examples=40, deadline=None)
+@given(growth_cases())
+def test_delta_evicts_and_matches_rebuild(case):
+    dbg, radius, delta, banks = case
+    if any(not dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+    search = CommunitySearch(dbg)
+    search.build_index(radius=radius)
+    search.all_communities(KEYWORDS, radius)      # warm the cache
+    assert len(search.engine.cache) == 1
+
+    new_dbg, new_index = search.apply_delta(delta,
+                                            banks_reweight=banks)
+    assert len(search.engine.cache) == 0
+    assert new_index.generation == 1
+    if any(not new_dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+
+    ctx = QueryContext()
+    got = sorted(search.all_communities(KEYWORDS, radius, context=ctx),
+                 key=community_sort_key)
+    assert ctx.counter("projection_runs") == 1    # fresh projection
+
+    rebuilt = CommunitySearch(new_dbg)
+    rebuilt.build_index(radius=radius)
+    ref = sorted(rebuilt.all_communities(KEYWORDS, radius),
+                 key=community_sort_key)
+    assert _fingerprint(got) == _fingerprint(ref)

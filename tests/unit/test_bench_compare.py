@@ -1,0 +1,83 @@
+"""Unit tests for the benchmark regression guard (tools/bench_compare)."""
+
+import json
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_compare  # noqa: E402
+
+
+def _write(path, medians):
+    payload = {"benchmarks": [
+        {"name": name, "stats": {"median": median}}
+        for name, median in medians.items()]}
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_no_regression_passes(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"q1": 0.10, "q2": 0.50})
+    fresh = _write(tmp_path / "fresh.json", {"q1": 0.11, "q2": 0.40})
+    code = bench_compare.main([str(fresh), "--baseline", str(base)])
+    assert code == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_regression_beyond_threshold_fails(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"q1": 0.10, "q2": 0.50})
+    fresh = _write(tmp_path / "fresh.json", {"q1": 0.14, "q2": 0.50})
+    code = bench_compare.main([str(fresh), "--baseline", str(base)])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "q1" in captured.err
+
+
+def test_threshold_flag_loosens_the_gate(tmp_path):
+    base = _write(tmp_path / "base.json", {"q1": 0.10})
+    fresh = _write(tmp_path / "fresh.json", {"q1": 0.14})
+    code = bench_compare.main([str(fresh), "--baseline", str(base),
+                               "--threshold", "0.5"])
+    assert code == 0
+
+
+def test_exactly_at_threshold_passes(tmp_path):
+    base = _write(tmp_path / "base.json", {"q1": 0.10})
+    fresh = _write(tmp_path / "fresh.json", {"q1": 0.125})
+    code = bench_compare.main([str(fresh), "--baseline", str(base)])
+    assert code == 0
+
+
+def test_new_and_missing_benchmarks_reported_not_fatal(tmp_path,
+                                                       capsys):
+    base = _write(tmp_path / "base.json", {"q1": 0.10, "old": 0.2})
+    fresh = _write(tmp_path / "fresh.json", {"q1": 0.10, "new": 0.3})
+    code = bench_compare.main([str(fresh), "--baseline", str(base)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "only in baseline" in out and "old" in out
+    assert "new benchmark" in out
+
+
+def test_disjoint_or_missing_files_exit_2(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"q1": 0.10})
+    fresh = _write(tmp_path / "fresh.json", {"other": 0.10})
+    assert bench_compare.main(
+        [str(fresh), "--baseline", str(base)]) == 2
+    assert bench_compare.main(
+        [str(tmp_path / "nope.json"), "--baseline", str(base)]) == 2
+    empty = _write(tmp_path / "empty.json", {})
+    assert bench_compare.main(
+        [str(empty), "--baseline", str(base)]) == 2
+    capsys.readouterr()
+
+
+def test_committed_baseline_compares_against_itself(capsys):
+    baseline = Path(__file__).resolve().parents[2] / \
+        "bench_results.json"
+    code = bench_compare.main([str(baseline)])
+    assert code == 0
+    capsys.readouterr()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Benchmark regression guard: diff fresh results against a baseline.
+
+Compares two pytest-benchmark JSON files (``--benchmark-json`` output)
+by benchmark name and fails when the median latency of any shared
+benchmark regresses beyond a threshold (default 25 %). Use it to gate
+changes against the committed ``bench_results.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks -q \
+        --benchmark-json=fresh.json
+    python tools/bench_compare.py fresh.json
+
+Exit codes: 0 — no regression; 1 — at least one benchmark regressed;
+2 — the files could not be compared (missing/empty/disjoint).
+Benchmarks present in only one file are reported but never fail the
+run (new benchmarks appear, retired ones disappear).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Default committed baseline, relative to the repository root.
+DEFAULT_BASELINE = Path(__file__).resolve().parents[1] / \
+    "bench_results.json"
+
+#: Default tolerated median-latency growth before failing (25 %).
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """``{benchmark name: median seconds}`` from one results file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    medians: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        median = bench.get("stats", {}).get("median")
+        if median is not None:
+            medians[bench["name"]] = float(median)
+    return medians
+
+
+def compare(baseline: Dict[str, float], fresh: Dict[str, float],
+            threshold: float
+            ) -> Tuple[List[Tuple[str, float, float, float]],
+                       List[str], List[str]]:
+    """Diff medians; returns (rows, only-in-baseline, only-in-fresh).
+
+    Each row is ``(name, baseline_median, fresh_median, ratio)`` for a
+    shared benchmark, sorted by descending ratio; ``ratio`` is
+    fresh/baseline (1.0 = unchanged, above ``1 + threshold`` =
+    regression).
+    """
+    shared = sorted(set(baseline) & set(fresh))
+    rows = sorted(
+        ((name, baseline[name], fresh[name],
+          fresh[name] / baseline[name] if baseline[name] else
+          float("inf"))
+         for name in shared),
+        key=lambda row: -row[3])
+    missing = sorted(set(baseline) - set(fresh))
+    new = sorted(set(fresh) - set(baseline))
+    del threshold  # classification happens in main() for reporting
+    return rows, missing, new
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Fail when fresh benchmark medians regress "
+                    "beyond --threshold vs the committed baseline.")
+    parser.add_argument("fresh", type=Path,
+                        help="pytest-benchmark JSON from the current "
+                             "tree")
+    parser.add_argument("--baseline", type=Path,
+                        default=DEFAULT_BASELINE,
+                        help="baseline JSON (default: the committed "
+                             "bench_results.json)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="tolerated median growth as a fraction "
+                             "(default 0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    for path in (args.baseline, args.fresh):
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+    baseline = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+    if not baseline or not fresh:
+        print("error: one of the files contains no benchmarks",
+              file=sys.stderr)
+        return 2
+
+    rows, missing, new = compare(baseline, fresh, args.threshold)
+    if not rows:
+        print("error: the files share no benchmark names",
+              file=sys.stderr)
+        return 2
+
+    limit = 1.0 + args.threshold
+    regressions = [row for row in rows if row[3] > limit]
+    print(f"{len(rows)} shared benchmarks; threshold "
+          f"+{args.threshold:.0%} (ratio > {limit:.2f} fails)")
+    print(f"{'benchmark':<56} {'base[s]':>10} {'fresh[s]':>10} "
+          f"{'ratio':>7}")
+    for name, base, now, ratio in rows:
+        flag = " <-- REGRESSION" if ratio > limit else ""
+        print(f"{name:<56} {base:>10.6f} {now:>10.6f} "
+              f"{ratio:>6.2f}x{flag}")
+    if missing:
+        print(f"\n{len(missing)} benchmark(s) only in baseline: "
+              + ", ".join(missing[:5])
+              + ("..." if len(missing) > 5 else ""))
+    if new:
+        print(f"{len(new)} new benchmark(s): " + ", ".join(new[:5])
+              + ("..." if len(new) > 5 else ""))
+
+    if regressions:
+        worst = regressions[0]
+        print(f"\nFAIL: {len(regressions)} regression(s); worst "
+              f"{worst[0]} at {worst[3]:.2f}x baseline",
+              file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
