@@ -1,0 +1,199 @@
+"""Closed-loop service benchmarks: throughput, latency, shedding.
+
+A real :class:`~repro.service.server.CommunityService` on an
+ephemeral port, driven by closed-loop clients (each issues its next
+request the moment the previous answer lands — the classic
+load-generator model, so offered load tracks service capacity instead
+of overrunning it):
+
+* ``test_service_throughput`` measures sustained queries/second at a
+  moderate concurrency over the bench-scale DBLP bundle, split by
+  cache temperature (the warm rows show what the projection cache
+  buys end-to-end *through the HTTP stack*);
+* ``test_session_enlargement_throughput`` measures interactive
+  ``next`` batches per second against one leased PDk stream;
+* ``test_shedding_at_2x_pool`` drives 2x the worker-pool capacity of
+  *simultaneous* requests at a deliberately slow backend and checks
+  the excess sheds with 429/503 promptly — the acceptance property
+  that saturation never builds an unbounded queue.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/ -k service``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.registry import AlgorithmSpec, default_registry
+from repro.engine.engine import QueryEngine
+from repro.service import (
+    CommunityService,
+    DeadlineExceeded,
+    Overloaded,
+    ServiceClient,
+)
+
+#: Closed-loop client threads for the throughput cells.
+CLIENTS = 4
+
+#: Requests per client per measured round.
+REQUESTS_PER_CLIENT = 8
+
+
+def _closed_loop(url: str, make_request, clients: int,
+                 requests_each: int):
+    """Run ``clients`` closed-loop workers; return (outcomes, secs)."""
+    outcomes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(worker_id: int) -> None:
+        client = ServiceClient(url, timeout=60.0)
+        barrier.wait()
+        for i in range(requests_each):
+            try:
+                make_request(client, worker_id, i)
+                outcome = 200
+            except Overloaded:
+                outcome = 429
+            except DeadlineExceeded:
+                outcome = 503
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    return outcomes, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def dblp_service(request):
+    """A service over the bench-scale DBLP engine, once per module."""
+    dblp = request.getfixturevalue("dblp")
+    service = CommunityService(dblp.engine, port=0, workers=4,
+                               queue_depth=32).start()
+    yield dblp, service
+    service.shutdown()
+
+
+@pytest.mark.parametrize("temperature", ("cold", "warm"))
+def test_service_throughput(benchmark, temperature, dblp_service):
+    """Sustained top-k queries/second through the full HTTP stack."""
+    dblp, service = dblp_service
+    params = dblp.params
+    keywords = params.query()
+    rmax = params.default_rmax
+
+    def round_trip():
+        if temperature == "cold":
+            service.engine.cache.invalidate()
+
+        def one(client, worker_id, i):
+            response = client.query(keywords, rmax, k=5)
+            assert response["count"] >= 0
+
+        outcomes, elapsed = _closed_loop(
+            service.url, one, CLIENTS, REQUESTS_PER_CLIENT)
+        assert all(code == 200 for code in outcomes)
+        return len(outcomes) / elapsed
+
+    if temperature == "warm":
+        ServiceClient(service.url).query(keywords, rmax, k=5)
+
+    qps = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    benchmark.extra_info["qps"] = round(qps, 2)
+    benchmark.extra_info["clients"] = CLIENTS
+
+
+def test_session_enlargement_throughput(benchmark, dblp_service):
+    """Interactive ``next`` batches/second on one leased stream."""
+    dblp, service = dblp_service
+    params = dblp.params
+    client = ServiceClient(service.url, timeout=60.0)
+
+    def enlarge_loop():
+        session = client.open_session(params.query(),
+                                      params.default_rmax)
+        batches = 0
+        start = time.perf_counter()
+        for _ in range(10):
+            if session.exhausted:
+                break
+            session.next(5)
+            batches += 1
+        elapsed = time.perf_counter() - start
+        project_seconds = session.last_stats["timings"].get(
+            "project", 0.0)
+        session.close()
+        return batches / elapsed, project_seconds
+
+    (rate, project_seconds) = benchmark.pedantic(
+        enlarge_loop, rounds=3, iterations=1)
+    benchmark.extra_info["batches_per_second"] = round(rate, 2)
+    # Enlargement must never re-run Algorithm 6: the session's whole
+    # project budget is what creation charged (one run or cache hit).
+    first_create = ServiceClient(service.url).open_session(
+        params.query(), params.default_rmax)
+    baseline_project = first_create.last_stats["timings"].get(
+        "project", 0.0)
+    first_create.close()
+    assert project_seconds <= baseline_project + 0.05
+
+
+def test_shedding_at_2x_pool():
+    """2x pool capacity of simultaneous slow queries: the overflow is
+    shed with 429/503 instead of queueing (acceptance criterion)."""
+    from repro.datasets.paper_example import (
+        FIG4_QUERY,
+        FIG4_RMAX,
+        figure4_graph,
+    )
+
+    registry = default_registry()
+
+    def slow_all(dbg, keywords, rmax, *, node_lists=None,
+                 aggregate="sum", budget_seconds=None, stats=None):
+        time.sleep(0.25)
+        return iter([])
+
+    def slow_top_k(dbg, keywords, k, rmax, *, node_lists=None,
+                   aggregate="sum", budget_seconds=None, stats=None):
+        time.sleep(0.25)
+        return []
+
+    registry.register(AlgorithmSpec("slow", slow_all, slow_top_k))
+    engine = QueryEngine(figure4_graph(), registry=registry)
+    engine.build_index(radius=FIG4_RMAX)
+    workers, queue_depth = 2, 2
+    capacity = workers + queue_depth
+    with CommunityService(engine, port=0, workers=workers,
+                          queue_depth=queue_depth).start() as service:
+
+        def one(client, worker_id, i):
+            client.query(list(FIG4_QUERY), FIG4_RMAX, k=1,
+                         algorithm="slow", deadline_seconds=10.0)
+
+        outcomes, elapsed = _closed_loop(
+            service.url, one, clients=2 * capacity, requests_each=1)
+
+        assert len(outcomes) == 2 * capacity
+        completed = outcomes.count(200)
+        shed = outcomes.count(429) + outcomes.count(503)
+        assert completed >= workers
+        assert shed >= 2
+        assert completed + shed == 2 * capacity
+        # Unbounded queueing would admit (and serialize) all 8 slow
+        # jobs; admission control sheds part of the burst instantly.
+        assert completed < 2 * capacity
+        assert elapsed < 2.5
+        stats = service.admission.stats
+        assert stats.shed_queue_full + stats.shed_deadline == shed

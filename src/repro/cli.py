@@ -14,6 +14,10 @@ Workflows:
 
       python -m repro query --dataset imdb \
           --keywords kw0009a,kw0009b,kw0009c --rmax 11 --all
+
+* serve queries over HTTP (see :mod:`repro.service`)::
+
+      python -m repro serve --dataset dblp --radius 8 --port 8420
 """
 
 from __future__ import annotations
@@ -84,6 +88,9 @@ def cmd_query(args) -> int:
     and executed by the facade's engine; ``--stats`` prints the
     engine's per-stage instrumentation (resolve/project/enumerate/
     translate timings, projection-cache traffic) afterwards.
+    ``--json`` swaps the human rendering for the machine-readable
+    envelope of :mod:`repro.service.serialize` — byte-compatible with
+    what ``POST /query`` on the HTTP service returns.
     """
     dbg, search = _resolve_search(args)
     keywords = [kw.strip() for kw in args.keywords.split(",")
@@ -106,6 +113,14 @@ def cmd_query(args) -> int:
     results = search.engine.execute(spec, context)
     elapsed = time.perf_counter() - start
 
+    if args.json:
+        from repro.service.serialize import dumps, results_to_dict
+        print(dumps(results_to_dict(results, dbg=dbg, context=context,
+                                    spec=spec,
+                                    elapsed_seconds=elapsed),
+                    indent=2))
+        return 0
+
     for rank, community in enumerate(results, start=1):
         print(f"#{rank}")
         print(community.describe(dbg))
@@ -115,6 +130,40 @@ def cmd_query(args) -> int:
           f"{args.algorithm}) in {elapsed:.2f}s")
     if args.stats:
         print(f"stages: {context.render()}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """``serve``: put the engine behind the HTTP/JSON service.
+
+    Binds ``--host:--port`` (port 0 picks an ephemeral one), builds an
+    index at ``--radius`` when none was loaded, and serves until
+    interrupted. ``--port-file`` writes ``host port`` after binding so
+    scripts (CI smoke tests) can discover an ephemeral port.
+    """
+    from repro.service import CommunityService
+
+    dbg, search = _resolve_search(args)
+    if search.index is None:
+        print(f"building index at R={args.radius:g} ...",
+              file=sys.stderr)
+        search.build_index(radius=args.radius)
+    service = CommunityService(
+        search.engine, host=args.host, port=args.port,
+        workers=args.workers, queue_depth=args.queue_depth,
+        session_ttl=args.session_ttl, max_sessions=args.max_sessions,
+        default_deadline=args.deadline)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{service.host} {service.port}\n")
+    print(f"serving {dbg.n} nodes / {dbg.m} edges on {service.url} "
+          f"({args.workers} workers, queue {args.queue_depth})")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
     return 0
 
 
@@ -160,7 +209,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-stage engine instrumentation "
                             "(timings, cache traffic) after the "
                             "answers")
+    query.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON (same shape "
+                            "as the HTTP service's POST /query)")
     query.set_defaults(func=cmd_query)
+
+    serve = sub.add_parser("serve", help="serve queries over HTTP "
+                                         "(JSON API + /metrics)")
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--graph", help="a saved graph file")
+    source.add_argument("--dataset", choices=("dblp", "imdb", "fig4"),
+                        help="generate a built-in dataset instead")
+    serve.add_argument("--index", help="a saved index file")
+    serve.add_argument("--radius", type=float, default=8.0,
+                       help="index radius R when building in-process "
+                            "(default 8)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8420,
+                       help="port to bind (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="concurrent query executions (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       dest="queue_depth",
+                       help="admitted-but-waiting requests before "
+                            "shedding with 429 (default 16)")
+    serve.add_argument("--session-ttl", type=float, default=300.0,
+                       dest="session_ttl",
+                       help="idle seconds before a session lease "
+                            "expires (default 300)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       dest="max_sessions",
+                       help="concurrent session leases (default 64)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds "
+                            "(none by default)")
+    serve.add_argument("--port-file", default=None,
+                       help="write 'host port' here after binding "
+                            "(for scripts using an ephemeral port)")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -59,13 +59,23 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat metric view for reports."""
+        """Flat metric view for reports.
+
+        Exports *every* number this class tracks — the five raw
+        counters plus the derived ``lookups`` and ``hit_rate`` — so
+        downstream exporters (the service's ``/metrics`` endpoint,
+        bench reports) can surface them all without reaching into
+        attributes. ``hit_rate`` is a ratio, not a counter; exporters
+        that distinguish the two should treat it as a gauge.
+        """
         return {
             "cache_hits": float(self.hits),
             "cache_misses": float(self.misses),
             "cache_evictions": float(self.evictions),
             "cache_invalidations": float(self.invalidations),
             "cache_stale_drops": float(self.stale_drops),
+            "cache_lookups": float(self.lookups),
+            "cache_hit_rate": float(self.hit_rate),
         }
 
 

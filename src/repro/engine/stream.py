@@ -20,6 +20,7 @@ from repro.core.community import Community
 from repro.core.projection import ProjectionResult
 from repro.engine.context import QueryContext
 from repro.engine.engine import translate_community
+from repro.exceptions import QueryError
 from repro.graph.database_graph import DatabaseGraph
 
 
@@ -53,7 +54,14 @@ class ProjectedTopKStream:
         return translated
 
     def take(self, k: int) -> List[Community]:
-        """Up to ``k`` further communities."""
+        """Up to ``k`` further communities.
+
+        Mirrors :meth:`TopKStream.take` exactly: ``k=0`` is a no-op,
+        negative ``k`` is rejected, and a ``k`` past exhaustion
+        returns the short remainder (empty once exhausted).
+        """
+        if k < 0:
+            raise QueryError(f"k must be >= 0, got {k}")
         result = []
         for _ in range(k):
             community = self.next_community()

@@ -7,7 +7,10 @@ callers can catch one base class. Subsystems refine it:
 * the relational engine raises :class:`SchemaError` /
   :class:`IntegrityError`,
 * query-time misuse (unknown keywords, bad parameters) raises
-  :class:`QueryError`.
+  :class:`QueryError`,
+* the HTTP service layer raises :class:`ServiceError` subclasses
+  (see :mod:`repro.service.errors`), each carrying the HTTP status
+  the server maps it to.
 """
 
 from __future__ import annotations
@@ -44,3 +47,13 @@ class IntegrityError(ReproError):
 
 class QueryError(ReproError):
     """A community query is malformed (bad keyword list, radius, or k)."""
+
+
+class ServiceError(ReproError):
+    """Base class for service-layer failures.
+
+    ``status`` is the HTTP status code the server responds with when
+    this error escapes a handler; subclasses override it.
+    """
+
+    status: int = 500

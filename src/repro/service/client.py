@@ -1,0 +1,205 @@
+"""Python client for the community-query service.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over plain ``urllib`` (no dependencies),
+re-raising the server's error taxonomy client-side: a ``410`` becomes
+:class:`~repro.service.errors.SessionGone`, a ``429``
+:class:`~repro.service.errors.Overloaded`, a ``503``
+:class:`~repro.service.errors.DeadlineExceeded` — so retry logic is
+written against exception types, not status codes.
+
+::
+
+    client = ServiceClient("http://127.0.0.1:8420")
+    top = client.query(["kate", "smith"], rmax=6, k=10)
+
+    with client.open_session(["kate", "smith"], rmax=6) as session:
+        first = session.next(10)          # ranks 1-10
+        more = session.next(40)           # ranks 11-50, no recompute
+
+The CLI's ``serve`` smoke path and the throughput benchmark both
+drive the service through this module.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.community import Community
+from repro.service.errors import ServiceError, for_status
+from repro.service.serialize import communities_from_dicts
+
+#: Default per-call socket timeout (seconds). Distinct from the
+#: server-side request deadline; this guards against a dead server.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """A thin, dependency-free HTTP client for one service base URL."""
+
+    def __init__(self, base_url: str,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, Any]] = None) -> Any:
+        """One HTTP exchange; JSON in, JSON (or text) out.
+
+        Non-2xx responses raise the matching
+        :class:`~repro.exceptions.ServiceError` subclass with the
+        server's error message.
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                body = response.read().decode("utf-8")
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(body).get("error", body)
+            except ValueError:
+                message = body or error.reason
+            raise for_status(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+        if content_type.startswith("application/json"):
+            return json.loads(body)
+        return body
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — the raw Prometheus text."""
+        return self.request("GET", "/metrics")
+
+    def query(self, keywords: Sequence[str], rmax: float,
+              k: Optional[int] = None, algorithm: str = "pd",
+              aggregate: str = "sum",
+              deadline_seconds: Optional[float] = None,
+              labels: bool = False, mode: Optional[str] = None
+              ) -> Dict[str, Any]:
+        """``POST /query``: one-shot COMM-all (no ``k``) or COMM-k.
+
+        Returns the raw response dict; :meth:`query_communities`
+        returns :class:`~repro.core.community.Community` objects
+        instead.
+        """
+        payload: Dict[str, Any] = {
+            "keywords": list(keywords), "rmax": rmax,
+            "algorithm": algorithm, "aggregate": aggregate,
+        }
+        if k is not None:
+            payload["k"] = k
+        if mode is not None:
+            payload["mode"] = mode
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if labels:
+            payload["labels"] = True
+        return self.request("POST", "/query", payload)
+
+    def query_communities(self, keywords: Sequence[str], rmax: float,
+                          **options: Any) -> List[Community]:
+        """Like :meth:`query`, decoded to ``Community`` objects."""
+        response = self.query(keywords, rmax, **options)
+        return communities_from_dicts(response["communities"])
+
+    def open_session(self, keywords: Sequence[str], rmax: float,
+                     aggregate: str = "sum",
+                     ttl_seconds: Optional[float] = None,
+                     deadline_seconds: Optional[float] = None
+                     ) -> "ServiceSession":
+        """``POST /sessions``: lease an interactive PDk stream."""
+        payload: Dict[str, Any] = {
+            "keywords": list(keywords), "rmax": rmax,
+            "aggregate": aggregate,
+        }
+        if ttl_seconds is not None:
+            payload["ttl_seconds"] = ttl_seconds
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        response = self.request("POST", "/sessions", payload)
+        return ServiceSession(self, response)
+
+
+class ServiceSession:
+    """Client handle on one server-side PDk lease.
+
+    ``next(k)`` enlarges the answer set by up to ``k`` ranked
+    communities; the cumulative server-side stats ride along on
+    :attr:`last_stats` (their ``project`` timing stays flat across
+    calls — the no-recomputation property, observable from here).
+    """
+
+    def __init__(self, client: ServiceClient,
+                 opened: Dict[str, Any]) -> None:
+        self._client = client
+        self.id: str = opened["session"]
+        self.generation: int = opened["generation"]
+        self.ttl_seconds: float = opened["ttl_seconds"]
+        #: Cumulative session stats from the most recent response.
+        self.last_stats: Dict[str, Any] = opened.get("stats", {})
+        self.exhausted = False
+
+    def next(self, k: int = 10, labels: bool = False,
+             deadline_seconds: Optional[float] = None
+             ) -> List[Community]:
+        """Up to ``k`` further communities (410 -> ``SessionGone``)."""
+        payload: Dict[str, Any] = {"k": k}
+        if labels:
+            payload["labels"] = True
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        response = self._client.request(
+            "POST", f"/sessions/{self.id}/next", payload)
+        self.last_stats = response.get("stats", {})
+        self.exhausted = bool(response.get("exhausted", False))
+        return communities_from_dicts(response["communities"])
+
+    def next_raw(self, k: int = 10, **options: Any) -> Dict[str, Any]:
+        """Like :meth:`next` but returning the raw response dict."""
+        payload: Dict[str, Any] = {"k": k}
+        payload.update(options)
+        response = self._client.request(
+            "POST", f"/sessions/{self.id}/next", payload)
+        self.last_stats = response.get("stats", {})
+        self.exhausted = bool(response.get("exhausted", False))
+        return response
+
+    def close(self) -> None:
+        """``DELETE /sessions/{id}`` (idempotent)."""
+        self._client.request("DELETE", f"/sessions/{self.id}")
+
+    def __enter__(self) -> "ServiceSession":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: release the lease."""
+        try:
+            self.close()
+        except ServiceError:
+            pass                 # already gone / server shutting down

@@ -1,0 +1,84 @@
+"""Service-level errors and their HTTP status mapping.
+
+Every failure the service can signal to a client is a
+:class:`~repro.exceptions.ServiceError` subclass carrying the HTTP
+status it renders as. The server turns any escaping ``ServiceError``
+into a JSON error body with that status; the client does the inverse,
+re-raising the matching subclass from a non-2xx response via
+:func:`for_status` — so ``except SessionGone:`` works identically on
+both sides of the socket.
+
+The admission controller's two shedding outcomes map to the two codes
+the load-shedding literature distinguishes: a request rejected *at
+admission* (queue full) is :class:`Overloaded` / ``429`` — the client
+should back off and retry — while a request that was admitted but
+whose deadline expired before or during execution is
+:class:`DeadlineExceeded` / ``503``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "BadRequest",
+    "DeadlineExceeded",
+    "NotFound",
+    "Overloaded",
+    "ServiceError",
+    "SessionGone",
+    "for_status",
+]
+
+
+class BadRequest(ServiceError):
+    """The request body is malformed or fails query validation."""
+
+    status = 400
+
+
+class NotFound(ServiceError):
+    """No such route or session id."""
+
+    status = 404
+
+
+class SessionGone(ServiceError):
+    """A session lease exists no more (TTL expiry or generation bump).
+
+    ``410 Gone`` rather than ``404``: the id *was* valid, but the
+    stream behind it can no longer produce correct answers — after
+    ``apply_delta`` the projection it enumerates may miss new nodes
+    entirely. Clients must open a fresh session.
+    """
+
+    status = 410
+
+
+class Overloaded(ServiceError):
+    """Shed at admission: the bounded work queue is full (HTTP 429)."""
+
+    status = 429
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request deadline expired before an answer (HTTP 503)."""
+
+    status = 503
+
+
+#: Status-code -> error class, for client-side re-raising.
+_BY_STATUS = {
+    cls.status: cls
+    for cls in (BadRequest, NotFound, SessionGone, Overloaded,
+                DeadlineExceeded)
+}
+
+
+def for_status(status: int, message: str) -> ServiceError:
+    """The matching error for an HTTP status (generic 500 otherwise)."""
+    cls = _BY_STATUS.get(status, ServiceError)
+    error = cls(message)
+    if cls is ServiceError:
+        error.status = status
+    return error

@@ -1,0 +1,221 @@
+"""Prometheus text-format metrics for the community service.
+
+``GET /metrics`` renders one scrape of everything observable about a
+running service, in the Prometheus exposition format (version 0.0.4 —
+``# HELP`` / ``# TYPE`` comments, ``name{labels} value`` samples):
+
+* ``repro_stage_seconds_total{stage=...}`` — wall-clock per engine
+  stage (``resolve``/``project``/``enumerate``/``translate``),
+  aggregated from every :class:`~repro.engine.QueryContext` the
+  service executed;
+* ``repro_query_events_total{event=...}`` — the contexts' counters
+  (cache hits/misses, projection runs, communities produced, ...);
+* ``repro_projection_cache_*`` — every
+  :class:`~repro.engine.cache.CacheStats` counter, via its audited
+  ``as_dict`` (hit rate included, as a gauge);
+* ``repro_admission_*`` / ``repro_sessions_*`` — shedding and lease
+  counters, plus queue-depth / in-flight / live-session gauges;
+* ``repro_request_seconds`` — an HTTP latency histogram per
+  (template) path, with ``repro_requests_total{path,status}``
+  response counters.
+
+:class:`ServiceMetrics` holds the request-level state; counters owned
+by other components (cache, admission, sessions) are passed in at
+render time so there is exactly one owner per number.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.context import QueryContext
+
+#: Latency histogram bucket upper bounds, in seconds. Spans sub-ms
+#: cache hits to multi-second cold baselines.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram of seconds (cumulative at render)."""
+
+    def __init__(self,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation into its (non-cumulative) bucket."""
+        self.count += 1
+        self.sum += seconds
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            rows.append((bound, running))
+        rows.append((float("inf"), self.count))
+        return rows
+
+
+class ServiceMetrics:
+    """Thread-safe aggregation point for request-level observations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stage_seconds: Dict[str, float] = {}
+        self._query_events: Dict[str, int] = {}
+        self._responses: Dict[Tuple[str, int], int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe_context(self, context: QueryContext) -> None:
+        """Fold one query's stage timings and counters in."""
+        with self._lock:
+            for name, seconds in context.timings.items():
+                self._stage_seconds[name] = \
+                    self._stage_seconds.get(name, 0.0) + seconds
+            for name, value in context.counters.items():
+                self._query_events[name] = \
+                    self._query_events.get(name, 0) + value
+
+    def observe_request(self, path: str, status: int,
+                        seconds: float) -> None:
+        """Record one HTTP response (templated path, not raw URL)."""
+        with self._lock:
+            self._responses[(path, status)] = \
+                self._responses.get((path, status), 0) + 1
+            histogram = self._latency.get(path)
+            if histogram is None:
+                histogram = self._latency[path] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def render(self, counters: Optional[Dict[str, float]] = None,
+               gauges: Optional[Dict[str, float]] = None) -> str:
+        """The full scrape body.
+
+        ``counters``/``gauges`` carry component-owned numbers (cache
+        stats, admission stats, session stats, queue depths) already
+        flattened to ``{metric_name: value}``; names ending in
+        ``_total`` render as counters, everything else in ``counters``
+        still renders as a counter type but keeps its given name.
+        """
+        with self._lock:
+            lines: List[str] = []
+            self._render_stage_seconds(lines)
+            self._render_query_events(lines)
+            self._render_kv(lines, counters or {}, "counter")
+            self._render_kv(lines, gauges or {}, "gauge")
+            self._render_responses(lines)
+            self._render_latency(lines)
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def _render_stage_seconds(self, lines: List[str]) -> None:
+        lines.append("# HELP repro_stage_seconds_total Wall-clock "
+                     "spent per engine stage.")
+        lines.append("# TYPE repro_stage_seconds_total counter")
+        for name in sorted(self._stage_seconds):
+            lines.append(
+                f'repro_stage_seconds_total{{stage="'
+                f'{escape_label(name)}"}} '
+                f"{_fmt(self._stage_seconds[name])}")
+
+    def _render_query_events(self, lines: List[str]) -> None:
+        lines.append("# HELP repro_query_events_total QueryContext "
+                     "counter totals across all served queries.")
+        lines.append("# TYPE repro_query_events_total counter")
+        for name in sorted(self._query_events):
+            lines.append(
+                f'repro_query_events_total{{event="'
+                f'{escape_label(name)}"}} '
+                f"{_fmt(float(self._query_events[name]))}")
+
+    @staticmethod
+    def _render_kv(lines: List[str], values: Dict[str, float],
+                   kind: str) -> None:
+        for name in sorted(values):
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {_fmt(values[name])}")
+
+    def _render_responses(self, lines: List[str]) -> None:
+        lines.append("# HELP repro_requests_total HTTP responses by "
+                     "path and status.")
+        lines.append("# TYPE repro_requests_total counter")
+        for path, status in sorted(self._responses):
+            lines.append(
+                f'repro_requests_total{{path="{escape_label(path)}",'
+                f'status="{status}"}} '
+                f"{_fmt(float(self._responses[(path, status)]))}")
+
+    def _render_latency(self, lines: List[str]) -> None:
+        lines.append("# HELP repro_request_seconds HTTP request "
+                     "latency.")
+        lines.append("# TYPE repro_request_seconds histogram")
+        for path in sorted(self._latency):
+            histogram = self._latency[path]
+            label = escape_label(path)
+            for bound, count in histogram.cumulative():
+                le = "+Inf" if bound == float("inf") else _fmt(bound)
+                lines.append(
+                    f'repro_request_seconds_bucket{{path="{label}",'
+                    f'le="{le}"}} {count}')
+            lines.append(f'repro_request_seconds_sum{{path="{label}"}}'
+                         f" {_fmt(histogram.sum)}")
+            lines.append(
+                f'repro_request_seconds_count{{path="{label}"}} '
+                f"{histogram.count}")
+
+
+def prefixed(values: Dict[str, float], prefix: str = "repro_",
+             suffix: str = "") -> Dict[str, float]:
+    """Re-key a flat stats dict into metric names.
+
+    ``prefixed(cache.stats.as_dict(), suffix="_total")`` turns
+    ``cache_hits`` into ``repro_cache_hits_total`` — the glue between
+    the components' ``as_dict`` views and the exposition names.
+    """
+    return {f"{prefix}{name}{suffix}": value
+            for name, value in values.items()}
+
+
+def split_rates(values: Dict[str, float],
+                rate_keys: Iterable[str]
+                ) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Split a flat stats dict into (counters, gauges).
+
+    Ratio-style entries (hit rates) are gauges — they go up *and*
+    down — while everything else is a monotonic counter.
+    """
+    rates = set(rate_keys)
+    counters = {k: v for k, v in values.items() if k not in rates}
+    gauges = {k: v for k, v in values.items() if k in rates}
+    return counters, gauges

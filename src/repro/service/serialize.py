@@ -1,0 +1,122 @@
+"""One JSON vocabulary for community answers and instrumentation.
+
+The CLI's ``--json`` flag and every HTTP endpoint emit the same
+shapes, produced here and nowhere else, so a client parsing
+``python -m repro query --json`` output can parse a ``POST /query``
+response with the same code:
+
+* :func:`community_to_dict` — one answer: ``core``, ``cost``,
+  ``centers``, ``pnodes``, ``nodes``, ``edges`` (and ``labels`` when a
+  graph is supplied to resolve them);
+* :func:`context_to_dict` — a :class:`~repro.engine.QueryContext`:
+  per-stage ``timings`` (seconds), ``counters``, ``total_seconds``;
+* :func:`spec_to_dict` — the query as executed;
+* :func:`results_to_dict` — the full response envelope tying the
+  three together.
+
+Everything returned is plain lists/dicts/scalars, safe for
+``json.dumps`` with no custom encoder.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.community import Community
+from repro.engine.context import QueryContext
+from repro.engine.spec import QuerySpec
+from repro.graph.database_graph import DatabaseGraph
+
+
+def community_to_dict(community: Community,
+                      dbg: Optional[DatabaseGraph] = None
+                      ) -> Dict[str, Any]:
+    """One community as JSON-safe primitives.
+
+    With ``dbg``, a ``labels`` map (node id, as a string key, to the
+    node's label) is included so clients can render answers the way
+    :meth:`Community.describe` does.
+    """
+    payload: Dict[str, Any] = {
+        "core": list(community.core),
+        "cost": community.cost,
+        "centers": list(community.centers),
+        "pnodes": list(community.pnodes),
+        "nodes": list(community.nodes),
+        "edges": [[u, v, w] for u, v, w in community.edges],
+    }
+    if dbg is not None:
+        payload["labels"] = {
+            str(u): dbg.label_of(u) for u in community.nodes}
+    return payload
+
+
+def context_to_dict(context: QueryContext) -> Dict[str, Any]:
+    """A query context's timings and counters, JSON-safe."""
+    return {
+        "timings": {name: float(seconds)
+                    for name, seconds in context.timings.items()},
+        "counters": {name: int(value)
+                     for name, value in context.counters.items()},
+        "total_seconds": context.total_seconds,
+    }
+
+
+def spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
+    """The executed query, echoed back for client-side bookkeeping."""
+    return {
+        "keywords": list(spec.keywords),
+        "rmax": spec.rmax,
+        "mode": spec.mode,
+        "k": spec.k,
+        "algorithm": spec.algorithm,
+        "aggregate": spec.aggregate,
+    }
+
+
+def results_to_dict(results: Sequence[Community],
+                    dbg: Optional[DatabaseGraph] = None,
+                    context: Optional[QueryContext] = None,
+                    spec: Optional[QuerySpec] = None,
+                    elapsed_seconds: Optional[float] = None,
+                    ) -> Dict[str, Any]:
+    """The response envelope: answers plus optional query/stats echo."""
+    payload: Dict[str, Any] = {
+        "count": len(results),
+        "communities": [community_to_dict(c, dbg) for c in results],
+    }
+    if spec is not None:
+        payload["query"] = spec_to_dict(spec)
+    if context is not None:
+        payload["stats"] = context_to_dict(context)
+    if elapsed_seconds is not None:
+        payload["elapsed_seconds"] = float(elapsed_seconds)
+    return payload
+
+
+def dumps(payload: Dict[str, Any], indent: Optional[int] = None) -> str:
+    """Canonical JSON rendering (sorted keys, stable across runs)."""
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def communities_from_dicts(payload: Sequence[Dict[str, Any]]
+                           ) -> List[Community]:
+    """Rebuild :class:`Community` objects from their JSON form.
+
+    The client uses this so service answers expose the same dataclass
+    API as in-process answers (``labels`` is presentation-only and is
+    dropped).
+    """
+    return [
+        Community(
+            core=tuple(entry["core"]),
+            cost=float(entry["cost"]),
+            centers=tuple(entry["centers"]),
+            pnodes=tuple(entry["pnodes"]),
+            nodes=tuple(entry["nodes"]),
+            edges=tuple((u, v, float(w))
+                        for u, v, w in entry.get("edges", [])),
+        )
+        for entry in payload
+    ]

@@ -1,0 +1,484 @@
+"""The community-query service: threaded HTTP/JSON over one engine.
+
+:class:`CommunityService` puts a network front on
+:class:`~repro.engine.QueryEngine` using only the standard library
+(``http.server.ThreadingHTTPServer``). Endpoints:
+
+* ``POST /query`` — one-shot COMM-all / COMM-k; body mirrors
+  :class:`~repro.engine.QuerySpec` (``keywords``, ``rmax``, ``k`` or
+  ``mode``, ``algorithm``, ``aggregate``, ``deadline_seconds``,
+  ``labels``);
+* ``POST /sessions`` — open an interactive PDk session (projection +
+  heap seeding happen here, once);
+* ``POST /sessions/{id}/next`` — enlarge ``k``: up to ``k`` further
+  ranked answers with **no** re-projection or re-seeding (the leased
+  stream resumes); ``410 Gone`` once the lease expired or the graph
+  changed under it;
+* ``DELETE /sessions/{id}`` — release a lease early;
+* ``GET /metrics`` — Prometheus text format (stage timings, cache and
+  shedding counters, queue depth, latency histograms);
+* ``GET /healthz`` — liveness plus the current engine generation.
+
+Every query-executing route passes through the
+:class:`~repro.service.admission.AdmissionController`: a full queue
+sheds with ``429`` immediately, and the per-request deadline both
+bounds the wait (``503``) and flows into ``QuerySpec.budget_seconds``
+so the BU/TD baselines self-censor. Connection threads (unbounded,
+cheap — they mostly block on the admission future) are therefore
+decoupled from query threads (bounded, hot).
+
+Routing and handling live on :meth:`CommunityService.handle`, which is
+plain ``(method, path, body) -> (status, template, payload)`` — unit
+tests exercise it without a socket; the integration suite drives the
+real server through :class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.context import QueryContext
+from repro.engine.engine import QueryEngine
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError, ServiceError
+from repro.service.admission import (
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_WORKERS,
+    AdmissionController,
+)
+from repro.service.errors import BadRequest, NotFound
+from repro.service.metrics import ServiceMetrics, prefixed, split_rates
+from repro.service.serialize import (
+    community_to_dict,
+    context_to_dict,
+    results_to_dict,
+)
+from repro.service.sessions import (
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_TTL_SECONDS,
+    SessionLease,
+    SessionManager,
+)
+
+#: Content type for the Prometheus exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: One JSON-or-text response: status, metric path template, body,
+#: content type.
+Response = Tuple[int, str, str, str]
+
+
+def _parse_body(body: bytes) -> Dict[str, Any]:
+    """The request body as a JSON object (empty body -> ``{}``)."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise BadRequest(f"request body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+def _keywords_of(payload: Dict[str, Any]) -> List[str]:
+    """The ``keywords`` field: a list, or a comma-separated string."""
+    keywords = payload.get("keywords")
+    if isinstance(keywords, str):
+        keywords = [kw.strip() for kw in keywords.split(",")
+                    if kw.strip()]
+    if not isinstance(keywords, list) or not keywords \
+            or not all(isinstance(kw, str) for kw in keywords):
+        raise BadRequest(
+            "'keywords' must be a non-empty list of strings "
+            "(or a comma-separated string)")
+    return keywords
+
+
+def _float_of(payload: Dict[str, Any], name: str,
+              required: bool = True,
+              default: Optional[float] = None) -> Optional[float]:
+    """A numeric field, validated."""
+    if name not in payload:
+        if required:
+            raise BadRequest(f"missing required field {name!r}")
+        return default
+    value = payload[name]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(f"{name!r} must be a number")
+    return float(value)
+
+
+def _int_of(payload: Dict[str, Any], name: str,
+            default: Optional[int] = None) -> Optional[int]:
+    """An integer field, validated."""
+    if name not in payload:
+        return default
+    value = payload[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{name!r} must be an integer")
+    return value
+
+
+def _context_delta(before_timings: Dict[str, float],
+                   before_counters: Dict[str, int],
+                   context: QueryContext) -> QueryContext:
+    """What ``context`` accumulated since the snapshot was taken.
+
+    Session contexts are cumulative (that is how clients verify
+    enlargement is free), so the service folds per-call *deltas* into
+    the global metrics to avoid double counting.
+    """
+    delta = QueryContext()
+    for name, seconds in context.timings.items():
+        gained = seconds - before_timings.get(name, 0.0)
+        if gained > 0:
+            delta.add_time(name, gained)
+    for name, value in context.counters.items():
+        gained = value - before_counters.get(name, 0)
+        if gained > 0:
+            delta.count(name, gained)
+    return delta
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Per-connection glue: read body, delegate, write response.
+
+    All routing and semantics live on the owning
+    :class:`CommunityService` (``self.server.service``); this class
+    only speaks HTTP.
+    """
+
+    server_version = "repro-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:            # noqa: N802 — http.server API
+        """Route GET requests."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:           # noqa: N802
+        """Route POST requests."""
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:         # noqa: N802
+        """Route DELETE requests."""
+        self._dispatch("DELETE")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default stderr access log (metrics cover it)."""
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str) -> None:
+        service: "CommunityService" = self.server.service  # type: ignore[attr-defined]
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, template, payload, content_type = service.handle(
+            method, self.path, body)
+        data = payload.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        if status == 429:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class CommunityService:
+    """One engine served over HTTP, with admission control.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` / :attr:`url`). The service is a context manager::
+
+        with CommunityService(engine).start() as service:
+            client = ServiceClient(service.url)
+            ...
+    """
+
+    def __init__(self, engine: QueryEngine,
+                 host: str = "127.0.0.1", port: int = 0,
+                 workers: int = DEFAULT_WORKERS,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 session_ttl: float = DEFAULT_TTL_SECONDS,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 default_deadline: Optional[float] = None) -> None:
+        self.engine = engine
+        self.default_deadline = default_deadline
+        self.admission = AdmissionController(
+            workers=workers, queue_depth=queue_depth,
+            default_deadline=default_deadline)
+        self.sessions = SessionManager(
+            engine, ttl_seconds=session_ttl, max_sessions=max_sessions)
+        self.metrics = ServiceMetrics()
+        self._httpd = ThreadingHTTPServer((host, port), ServiceHandler)
+        self._httpd.daemon_threads = True                 # type: ignore[attr-defined]
+        self._httpd.service = self                        # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bound interface."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound (possibly ephemeral) port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CommunityService":
+        """Serve on a background thread; returns ``self`` (chainable)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, daemon=True,
+                name="repro-service-accept")
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop accepting, join the accept thread, drain the pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.admission.shutdown()
+
+    def __enter__(self) -> "CommunityService":
+        """Context-manager entry (the server need not be started)."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: always shut down."""
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes) -> Response:
+        """Serve one request; never raises.
+
+        Returns ``(status, path_template, body, content_type)``. The
+        template (e.g. ``/sessions/{id}/next``) keys the latency
+        histograms, so metric cardinality stays bounded however many
+        session ids exist.
+        """
+        start = time.perf_counter()
+        parts = tuple(p for p in path.split("?", 1)[0].split("/") if p)
+        template = path
+        try:
+            template, result, content_type = self._route(
+                method, parts, body)
+            status, payload = 200, result
+        except ServiceError as error:
+            status = error.status
+            template = self._error_template(template, parts)
+            payload = json.dumps(
+                {"error": str(error), "status": status})
+            content_type = JSON_CONTENT_TYPE
+        except QueryError as error:
+            status = 400
+            template = self._error_template(template, parts)
+            payload = json.dumps({"error": str(error), "status": 400})
+            content_type = JSON_CONTENT_TYPE
+        except Exception as error:  # noqa: BLE001 — boundary: any bug
+            # becomes a 500 response rather than a dead connection.
+            status = 500
+            template = self._error_template(template, parts)
+            payload = json.dumps({"error": str(error), "status": 500})
+            content_type = JSON_CONTENT_TYPE
+        self.metrics.observe_request(template, status,
+                                     time.perf_counter() - start)
+        return status, template, payload, content_type
+
+    def _route(self, method: str, parts: Tuple[str, ...],
+               body: bytes) -> Tuple[str, str, str]:
+        """Dispatch to a handler; returns (template, body, type)."""
+        if method == "GET" and parts == ("metrics",):
+            return "/metrics", self.render_metrics(), \
+                METRICS_CONTENT_TYPE
+        if method == "GET" and parts == ("healthz",):
+            return "/healthz", json.dumps(self._health()), \
+                JSON_CONTENT_TYPE
+        if method == "POST" and parts == ("query",):
+            return "/query", json.dumps(self._query(body)), \
+                JSON_CONTENT_TYPE
+        if method == "POST" and parts == ("sessions",):
+            return "/sessions", \
+                json.dumps(self._session_create(body)), \
+                JSON_CONTENT_TYPE
+        if method == "POST" and len(parts) == 3 \
+                and parts[0] == "sessions" and parts[2] == "next":
+            return "/sessions/{id}/next", \
+                json.dumps(self._session_next(parts[1], body)), \
+                JSON_CONTENT_TYPE
+        if method == "DELETE" and len(parts) == 2 \
+                and parts[0] == "sessions":
+            self.sessions.close(parts[1])
+            return "/sessions/{id}", json.dumps({"closed": True}), \
+                JSON_CONTENT_TYPE
+        raise NotFound(f"no route {method} /{'/'.join(parts)}")
+
+    @staticmethod
+    def _error_template(template: str, parts: Tuple[str, ...]) -> str:
+        """A bounded-cardinality metric label for failed requests."""
+        if template.startswith("/") and "{" in template:
+            return template          # routing already templated it
+        if parts[:1] == ("sessions",) and len(parts) == 3:
+            return "/sessions/{id}/next"
+        if parts[:1] == ("sessions",) and len(parts) == 2:
+            return "/sessions/{id}"
+        return "/" + "/".join(parts[:1]) if parts else "/"
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def _health(self) -> Dict[str, Any]:
+        """Liveness payload."""
+        return {
+            "status": "ok",
+            "generation": self.engine.generation,
+            "sessions": self.sessions.count,
+            "queued": self.admission.queued,
+            "in_flight": self.admission.in_flight,
+        }
+
+    def _query(self, body: bytes) -> Dict[str, Any]:
+        """``POST /query``: one-shot COMM-all / COMM-k."""
+        payload = _parse_body(body)
+        keywords = _keywords_of(payload)
+        rmax = _float_of(payload, "rmax")
+        k = _int_of(payload, "k")
+        mode = payload.get("mode") or ("topk" if k is not None
+                                       else "all")
+        spec = QuerySpec(
+            tuple(keywords), rmax, mode=mode, k=k,
+            algorithm=payload.get("algorithm", "pd"),
+            aggregate=payload.get("aggregate", "sum"),
+            budget_seconds=_float_of(payload, "budget_seconds",
+                                     required=False))
+        deadline = _float_of(payload, "deadline_seconds",
+                             required=False,
+                             default=self.default_deadline)
+        want_labels = bool(payload.get("labels", False))
+        context = QueryContext()
+        start = time.perf_counter()
+
+        def job(remaining: Optional[float]) -> Any:
+            run_spec = spec
+            if remaining is not None and (
+                    spec.budget_seconds is None
+                    or remaining < spec.budget_seconds):
+                run_spec = replace(spec, budget_seconds=remaining)
+            return self.engine.execute(run_spec, context)
+
+        results = self.admission.run(job, deadline)
+        self.metrics.observe_context(context)
+        return results_to_dict(
+            results,
+            dbg=self.engine.dbg if want_labels else None,
+            context=context, spec=spec,
+            elapsed_seconds=time.perf_counter() - start)
+
+    def _session_create(self, body: bytes) -> Dict[str, Any]:
+        """``POST /sessions``: lease an interactive PDk stream."""
+        payload = _parse_body(body)
+        keywords = _keywords_of(payload)
+        rmax = _float_of(payload, "rmax")
+        aggregate = payload.get("aggregate", "sum")
+        ttl = _float_of(payload, "ttl_seconds", required=False)
+        deadline = _float_of(payload, "deadline_seconds",
+                             required=False,
+                             default=self.default_deadline)
+
+        def job(remaining: Optional[float]) -> SessionLease:
+            return self.sessions.create(keywords, rmax,
+                                        aggregate=aggregate,
+                                        ttl_seconds=ttl)
+
+        lease = self.admission.run(job, deadline)
+        # The creation context starts empty, so the whole thing is the
+        # delta to fold into the service-wide metrics.
+        self.metrics.observe_context(lease.context)
+        return {
+            "session": lease.id,
+            "generation": lease.generation,
+            "ttl_seconds": lease.ttl_seconds,
+            "keywords": list(lease.keywords),
+            "rmax": lease.rmax,
+            "stats": context_to_dict(lease.context),
+        }
+
+    def _session_next(self, session_id: str,
+                      body: bytes) -> Dict[str, Any]:
+        """``POST /sessions/{id}/next``: enlarge k, no recomputation."""
+        payload = _parse_body(body)
+        k = _int_of(payload, "k", default=10)
+        deadline = _float_of(payload, "deadline_seconds",
+                             required=False,
+                             default=self.default_deadline)
+        want_labels = bool(payload.get("labels", False))
+
+        def job(remaining: Optional[float]) -> Any:
+            lease = self.sessions.get(session_id)
+            before_t = dict(lease.context.timings)
+            before_c = dict(lease.context.counters)
+            communities, lease = self.sessions.next(session_id, k)
+            self.metrics.observe_context(
+                _context_delta(before_t, before_c, lease.context))
+            return communities, lease
+
+        communities, lease = self.admission.run(job, deadline)
+        dbg = self.engine.dbg if want_labels else None
+        return {
+            "session": lease.id,
+            "generation": lease.generation,
+            "returned": len(communities),
+            "emitted": lease.stream.emitted,
+            "exhausted": lease.stream.exhausted,
+            "communities": [community_to_dict(c, dbg)
+                            for c in communities],
+            "stats": context_to_dict(lease.context),
+        }
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """One Prometheus scrape of the whole service."""
+        cache_counters, cache_gauges = split_rates(
+            self.engine.cache.stats.as_dict(), ("cache_hit_rate",))
+        counters = prefixed(cache_counters, prefix="repro_projection_",
+                            suffix="_total")
+        counters.update(prefixed(self.admission.stats.as_dict(),
+                                 prefix="repro_", suffix="_total"))
+        counters.update(prefixed(self.sessions.stats.as_dict(),
+                                 prefix="repro_", suffix="_total"))
+        gauges = prefixed(cache_gauges, prefix="repro_projection_")
+        gauges.update({
+            "repro_queue_depth": float(self.admission.queued),
+            "repro_in_flight": float(self.admission.in_flight),
+            "repro_sessions_active": float(self.sessions.count),
+            "repro_engine_generation": float(self.engine.generation),
+            "repro_projection_cache_size": float(
+                len(self.engine.cache)),
+        })
+        return self.metrics.render(counters=counters, gauges=gauges)

@@ -1,0 +1,163 @@
+"""Unit tests for the admission controller
+(:mod:`repro.service.admission`)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.service.admission import AdmissionController
+from repro.service.errors import DeadlineExceeded, Overloaded
+
+
+@pytest.fixture()
+def controller():
+    ac = AdmissionController(workers=2, queue_depth=2)
+    yield ac
+    ac.shutdown()
+
+
+class TestBasicExecution:
+    def test_run_returns_result(self, controller):
+        assert controller.run(lambda remaining: 41 + 1) == 42
+        assert controller.stats.completed == 1
+
+    def test_job_receives_remaining_budget(self, controller):
+        remaining = controller.run(lambda r: r, deadline_seconds=30.0)
+        assert remaining is not None
+        assert 0 < remaining <= 30.0
+
+    def test_no_deadline_passes_none(self, controller):
+        assert controller.run(lambda r: r) is None
+
+    def test_job_exception_propagates(self, controller):
+        def boom(remaining):
+            raise QueryError("bad query")
+        with pytest.raises(QueryError, match="bad query"):
+            controller.run(boom)
+        assert controller.stats.failed == 1
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(QueryError):
+            AdmissionController(workers=0)
+        with pytest.raises(QueryError):
+            AdmissionController(queue_depth=0)
+
+
+class TestShedding:
+    def test_queue_full_sheds_overloaded(self, controller):
+        release = threading.Event()
+
+        def block(remaining):
+            release.wait(5.0)
+            return True
+
+        # Occupy both workers, then fill both queue slots.
+        futures = [controller.submit(block) for _ in range(2)]
+        deadline = time.monotonic() + 5.0
+        while controller.in_flight < 2 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        futures += [controller.submit(block) for _ in range(2)]
+        # ...so the fifth submission is shed immediately.
+        with pytest.raises(Overloaded):
+            controller.submit(block)
+        assert controller.stats.shed_queue_full == 1
+        release.set()
+        assert all(f.result(timeout=5.0) for f in futures)
+
+    def test_load_at_2x_capacity_sheds_not_queues(self):
+        """2x (workers + queue) concurrent clients arriving at once:
+        at most a capacity's worth is admitted, the excess sheds with
+        429/503 — nothing waits unboundedly."""
+        ac = AdmissionController(workers=2, queue_depth=2)
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def client():
+            barrier.wait()
+            try:
+                ac.run(lambda r: time.sleep(0.2), deadline_seconds=10.0)
+                outcome = "ok"
+            except Overloaded:
+                outcome = "429"
+            except DeadlineExceeded:
+                outcome = "503"
+            with lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        elapsed = time.monotonic() - start
+        ac.shutdown()
+        assert len(outcomes) == 8
+        assert set(outcomes) <= {"ok", "429", "503"}
+        # At least the workers' jobs complete; at least the burst past
+        # workers+queue sheds (the exact split depends on how fast the
+        # workers dequeue during the burst).
+        assert outcomes.count("ok") >= 2
+        assert outcomes.count("429") + outcomes.count("503") >= 2
+        assert ac.stats.shed_queue_full + ac.stats.shed_deadline >= 2
+        # Shed requests did not serialize behind the slow ones.
+        assert elapsed < 5.0
+
+    def test_spent_deadline_rejected_at_submit(self, controller):
+        with pytest.raises(DeadlineExceeded):
+            controller.submit(lambda r: r, deadline_seconds=0.0)
+
+    def test_deadline_expired_in_queue_sheds_503(self):
+        ac = AdmissionController(workers=1, queue_depth=4)
+        release = threading.Event()
+        ac.submit(lambda r: release.wait(5.0))    # occupy the worker
+        stale = ac.submit(lambda r: "ran",
+                          deadline_seconds=0.05)
+        time.sleep(0.1)                           # let it go stale
+        release.set()
+        with pytest.raises(DeadlineExceeded):
+            stale.result(timeout=5.0)
+        assert ac.stats.shed_deadline >= 1
+        ac.shutdown()
+
+    def test_run_gives_up_at_deadline_while_running(self, controller):
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            controller.run(lambda r: time.sleep(5.0),
+                           deadline_seconds=0.1)
+        assert time.monotonic() - start < 2.0
+
+
+class TestLifecycle:
+    def test_shutdown_drains_queue_with_overloaded(self):
+        ac = AdmissionController(workers=1, queue_depth=4)
+        release = threading.Event()
+        ac.submit(lambda r: release.wait(5.0))
+        queued = ac.submit(lambda r: "never")
+        ac.shutdown(timeout=0.1)
+        release.set()
+        with pytest.raises(Overloaded):
+            queued.result(timeout=5.0)
+
+    def test_submit_after_shutdown_sheds(self, controller):
+        controller.shutdown()
+        with pytest.raises(Overloaded):
+            controller.submit(lambda r: r)
+
+    def test_gauges_settle_to_zero(self, controller):
+        controller.run(lambda r: None)
+        assert controller.queued == 0
+        assert controller.in_flight == 0
+
+    def test_stats_as_dict_covers_all_counters(self, controller):
+        controller.run(lambda r: None)
+        flat = controller.stats.as_dict()
+        assert flat["admission_submitted"] == 1.0
+        assert flat["admission_completed"] == 1.0
+        assert set(flat) == {
+            "admission_submitted", "admission_completed",
+            "admission_failed", "admission_shed_queue_full",
+            "admission_shed_deadline"}

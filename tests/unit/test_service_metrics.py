@@ -1,0 +1,124 @@
+"""Unit tests for Prometheus exposition
+(:mod:`repro.service.metrics`) and the audited
+:meth:`CacheStats.as_dict` it consumes."""
+
+import pytest
+
+from repro.engine import QueryContext
+from repro.engine.cache import CacheStats
+from repro.service.metrics import (
+    LatencyHistogram,
+    ServiceMetrics,
+    escape_label,
+    prefixed,
+    split_rates,
+)
+
+
+class TestLatencyHistogram:
+    def test_observations_land_in_buckets(self):
+        h = LatencyHistogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5.555)
+        assert h.cumulative() == [(0.01, 1), (0.1, 2), (1.0, 3),
+                                  (float("inf"), 4)]
+
+    def test_cumulative_counts_are_monotonic(self):
+        h = LatencyHistogram()
+        for value in (0.0001, 0.002, 0.03, 0.4, 20.0):
+            h.observe(value)
+        counts = [count for _, count in h.cumulative()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+
+class TestServiceMetrics:
+    def test_contexts_aggregate_across_queries(self):
+        metrics = ServiceMetrics()
+        for _ in range(3):
+            ctx = QueryContext()
+            ctx.add_time("project", 0.5)
+            ctx.count("communities", 2)
+            metrics.observe_context(ctx)
+        text = metrics.render()
+        assert 'repro_stage_seconds_total{stage="project"} 1.5' in text
+        assert 'repro_query_events_total{event="communities"} 6' \
+            in text
+
+    def test_request_histogram_and_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_request("/query", 200, 0.02)
+        metrics.observe_request("/query", 200, 0.2)
+        metrics.observe_request("/query", 429, 0.0001)
+        text = metrics.render()
+        assert 'repro_requests_total{path="/query",status="200"} 2' \
+            in text
+        assert 'repro_requests_total{path="/query",status="429"} 1' \
+            in text
+        assert 'repro_request_seconds_count{path="/query"} 3' in text
+        assert 'le="+Inf"} 3' in text
+
+    def test_counters_and_gauges_passed_through(self):
+        metrics = ServiceMetrics()
+        text = metrics.render(
+            counters={"repro_cache_hits_total": 4.0},
+            gauges={"repro_queue_depth": 2.0})
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 4" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2" in text
+
+    def test_label_escaping(self):
+        assert escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_render_ends_with_newline(self):
+        assert ServiceMetrics().render().endswith("\n")
+
+
+class TestHelpers:
+    def test_prefixed_rekeys(self):
+        flat = prefixed({"cache_hits": 1.0},
+                        prefix="repro_projection_", suffix="_total")
+        assert flat == {"repro_projection_cache_hits_total": 1.0}
+
+    def test_split_rates_partitions(self):
+        counters, gauges = split_rates(
+            {"cache_hits": 2.0, "cache_hit_rate": 0.5},
+            ("cache_hit_rate",))
+        assert counters == {"cache_hits": 2.0}
+        assert gauges == {"cache_hit_rate": 0.5}
+
+
+class TestCacheStatsAudit:
+    def test_as_dict_exports_every_tracked_counter(self):
+        """The satellite audit: nothing CacheStats tracks may be
+        missing from its exported view — the metrics endpoint relies
+        on as_dict being complete."""
+        stats = CacheStats(hits=3, misses=1, evictions=2,
+                           invalidations=4, stale_drops=5)
+        flat = stats.as_dict()
+        assert flat == {
+            "cache_hits": 3.0,
+            "cache_misses": 1.0,
+            "cache_evictions": 2.0,
+            "cache_invalidations": 4.0,
+            "cache_stale_drops": 5.0,
+            "cache_lookups": 4.0,
+            "cache_hit_rate": 0.75,
+        }
+
+    def test_as_dict_mirrors_every_data_field(self):
+        """Structural guard: every dataclass field appears (prefixed)
+        in as_dict, so adding a counter without exporting it fails."""
+        from dataclasses import fields
+        stats = CacheStats()
+        flat = stats.as_dict()
+        for field in fields(CacheStats):
+            assert f"cache_{field.name}" in flat
+        assert "cache_lookups" in flat        # derived properties too
+        assert "cache_hit_rate" in flat
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert CacheStats().as_dict()["cache_hit_rate"] == 0.0

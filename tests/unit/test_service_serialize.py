@@ -1,0 +1,120 @@
+"""Unit tests for the shared JSON vocabulary
+(:mod:`repro.service.serialize`)."""
+
+import json
+
+import pytest
+
+from repro.core.community import Community
+from repro.core.search import CommunitySearch
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryContext, QuerySpec
+from repro.service.serialize import (
+    communities_from_dicts,
+    community_to_dict,
+    context_to_dict,
+    dumps,
+    results_to_dict,
+    spec_to_dict,
+)
+
+
+@pytest.fixture()
+def answers(fig4):
+    search = CommunitySearch(fig4)
+    search.build_index(radius=FIG4_RMAX)
+    ctx = QueryContext()
+    spec = QuerySpec.comm_k(FIG4_QUERY, 3, FIG4_RMAX)
+    return fig4, spec, ctx, search.engine.execute(spec, ctx)
+
+
+class TestCommunityToDict:
+    def test_plain_fields(self, answers):
+        _, _, _, results = answers
+        payload = community_to_dict(results[0])
+        assert payload["core"] == list(results[0].core)
+        assert payload["cost"] == results[0].cost
+        assert payload["nodes"] == list(results[0].nodes)
+        assert all(len(edge) == 3 for edge in payload["edges"])
+        assert "labels" not in payload
+
+    def test_labels_resolved_from_graph(self, answers):
+        fig4, _, _, results = answers
+        payload = community_to_dict(results[0], fig4)
+        assert set(payload["labels"]) \
+            == {str(u) for u in results[0].nodes}
+        assert payload["labels"][str(results[0].nodes[0])] \
+            == fig4.label_of(results[0].nodes[0])
+
+    def test_json_round_trip_to_community(self, answers):
+        _, _, _, results = answers
+        wire = json.loads(json.dumps(
+            [community_to_dict(c) for c in results]))
+        rebuilt = communities_from_dicts(wire)
+        assert rebuilt == list(results)
+
+    def test_rebuilt_are_real_dataclasses(self, answers):
+        _, _, _, results = answers
+        rebuilt = communities_from_dicts(
+            [community_to_dict(c) for c in results])
+        assert isinstance(rebuilt[0], Community)
+        assert rebuilt[0].knodes == results[0].knodes
+
+
+class TestEnvelope:
+    def test_results_to_dict_full_envelope(self, answers):
+        fig4, spec, ctx, results = answers
+        payload = results_to_dict(results, dbg=fig4, context=ctx,
+                                  spec=spec, elapsed_seconds=0.5)
+        assert payload["count"] == 3
+        assert len(payload["communities"]) == 3
+        assert payload["query"]["keywords"] == list(FIG4_QUERY)
+        assert payload["query"]["mode"] == "topk"
+        assert payload["query"]["k"] == 3
+        assert payload["elapsed_seconds"] == 0.5
+        assert payload["stats"]["counters"]["communities"] == 3
+        assert "project" in payload["stats"]["timings"]
+
+    def test_optional_parts_absent_when_not_given(self, answers):
+        _, _, _, results = answers
+        payload = results_to_dict(results)
+        assert set(payload) == {"count", "communities"}
+
+    def test_context_to_dict_types(self):
+        ctx = QueryContext()
+        ctx.add_time("project", 0.25)
+        ctx.count("communities", 2)
+        payload = context_to_dict(ctx)
+        assert payload["timings"] == {"project": 0.25}
+        assert payload["counters"] == {"communities": 2}
+        assert payload["total_seconds"] == 0.25
+
+    def test_spec_to_dict_echoes_all_knobs(self):
+        spec = QuerySpec.comm_k(("x", "y"), 7, 4.0, algorithm="bu",
+                                aggregate="max")
+        payload = spec_to_dict(spec)
+        assert payload == {"keywords": ["x", "y"], "rmax": 4.0,
+                           "mode": "topk", "k": 7, "algorithm": "bu",
+                           "aggregate": "max"}
+
+    def test_dumps_is_deterministic_json(self, answers):
+        fig4, spec, ctx, results = answers
+        payload = results_to_dict(results, dbg=fig4, context=ctx,
+                                  spec=spec)
+        assert dumps(payload) == dumps(json.loads(dumps(payload)))
+
+
+class TestCliJsonParity:
+    def test_cli_json_matches_serializer_shapes(self, capsys):
+        """``--json`` output parses into the shared envelope."""
+        from repro.cli import main
+        assert main(["query", "--dataset", "fig4",
+                     "--keywords", "a,b,c", "--rmax", "8",
+                     "--k", "2", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["count"] == 2
+        assert payload["query"]["algorithm"] == "pd"
+        assert {"core", "cost", "centers", "pnodes", "nodes", "edges",
+                "labels"} <= set(payload["communities"][0])
+        assert payload["stats"]["counters"]["communities"] == 2

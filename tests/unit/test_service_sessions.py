@@ -1,0 +1,187 @@
+"""Unit tests for session leases (:mod:`repro.service.sessions`)."""
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryEngine
+from repro.exceptions import QueryError
+from repro.service.errors import NotFound, Overloaded, SessionGone
+from repro.service.sessions import SessionManager
+from repro.text.maintenance import GraphDelta
+
+FIG4_TOTAL = 5
+
+
+class FakeClock:
+    """A controllable monotonic clock for TTL tests (no sleeping)."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward."""
+        self.now += seconds
+
+
+@pytest.fixture()
+def engine(fig4):
+    e = QueryEngine(fig4)
+    e.build_index(radius=FIG4_RMAX)
+    return e
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def manager(engine, clock):
+    return SessionManager(engine, ttl_seconds=60.0, max_sessions=4,
+                          clock=clock)
+
+
+class TestLeaseLifecycle:
+    def test_create_then_next_streams_in_rank_order(self, manager):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        first, _ = manager.next(lease.id, 2)
+        rest, _ = manager.next(lease.id, 10)
+        costs = [c.cost for c in first + rest]
+        assert len(first) == 2
+        assert len(rest) == FIG4_TOTAL - 2
+        assert costs == sorted(costs)
+
+    def test_enlargement_charges_no_project_time(self, manager):
+        """The acceptance property, at the manager level: k=10 -> 50
+        adds enumerate/translate work but zero project work."""
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        manager.next(lease.id, 2)
+        project_after_first = lease.context.seconds("project")
+        runs_after_first = lease.context.counter("projection_runs")
+        manager.next(lease.id, 3)             # enlarge
+        assert lease.context.seconds("project") == project_after_first
+        assert lease.context.counter("projection_runs") \
+            == runs_after_first
+        assert lease.context.counter("communities") == FIG4_TOTAL
+
+    def test_unknown_id_is_not_found(self, manager):
+        with pytest.raises(NotFound):
+            manager.next("deadbeef", 1)
+
+    def test_close_releases_lease(self, manager):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        manager.close(lease.id)
+        assert manager.count == 0
+        with pytest.raises(NotFound):
+            manager.next(lease.id, 1)
+        manager.close(lease.id)               # idempotent
+
+    def test_negative_k_rejected(self, manager):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        with pytest.raises(QueryError):
+            manager.next(lease.id, -1)
+
+    def test_session_cap_sheds(self, manager):
+        for _ in range(4):
+            manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        with pytest.raises(Overloaded):
+            manager.create(list(FIG4_QUERY), FIG4_RMAX)
+
+    def test_sessions_share_projection_via_cache(self, manager,
+                                                 engine):
+        a = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        b = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        assert a.context.counter("projection_runs") == 1
+        assert b.context.counter("projection_runs") == 0
+        assert b.context.counter("projection_cache_hits") == 1
+        assert engine.cache.stats.hits >= 1
+
+
+class TestTTL:
+    def test_expired_lease_is_gone(self, manager, clock):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        clock.advance(61.0)
+        with pytest.raises(SessionGone, match="expired"):
+            manager.next(lease.id, 1)
+        assert manager.count == 0
+        assert manager.stats.expired == 1
+
+    def test_next_slides_the_lease(self, manager, clock):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        clock.advance(50.0)
+        manager.next(lease.id, 1)             # touch at t+50
+        clock.advance(50.0)                   # t+100 < touch+60
+        communities, _ = manager.next(lease.id, 1)
+        assert len(communities) == 1
+
+    def test_sweep_collects_expired(self, manager, clock):
+        manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        manager.create(list(FIG4_QUERY), FIG4_RMAX,
+                       ttl_seconds=600.0)     # outlives the sweep
+        clock.advance(61.0)
+        assert manager.sweep() == 1
+        assert manager.count == 1
+
+    def test_expired_lease_frees_cap_slot(self, manager, clock):
+        for _ in range(4):
+            manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        clock.advance(61.0)
+        # create() sweeps first, so the table has room again.
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        assert manager.count == 1
+        assert lease is not None
+
+
+class TestGenerationChecks:
+    def test_apply_delta_makes_lease_stale(self, manager, engine,
+                                           fig4):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        manager.next(lease.id, 1)
+        delta = GraphDelta(new_nodes=[({"a"}, "extra", None)],
+                           new_edges=[(fig4.n, 0, 1.0),
+                                      (0, fig4.n, 1.0)])
+        engine.apply_delta(delta)
+        with pytest.raises(SessionGone, match="stale"):
+            manager.next(lease.id, 1)
+        assert manager.stats.stale_dropped == 1
+        assert manager.count == 0
+
+    def test_index_swap_makes_lease_stale(self, manager, engine):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        engine.index = engine.index           # any swap bumps
+        with pytest.raises(SessionGone):
+            manager.next(lease.id, 1)
+
+    def test_fresh_session_after_delta_serves_new_graph(
+            self, manager, engine, fig4):
+        old = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        delta = GraphDelta(new_nodes=[({"a"}, "extra", None)],
+                           new_edges=[(fig4.n, 0, 1.0),
+                                      (0, fig4.n, 1.0)])
+        engine.apply_delta(delta)
+        with pytest.raises(SessionGone):
+            manager.next(old.id, 1)
+        fresh = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        communities, _ = manager.next(fresh.id, 100)
+        # The new "extra" node carries keyword a, so the enlarged
+        # graph has strictly more communities than fig4's 5.
+        assert len(communities) > FIG4_TOTAL
+
+    def test_validation_errors(self, engine):
+        with pytest.raises(QueryError):
+            SessionManager(engine, ttl_seconds=0.0)
+        with pytest.raises(QueryError):
+            SessionManager(engine, max_sessions=0)
+
+    def test_stats_as_dict_covers_all_counters(self, manager):
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        manager.close(lease.id)
+        flat = manager.stats.as_dict()
+        assert flat["sessions_created"] == 1.0
+        assert flat["sessions_closed"] == 1.0
+        assert set(flat) == {"sessions_created", "sessions_closed",
+                             "sessions_expired",
+                             "sessions_stale_dropped"}
