@@ -27,6 +27,9 @@ Layout:
   multi-source Dijkstra;
 * :mod:`repro.rdb` — the relational engine and graph materialization;
 * :mod:`repro.text` — tokenizer and the two inverted indexes;
+* :mod:`repro.snapshot` — the immutable snapshot artifact:
+  content-addressed graph+index bundles, an atomically-published
+  store, and the hot-reload path the service serves from;
 * :mod:`repro.datasets` — synthetic DBLP / IMDB and the paper's toy
   examples;
 * :mod:`repro.bench` — the benchmark harness regenerating every figure

@@ -143,6 +143,31 @@ def load_dataset(name: str, scale: str = "bench") -> DatasetBundle:
     return bundle
 
 
+def publish_snapshot(store_root, bundle: DatasetBundle,
+                     compress: bool = False):
+    """Publish a bundle's graph + index into a snapshot store.
+
+    The one build-to-artifact path shared by the CLI
+    (``python -m repro snapshot build``) and the benchmark harness
+    (``benchmarks/bench_snapshot_load.py``): provenance records the
+    dataset, scale and index radius so ``snapshot inspect`` can say
+    where an artifact came from. Returns the published
+    :class:`~repro.snapshot.Snapshot`.
+    """
+    from repro.snapshot.store import SnapshotStore
+
+    store = SnapshotStore(store_root)
+    return store.publish(
+        bundle.dbg, bundle.search.index,
+        provenance={
+            "dataset": bundle.name,
+            "scale": bundle.scale,
+            "index_radius": bundle.params.index_radius,
+            "builder": "repro.bench.workloads",
+        },
+        compress=compress)
+
+
 def clear_cache() -> None:
     """Drop cached bundles (tests that tweak scales use this)."""
     _CACHE.clear()

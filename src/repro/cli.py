@@ -18,6 +18,15 @@ Workflows:
 * serve queries over HTTP (see :mod:`repro.service`)::
 
       python -m repro serve --dataset dblp --radius 8 --port 8420
+
+* snapshot lifecycle (see :mod:`repro.snapshot`) — build once,
+  publish atomically, serve and hot-reload from the store::
+
+      python -m repro snapshot build --dataset fig4 --store ./snaps
+      python -m repro snapshot verify ./snaps
+      python -m repro serve --snapshot ./snaps --port 8420
+      # after publishing a newer snapshot:
+      curl -X POST http://127.0.0.1:8420/admin/reload
 """
 
 from __future__ import annotations
@@ -138,21 +147,36 @@ def cmd_serve(args) -> int:
 
     Binds ``--host:--port`` (port 0 picks an ephemeral one), builds an
     index at ``--radius`` when none was loaded, and serves until
-    interrupted. ``--port-file`` writes ``host port`` after binding so
+    interrupted. With ``--snapshot`` the engine loads a published
+    snapshot (checksum-verified) instead of building anything, and
+    ``POST /admin/reload`` hot-swaps to whatever that source's newest
+    snapshot is. ``--port-file`` writes ``host port`` after binding so
     scripts (CI smoke tests) can discover an ephemeral port.
     """
     from repro.service import CommunityService
 
-    dbg, search = _resolve_search(args)
-    if search.index is None:
-        print(f"building index at R={args.radius:g} ...",
+    if getattr(args, "snapshot", None):
+        from repro.engine.engine import QueryEngine
+        from repro.snapshot.store import locate_snapshot
+
+        path = locate_snapshot(args.snapshot)
+        engine = QueryEngine.from_snapshot(path)
+        dbg = engine.dbg
+        print(f"loaded snapshot {engine.snapshot_id} from {path}",
               file=sys.stderr)
-        search.build_index(radius=args.radius)
+    else:
+        dbg, search = _resolve_search(args)
+        if search.index is None:
+            print(f"building index at R={args.radius:g} ...",
+                  file=sys.stderr)
+            search.build_index(radius=args.radius)
+        engine = search.engine
     service = CommunityService(
-        search.engine, host=args.host, port=args.port,
+        engine, host=args.host, port=args.port,
         workers=args.workers, queue_depth=args.queue_depth,
         session_ttl=args.session_ttl, max_sessions=args.max_sessions,
-        default_deadline=args.deadline)
+        default_deadline=args.deadline,
+        snapshot_source=getattr(args, "snapshot", None))
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{service.host} {service.port}\n")
@@ -164,6 +188,116 @@ def cmd_serve(args) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         service.shutdown()
+    return 0
+
+
+def cmd_snapshot_build(args) -> int:
+    """``snapshot build``: build a dataset's index and publish it.
+
+    Generation and index construction go through the same
+    :func:`repro.bench.workloads.load_dataset` path the benchmark
+    harness uses, so a published artifact is exactly what the
+    benchmarks measure. ``fig4`` (the paper's running example) is
+    built directly — it has no scale knob.
+    """
+    from repro.snapshot.store import SnapshotStore
+
+    start = time.perf_counter()
+    if args.dataset == "fig4":
+        from repro.datasets.paper_example import figure4_graph
+        from repro.text.inverted_index import CommunityIndex
+
+        dbg = figure4_graph()
+        index = CommunityIndex.build(dbg, args.radius)
+        snapshot = SnapshotStore(args.store).publish(
+            dbg, index,
+            provenance={"dataset": "fig4",
+                        "index_radius": args.radius,
+                        "builder": "repro.cli"},
+            compress=args.compress)
+    else:
+        from repro.bench.workloads import load_dataset, \
+            publish_snapshot
+
+        bundle = load_dataset(args.dataset, args.scale)
+        snapshot = publish_snapshot(args.store, bundle,
+                                    compress=args.compress)
+    elapsed = time.perf_counter() - start
+    counts = snapshot.counts
+    print(f"published {snapshot.id} -> {snapshot.path}")
+    print(f"  {counts['nodes']} nodes, {counts['edges']} edges, "
+          f"{counts['node_postings']} node postings, "
+          f"{counts['edge_postings']} edge postings "
+          f"({elapsed:.1f}s)")
+    return 0
+
+
+def cmd_snapshot_inspect(args) -> int:
+    """``snapshot inspect``: print a snapshot's manifest summary."""
+    import json as _json
+
+    from repro.snapshot.snapshot import read_manifest
+    from repro.snapshot.store import locate_snapshot
+
+    manifest = read_manifest(locate_snapshot(args.path))
+    if args.json:
+        print(_json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    counts = manifest["counts"]
+    print(f"snapshot   {manifest['id']}")
+    print(f"created    {manifest['created_at']}")
+    print(f"provenance {manifest.get('provenance') or '-'}")
+    print(f"counts     {counts['nodes']} nodes, {counts['edges']} "
+          f"edges, {counts['vocab']} keywords, "
+          f"{counts['node_postings']}/{counts['edge_postings']} "
+          f"node/edge postings")
+    for name in sorted(manifest["sections"]):
+        section = manifest["sections"][name]
+        gz = " (gzip)" if section.get("gzip") else ""
+        print(f"section    {name}: {section['file']} "
+              f"{section['bytes']} bytes "
+              f"sha256={section['sha256'][:12]}...{gz}")
+    return 0
+
+
+def cmd_snapshot_verify(args) -> int:
+    """``snapshot verify``: checksum + decode every section."""
+    from repro.snapshot.snapshot import verify_snapshot
+    from repro.snapshot.store import locate_snapshot
+
+    path = locate_snapshot(args.path)
+    manifest = verify_snapshot(path)
+    print(f"ok: {manifest['id']} at {path} verified "
+          f"({len(manifest['sections'])} sections)")
+    return 0
+
+
+def cmd_snapshot_list(args) -> int:
+    """``snapshot list``: published snapshots, newest first."""
+    from repro.snapshot.store import SnapshotStore
+
+    manifests = SnapshotStore(args.store).list()
+    if not manifests:
+        print("(empty store)")
+        return 0
+    for manifest in manifests:
+        marker = "*" if manifest["latest"] else " "
+        counts = manifest["counts"]
+        dataset = manifest.get("provenance", {}).get("dataset", "-")
+        print(f"{marker} {manifest['id']}  {manifest['created_at']}  "
+              f"{dataset:>6}  {counts['nodes']} nodes / "
+              f"{counts['edges']} edges")
+    return 0
+
+
+def cmd_snapshot_prune(args) -> int:
+    """``snapshot prune``: drop all but the newest snapshots."""
+    from repro.snapshot.store import SnapshotStore
+
+    removed = SnapshotStore(args.store).prune(keep=args.keep)
+    for snapshot_id in removed:
+        print(f"removed {snapshot_id}")
+    print(f"{len(removed)} snapshot(s) pruned")
     return 0
 
 
@@ -220,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--graph", help="a saved graph file")
     source.add_argument("--dataset", choices=("dblp", "imdb", "fig4"),
                         help="generate a built-in dataset instead")
+    source.add_argument("--snapshot",
+                        help="serve a published snapshot (a snapshot "
+                             "directory or a store root, whose "
+                             "'latest' is used); enables POST "
+                             "/admin/reload")
     serve.add_argument("--index", help="a saved index file")
     serve.add_argument("--radius", type=float, default=8.0,
                        help="index radius R when building in-process "
@@ -247,6 +386,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write 'host port' here after binding "
                             "(for scripts using an ephemeral port)")
     serve.set_defaults(func=cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="build / inspect / verify / list / prune "
+                         "immutable snapshot artifacts")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command",
+                                           required=True)
+
+    snap_build = snapshot_sub.add_parser(
+        "build", help="build a dataset's graph + index and publish "
+                      "them into a snapshot store")
+    snap_build.add_argument("--dataset", required=True,
+                            choices=("dblp", "imdb", "fig4"))
+    snap_build.add_argument("--scale", default="bench",
+                            choices=("tiny", "bench", "paper"),
+                            help="dataset scale (ignored for fig4; "
+                                 "default bench)")
+    snap_build.add_argument("--store", required=True,
+                            help="snapshot store directory (created "
+                                 "if missing)")
+    snap_build.add_argument("--radius", type=float, default=10.0,
+                            help="index radius R for fig4 (dblp/imdb "
+                                 "use their paper radius)")
+    snap_build.add_argument("--compress", action="store_true",
+                            help="gzip the section payloads")
+    snap_build.set_defaults(func=cmd_snapshot_build)
+
+    snap_inspect = snapshot_sub.add_parser(
+        "inspect", help="print a snapshot's manifest")
+    snap_inspect.add_argument("path", help="snapshot directory or "
+                                           "store root")
+    snap_inspect.add_argument("--json", action="store_true",
+                              help="print the raw manifest JSON")
+    snap_inspect.set_defaults(func=cmd_snapshot_inspect)
+
+    snap_verify = snapshot_sub.add_parser(
+        "verify", help="recompute every section checksum and decode "
+                       "the snapshot")
+    snap_verify.add_argument("path", help="snapshot directory or "
+                                          "store root")
+    snap_verify.set_defaults(func=cmd_snapshot_verify)
+
+    snap_list = snapshot_sub.add_parser(
+        "list", help="list a store's published snapshots")
+    snap_list.add_argument("store", help="snapshot store directory")
+    snap_list.set_defaults(func=cmd_snapshot_list)
+
+    snap_prune = snapshot_sub.add_parser(
+        "prune", help="delete all but the newest snapshots")
+    snap_prune.add_argument("store", help="snapshot store directory")
+    snap_prune.add_argument("--keep", type=int, default=2,
+                            help="snapshots to retain (default 2)")
+    snap_prune.set_defaults(func=cmd_snapshot_prune)
     return parser
 
 

@@ -9,8 +9,8 @@ of ``G_D``, so a handful of retained
 while saving the dominant per-query cost.
 
 Correctness across index maintenance is handled with **generations**:
-every cache entry records the generation number of the index it was
-computed from, and the owning engine bumps its generation whenever the
+every cache entry records the generation token of the index it was
+computed from, and the owning engine changes its generation whenever the
 index changes (``apply_delta``, ``build_index``, or any assignment).
 A lookup whose stored generation differs from the caller's current one
 is treated as a miss and the stale entry is dropped immediately — no
@@ -95,7 +95,7 @@ class ProjectionCache:
     # lookup / insert
     # ------------------------------------------------------------------
     def get(self, key: CacheKey,
-            generation: int) -> Optional[ProjectionResult]:
+            generation: str) -> Optional[ProjectionResult]:
         """The cached projection, or ``None`` on miss/stale entry.
 
         An entry built against an older index generation is dropped on
@@ -116,7 +116,7 @@ class ProjectionCache:
         self.stats.hits += 1
         return projection
 
-    def put(self, key: CacheKey, generation: int,
+    def put(self, key: CacheKey, generation: str,
             projection: ProjectionResult) -> None:
         """Insert (or refresh) an entry, evicting LRU past capacity."""
         if key in self._entries:

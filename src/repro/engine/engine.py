@@ -9,9 +9,21 @@ indexes and the paper's algorithms. One engine owns
   sharing one invocation contract;
 * a :class:`~repro.engine.cache.ProjectionCache` so repeated and
   interactive ``(keyword set, Rmax)`` queries skip Algorithm 6;
-* a monotonically increasing **generation** number, bumped on every
-  index change (``build_index``, ``apply_delta``, or assignment),
-  which stale-checks every cache entry.
+* a **generation** token, changed on every index change
+  (``build_index``, ``apply_delta``, assignment, or snapshot swap),
+  which stale-checks every cache entry and every open PDk session.
+
+The generation is an opaque string, not a counter: in-memory changes
+produce process-local ``g<epoch>`` tokens, while
+:meth:`QueryEngine.swap_snapshot` adopts the *snapshot id* — a durable
+content hash — so two workers serving the same published snapshot
+agree on the generation, and swapping to a content-identical snapshot
+is a no-op (the projection cache stays warm, open sessions stay
+valid).
+
+Queries capture ``(graph, index, generation)`` once at entry, so a
+concurrent :meth:`~QueryEngine.swap_snapshot` never mixes artifacts
+mid-query — in-flight queries finish on the graph they started on.
 
 Execution is staged — resolve → project → enumerate → translate — and
 each stage reports wall-clock and counters into the caller's
@@ -25,7 +37,9 @@ async fan-out) should build against the engine directly.
 
 from __future__ import annotations
 
+import threading
 import time
+from pathlib import Path
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.community import Community
@@ -39,6 +53,8 @@ from repro.engine.registry import REGISTRY, AlgorithmRegistry
 from repro.engine.spec import QuerySpec
 from repro.exceptions import QueryError
 from repro.graph.database_graph import DatabaseGraph
+from repro.snapshot.snapshot import Snapshot
+from repro.snapshot.snapshot import load_snapshot as _load_snapshot
 from repro.text.inverted_index import CommunityIndex
 from repro.text.maintenance import GraphDelta, apply_delta
 
@@ -77,8 +93,79 @@ class QueryEngine:
         self.registry = registry if registry is not None else REGISTRY
         self.cache = (cache if cache is not None
                       else ProjectionCache(cache_capacity))
-        self._generation = 0
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._generation = "g0"
         self._index = index
+        self._snapshot_id: Optional[str] = None
+        self._snapshot_loaded_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(cls, source: Union[str, Path, Snapshot],
+                      verify: bool = True,
+                      registry: Optional[AlgorithmRegistry] = None,
+                      cache_capacity: int = DEFAULT_CAPACITY
+                      ) -> "QueryEngine":
+        """An engine serving a snapshot, generation = snapshot id."""
+        snapshot = (source if isinstance(source, Snapshot)
+                    else _load_snapshot(source, verify=verify))
+        engine = cls(snapshot.dbg, snapshot.index, registry=registry,
+                     cache_capacity=cache_capacity)
+        engine._generation = snapshot.id
+        engine._snapshot_id = snapshot.id
+        engine._snapshot_loaded_at = time.time()
+        return engine
+
+    def load_snapshot(self, path: Union[str, Path],
+                      verify: bool = True) -> Snapshot:
+        """Load the snapshot at ``path`` and swap the engine onto it."""
+        snapshot = _load_snapshot(path, verify=verify)
+        self.swap_snapshot(snapshot)
+        return snapshot
+
+    def swap_snapshot(self, snapshot: Snapshot) -> bool:
+        """Atomically swap graph + index to a loaded snapshot.
+
+        The swap happens under the engine lock, and queries capture
+        their ``(graph, index, generation)`` once at entry — in-flight
+        queries finish on the artifact they started with, new queries
+        see the snapshot; nothing is dropped. The snapshot id becomes
+        the generation, so cached projections and open PDk sessions
+        from the previous artifact go stale (sessions observe 410
+        Gone), while swapping to a *content-identical* snapshot is a
+        no-op that keeps the cache warm. Returns ``True`` when the
+        engine actually changed artifacts.
+        """
+        with self._lock:
+            if self._generation == snapshot.id:
+                self._snapshot_loaded_at = time.time()
+                return False
+            self.dbg = snapshot.dbg
+            self._index = snapshot.index
+            self._epoch += 1
+            self._generation = snapshot.id
+            self._snapshot_id = snapshot.id
+            self._snapshot_loaded_at = time.time()
+        self.cache.invalidate()
+        return True
+
+    @property
+    def snapshot_id(self) -> Optional[str]:
+        """Id of the snapshot being served.
+
+        ``None`` when the engine state was never loaded from a
+        snapshot *or* has diverged from it (an in-memory
+        ``build_index``/``apply_delta`` after the load).
+        """
+        return self._snapshot_id
+
+    @property
+    def snapshot_loaded_at(self) -> Optional[float]:
+        """Epoch seconds of the last snapshot load/swap, if any."""
+        return self._snapshot_loaded_at
 
     # ------------------------------------------------------------------
     # index lifecycle — every change advances the generation
@@ -91,14 +178,27 @@ class QueryEngine:
     @index.setter
     def index(self, index: Optional[CommunityIndex]) -> None:
         """Attach/replace the index, invalidating cached projections."""
-        self._index = index
-        self._generation += 1
+        with self._lock:
+            self._index = index
+            self._epoch += 1
+            self._generation = f"g{self._epoch}"
+            self._snapshot_id = None
         self.cache.invalidate()
 
     @property
-    def generation(self) -> int:
-        """Monotonic index-change counter; tags every cache entry."""
+    def generation(self) -> str:
+        """Opaque token naming the engine's current artifact.
+
+        Changes on every index change; equals the snapshot id while
+        serving an unmodified snapshot. Tags every cache entry and
+        every open session.
+        """
         return self._generation
+
+    @property
+    def generation_epoch(self) -> int:
+        """Monotonic count of index changes (numeric, for gauges)."""
+        return self._epoch
 
     def build_index(self, radius: float,
                     keywords: Optional[Sequence[str]] = None
@@ -113,7 +213,7 @@ class QueryEngine:
         """Grow the graph, update the index, evict stale projections.
 
         Delegates to :func:`repro.text.maintenance.apply_delta`, then
-        swaps in the grown graph/index. The assignment bumps the
+        swaps in the grown graph/index. The assignment changes the
         generation, so projections computed before the delta can never
         be served again — the cache-correctness property the
         maintenance property tests assert.
@@ -125,8 +225,14 @@ class QueryEngine:
         new_dbg, new_index = apply_delta(self.index, delta,
                                          banks_reweight)
         self.dbg = new_dbg
-        self.index = new_index          # bumps generation, evicts
+        self.index = new_index          # changes generation, evicts
         return new_dbg, new_index
+
+    def _capture(self) -> Tuple[DatabaseGraph,
+                                Optional[CommunityIndex], str]:
+        """One consistent ``(graph, index, generation)`` observation."""
+        with self._lock:
+            return self.dbg, self._index, self._generation
 
     # ------------------------------------------------------------------
     # projection (Algorithm 6), cached
@@ -141,27 +247,35 @@ class QueryEngine:
         Algorithm 6 executions — a repeated query shows ``runs == 1``
         however many times it is asked.
         """
+        _, index, generation = self._capture()
+        return self._project(index, generation, keywords, rmax,
+                             context, use_cache)
+
+    def _project(self, index: Optional[CommunityIndex],
+                 generation: str, keywords: Sequence[str],
+                 rmax: float, context: Optional[QueryContext],
+                 use_cache: bool = True) -> ProjectionResult:
+        """Projection against an already-captured index/generation."""
         ctx = ensure_context(context)
-        if self.index is None:
+        if index is None:
             raise QueryError(
                 "no index built; call build_index(radius=...) first or "
                 "query with use_projection=False")
         with ctx.stage("resolve"):
             for keyword in keywords:
-                self.index.require_keyword(keyword)
+                index.require_keyword(keyword)
         key = (frozenset(keywords), float(rmax))
         if use_cache:
-            cached = self.cache.get(key, self._generation)
+            cached = self.cache.get(key, generation)
             if cached is not None:
                 ctx.count("projection_cache_hits")
                 return cached
             ctx.count("projection_cache_misses")
         with ctx.stage("project"):
-            projection = run_projection(self.index, list(keywords),
-                                        rmax)
+            projection = run_projection(index, list(keywords), rmax)
         ctx.count("projection_runs")
         if use_cache:
-            self.cache.put(key, self._generation, projection)
+            self.cache.put(key, generation, projection)
         return projection
 
     # ------------------------------------------------------------------
@@ -181,17 +295,24 @@ class QueryEngine:
                 f"iter_all needs an 'all' spec, got {spec.mode!r}")
         ctx = ensure_context(context)
         backend = self.registry.get(spec.algorithm)
-        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        graph, node_lists, projection, origin = \
+            self._query_graph(spec, ctx)
         results = iter(backend.run_all(
-            dbg, spec.keywords, spec.rmax, node_lists=node_lists,
+            graph, spec.keywords, spec.rmax, node_lists=node_lists,
             aggregate=spec.aggregate,
             budget_seconds=spec.budget_seconds, stats=ctx.baseline))
-        return self._drive(results, projection, ctx)
+        return self._drive(results, projection, origin, ctx)
 
     def _drive(self, results: Iterator[Community],
                projection: Optional[ProjectionResult],
+               origin: DatabaseGraph,
                ctx: QueryContext) -> Iterator[Community]:
-        """Pump a backend iterator, timing enumerate/translate."""
+        """Pump a backend iterator, timing enumerate/translate.
+
+        ``origin`` is the full graph captured when the query started;
+        translation must use it (not ``self.dbg``, which a concurrent
+        snapshot swap may have replaced mid-enumeration).
+        """
         while True:
             start = time.perf_counter()
             try:
@@ -203,7 +324,7 @@ class QueryEngine:
             if projection is not None:
                 with ctx.stage("translate"):
                     community = translate_community(
-                        community, projection, self.dbg)
+                        community, projection, origin)
             ctx.count("communities")
             yield community
 
@@ -222,16 +343,17 @@ class QueryEngine:
                 f"top_k needs a 'topk' spec, got {spec.mode!r}")
         ctx = ensure_context(context)
         backend = self.registry.get(spec.algorithm)
-        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        graph, node_lists, projection, origin = \
+            self._query_graph(spec, ctx)
         with ctx.stage("enumerate"):
             results = backend.run_top_k(
-                dbg, spec.keywords, spec.k, spec.rmax,
+                graph, spec.keywords, spec.k, spec.rmax,
                 node_lists=node_lists, aggregate=spec.aggregate,
                 budget_seconds=spec.budget_seconds, stats=ctx.baseline)
         if projection is not None:
             with ctx.stage("translate"):
                 results = [
-                    translate_community(c, projection, self.dbg)
+                    translate_community(c, projection, origin)
                     for c in results]
         ctx.count("communities", len(results))
         return results
@@ -254,31 +376,42 @@ class QueryEngine:
         spec = QuerySpec(tuple(keywords), rmax, mode="all",
                          aggregate=aggregate,
                          use_projection=use_projection)
-        dbg, node_lists, projection = self._query_graph(spec, ctx)
+        graph, node_lists, projection, origin = \
+            self._query_graph(spec, ctx)
         with ctx.stage("enumerate"):
-            inner = TopKStream(dbg, list(keywords), rmax,
+            inner = TopKStream(graph, list(keywords), rmax,
                                node_lists=node_lists,
                                aggregate=aggregate)
         if projection is None:
             return inner
         from repro.engine.stream import ProjectedTopKStream
-        return ProjectedTopKStream(inner, projection, self.dbg,
+        return ProjectedTopKStream(inner, projection, origin,
                                    context=ctx)
 
     # ------------------------------------------------------------------
     def _query_graph(self, spec: QuerySpec, ctx: QueryContext):
-        """Pick the execution graph: projection, or ``G_D`` directly."""
+        """Pick the execution graph: projection, or ``G_D`` directly.
+
+        Captures the engine state once, so everything downstream —
+        projection, enumeration, translation — runs against one
+        consistent ``(graph, index, generation)`` even if a snapshot
+        swap lands mid-query. Returns
+        ``(graph, node_lists, projection, origin_graph)``.
+        """
+        dbg, index, generation = self._capture()
         use_projection = spec.use_projection
         if use_projection is None:
-            use_projection = self._index is not None
+            use_projection = index is not None
         if use_projection:
-            projection = self.project(spec.keywords, spec.rmax, ctx)
-            return projection.subgraph, projection.node_lists, projection
+            projection = self._project(index, generation,
+                                       spec.keywords, spec.rmax, ctx)
+            return (projection.subgraph, projection.node_lists,
+                    projection, dbg)
         node_lists = None
-        if self._index is not None:
+        if index is not None:
             with ctx.stage("resolve"):
                 for keyword in spec.keywords:
-                    self._index.require_keyword(keyword)
+                    index.require_keyword(keyword)
                 node_lists = [
-                    self._index.nodes(kw) for kw in spec.keywords]
-        return self.dbg, node_lists, None
+                    index.nodes(kw) for kw in spec.keywords]
+        return dbg, node_lists, None, dbg

@@ -8,6 +8,11 @@ callers can catch one base class. Subsystems refine it:
   :class:`IntegrityError`,
 * query-time misuse (unknown keywords, bad parameters) raises
   :class:`QueryError`,
+* the snapshot lifecycle (:mod:`repro.snapshot`) raises
+  :class:`SnapshotError` subclasses distinguishing "not a snapshot"
+  (:class:`SnapshotFormatError` / :class:`SnapshotVersionError`),
+  "snapshot is damaged" (:class:`SnapshotIntegrityError`) and
+  "snapshot does not exist" (:class:`SnapshotNotFoundError`),
 * the HTTP service layer raises :class:`ServiceError` subclasses
   (see :mod:`repro.service.errors`), each carrying the HTTP status
   the server maps it to.
@@ -47,6 +52,27 @@ class IntegrityError(ReproError):
 
 class QueryError(ReproError):
     """A community query is malformed (bad keyword list, radius, or k)."""
+
+
+class SnapshotError(ReproError):
+    """Base class for snapshot read/write/verify failures."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """A file/directory is not a repro snapshot (or is malformed)."""
+
+
+class SnapshotVersionError(SnapshotFormatError):
+    """A snapshot's format version is not supported by this build."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A snapshot section is damaged: checksum mismatch, truncated
+    payload, or undecodable content."""
+
+
+class SnapshotNotFoundError(SnapshotError):
+    """No snapshot exists at the given path / id / store reference."""
 
 
 class ServiceError(ReproError):

@@ -118,6 +118,44 @@ class CompiledGraph:
         reverse = _build_adjacency(n, dst, src, wgt)
         return cls(n, len(src), forward, reverse)
 
+    @classmethod
+    def from_csr(cls, n: int, indptr: Sequence[int],
+                 targets: Sequence[int],
+                 weights: Sequence[float]) -> "CompiledGraph":
+        """Rebuild from a forward-CSR dump (already sorted, deduped).
+
+        This is the snapshot load path: the stored arrays *are* the
+        compiled forward adjacency, so only the reverse adjacency is
+        recomputed (one vectorized pass) — no per-edge Python tuples,
+        no re-sorting, no parallel-edge collapsing.
+        """
+        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        wgt = np.asarray(weights, dtype=np.float64)
+        if n < 0:
+            raise EdgeError(f"node count must be non-negative, got {n}")
+        if len(indptr_arr) != n + 1 or indptr_arr[0] != 0:
+            raise EdgeError(
+                f"indptr must have {n + 1} entries starting at 0")
+        if np.any(np.diff(indptr_arr) < 0):
+            raise EdgeError("indptr must be non-decreasing")
+        m = int(indptr_arr[-1])
+        if len(dst) != m or len(wgt) != m:
+            raise EdgeError(
+                f"targets/weights must hold {m} entries "
+                f"(got {len(dst)}/{len(wgt)})")
+        if m and (dst.min() < 0 or dst.max() >= n):
+            bad = int(dst.min() if dst.min() < 0 else dst.max())
+            raise NodeNotFoundError(bad, n)
+        if m and wgt.min() < 0:
+            raise EdgeError("negative edge weight in CSR arrays")
+        forward = CSRAdjacency(indptr_arr.tolist(), dst.tolist(),
+                               wgt.tolist())
+        src = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(indptr_arr))
+        reverse = _build_adjacency(n, dst, src, wgt)
+        return cls(n, m, forward, reverse)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

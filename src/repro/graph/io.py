@@ -1,82 +1,38 @@
-"""Serialization of database graphs (JSON, optionally gzipped).
+"""Legacy single-file graph serialization (JSON, optionally gzipped).
 
-A deployment builds ``G_D`` from the RDBMS once and serves queries
-from the materialized graph; this module persists it. The format is
-versioned JSON: edges, per-node keywords, labels, and provenance.
-Files ending in ``.gz`` are transparently gzip-compressed.
+A compatibility shim: the payload encoding lives in
+:mod:`repro.snapshot.codec` and the versioned-JSON container handling
+in :mod:`repro.ioutil`, shared with the index persistence module and
+the snapshot subsystem. New code should prefer snapshots
+(:mod:`repro.snapshot`) — one artifact carrying graph *and* index with
+checksums — but files written by earlier releases keep loading here,
+and small tools that only need a graph keep a one-call format.
 """
 
 from __future__ import annotations
 
-import gzip
-import json
 from pathlib import Path
 from typing import Union
 
 from repro.exceptions import GraphError
-from repro.graph.csr import CompiledGraph
 from repro.graph.database_graph import DatabaseGraph
+from repro.ioutil import dump_versioned_json, load_versioned_json
+from repro.snapshot.codec import graph_from_payload, graph_payload
 
+FORMAT_NAME = "repro.database_graph"
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
 
 
-def _open(path: Path, mode: str):
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")
-    return open(path, mode, encoding="utf-8")
-
-
 def save_database_graph(dbg: DatabaseGraph, path: PathLike) -> None:
     """Write ``dbg`` to ``path`` (use a ``.gz`` suffix to compress)."""
-    payload = {
-        "format": "repro.database_graph",
-        "version": FORMAT_VERSION,
-        "n": dbg.n,
-        "edges": [[u, v, w] for u, v, w in dbg.graph.edges()],
-        "keywords": [sorted(dbg.keywords_of(u)) for u in range(dbg.n)],
-        "labels": [dbg.label_of(u) for u in range(dbg.n)],
-        "provenance": [
-            None if dbg.provenance_of(u) is None
-            else [dbg.provenance_of(u)[0], dbg.provenance_of(u)[1]]
-            for u in range(dbg.n)
-        ],
-    }
-    path = Path(path)
-    with _open(path, "w") as handle:
-        json.dump(payload, handle)
-
-
-def _decode_pk(pk: object) -> object:
-    # JSON turns composite-key tuples into lists; restore them.
-    if isinstance(pk, list):
-        return tuple(_decode_pk(part) for part in pk)
-    return pk
+    dump_versioned_json(graph_payload(dbg), Path(path),
+                        FORMAT_NAME, FORMAT_VERSION)
 
 
 def load_database_graph(path: PathLike) -> DatabaseGraph:
     """Read a graph written by :func:`save_database_graph`."""
-    path = Path(path)
-    with _open(path, "r") as handle:
-        payload = json.load(handle)
-    if payload.get("format") != "repro.database_graph":
-        raise GraphError(f"{path} is not a repro database graph file")
-    if payload.get("version") != FORMAT_VERSION:
-        raise GraphError(
-            f"unsupported graph format version "
-            f"{payload.get('version')!r} (expected {FORMAT_VERSION})")
-
-    graph = CompiledGraph.from_edges(
-        payload["n"],
-        [(u, v, w) for u, v, w in payload["edges"]])
-    provenance = [
-        None if entry is None else (entry[0], _decode_pk(entry[1]))
-        for entry in payload["provenance"]
-    ]
-    return DatabaseGraph(
-        graph,
-        [set(kws) for kws in payload["keywords"]],
-        payload["labels"],
-        provenance,
-    )
+    payload = load_versioned_json(Path(path), FORMAT_NAME,
+                                  FORMAT_VERSION, GraphError)
+    return graph_from_payload(payload)

@@ -95,6 +95,18 @@ class ServiceClient:
         """``GET /metrics`` — the raw Prometheus text."""
         return self.request("GET", "/metrics")
 
+    def admin_reload(self, path: Optional[str] = None
+                     ) -> Dict[str, Any]:
+        """``POST /admin/reload``: swap onto the newest snapshot.
+
+        With ``path`` given, the server reloads from that snapshot
+        directory or store root instead of its configured source.
+        Returns the server's ``{reloaded, snapshot, generation, ...}``
+        payload.
+        """
+        payload = {"path": path} if path is not None else {}
+        return self.request("POST", "/admin/reload", payload)
+
     def query(self, keywords: Sequence[str], rmax: float,
               k: Optional[int] = None, algorithm: str = "pd",
               aggregate: str = "sum",
@@ -158,7 +170,7 @@ class ServiceSession:
                  opened: Dict[str, Any]) -> None:
         self._client = client
         self.id: str = opened["session"]
-        self.generation: int = opened["generation"]
+        self.generation: str = opened["generation"]
         self.ttl_seconds: float = opened["ttl_seconds"]
         #: Cumulative session stats from the most recent response.
         self.last_stats: Dict[str, Any] = opened.get("stats", {})

@@ -119,7 +119,9 @@ class ServiceMetrics:
     # exposition
     # ------------------------------------------------------------------
     def render(self, counters: Optional[Dict[str, float]] = None,
-               gauges: Optional[Dict[str, float]] = None) -> str:
+               gauges: Optional[Dict[str, float]] = None,
+               infos: Optional[Dict[str, Dict[str, str]]] = None
+               ) -> str:
         """The full scrape body.
 
         ``counters``/``gauges`` carry component-owned numbers (cache
@@ -127,6 +129,9 @@ class ServiceMetrics:
         flattened to ``{metric_name: value}``; names ending in
         ``_total`` render as counters, everything else in ``counters``
         still renders as a counter type but keeps its given name.
+        ``infos`` are identity gauges (``{name: labels}``), rendered
+        as a constant ``1`` with the labels attached — the Prometheus
+        idiom for non-numeric facts such as the active snapshot id.
         """
         with self._lock:
             lines: List[str] = []
@@ -134,6 +139,7 @@ class ServiceMetrics:
             self._render_query_events(lines)
             self._render_kv(lines, counters or {}, "counter")
             self._render_kv(lines, gauges or {}, "gauge")
+            self._render_infos(lines, infos or {})
             self._render_responses(lines)
             self._render_latency(lines)
         return "\n".join(lines) + "\n"
@@ -165,6 +171,16 @@ class ServiceMetrics:
         for name in sorted(values):
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name} {_fmt(values[name])}")
+
+    @staticmethod
+    def _render_infos(lines: List[str],
+                      infos: Dict[str, Dict[str, str]]) -> None:
+        for name in sorted(infos):
+            rendered = ",".join(
+                f'{key}="{escape_label(str(value))}"'
+                for key, value in sorted(infos[name].items()))
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{{{rendered}}} 1")
 
     def _render_responses(self, lines: List[str]) -> None:
         lines.append("# HELP repro_requests_total HTTP responses by "

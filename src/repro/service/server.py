@@ -15,9 +15,15 @@
   stream resumes); ``410 Gone`` once the lease expired or the graph
   changed under it;
 * ``DELETE /sessions/{id}`` — release a lease early;
+* ``POST /admin/reload`` — atomically swap the engine onto the newest
+  published snapshot (from the configured ``snapshot_source`` or a
+  ``path`` in the body); in-flight queries finish on the artifact they
+  started with, open sessions from the old artifact answer ``410``;
 * ``GET /metrics`` — Prometheus text format (stage timings, cache and
-  shedding counters, queue depth, latency histograms);
-* ``GET /healthz`` — liveness plus the current engine generation.
+  shedding counters, queue depth, latency histograms, active snapshot
+  id + load timestamp);
+* ``GET /healthz`` — liveness plus the current engine generation and
+  snapshot id.
 
 Every query-executing route passes through the
 :class:`~repro.service.admission.AdmissionController`: a full queue
@@ -40,12 +46,20 @@ import threading
 import time
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.engine.context import QueryContext
 from repro.engine.engine import QueryEngine
 from repro.engine.spec import QuerySpec
-from repro.exceptions import QueryError, ServiceError
+from repro.exceptions import (
+    QueryError,
+    ServiceError,
+    SnapshotError,
+    SnapshotNotFoundError,
+)
+from repro.snapshot.snapshot import load_snapshot
+from repro.snapshot.store import locate_snapshot
 from repro.service.admission import (
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_WORKERS,
@@ -208,9 +222,14 @@ class CommunityService:
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  session_ttl: float = DEFAULT_TTL_SECONDS,
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
-                 default_deadline: Optional[float] = None) -> None:
+                 default_deadline: Optional[float] = None,
+                 snapshot_source: Optional[Union[str, Path]] = None
+                 ) -> None:
         self.engine = engine
         self.default_deadline = default_deadline
+        #: Where ``POST /admin/reload`` looks for the newest published
+        #: snapshot: a snapshot directory or a store root.
+        self.snapshot_source = snapshot_source
         self.admission = AdmissionController(
             workers=workers, queue_depth=queue_depth,
             default_deadline=default_deadline)
@@ -318,6 +337,10 @@ class CommunityService:
         if method == "GET" and parts == ("healthz",):
             return "/healthz", json.dumps(self._health()), \
                 JSON_CONTENT_TYPE
+        if method == "POST" and parts == ("admin", "reload"):
+            return "/admin/reload", \
+                json.dumps(self._admin_reload(body)), \
+                JSON_CONTENT_TYPE
         if method == "POST" and parts == ("query",):
             return "/query", json.dumps(self._query(body)), \
                 JSON_CONTENT_TYPE
@@ -342,6 +365,8 @@ class CommunityService:
         """A bounded-cardinality metric label for failed requests."""
         if template.startswith("/") and "{" in template:
             return template          # routing already templated it
+        if parts == ("admin", "reload"):
+            return "/admin/reload"
         if parts[:1] == ("sessions",) and len(parts) == 3:
             return "/sessions/{id}/next"
         if parts[:1] == ("sessions",) and len(parts) == 2:
@@ -356,9 +381,41 @@ class CommunityService:
         return {
             "status": "ok",
             "generation": self.engine.generation,
+            "snapshot": self.engine.snapshot_id,
             "sessions": self.sessions.count,
             "queued": self.admission.queued,
             "in_flight": self.admission.in_flight,
+        }
+
+    def _admin_reload(self, body: bytes) -> Dict[str, Any]:
+        """``POST /admin/reload``: swap onto the newest snapshot.
+
+        Resolves the configured :attr:`snapshot_source` (or a ``path``
+        supplied in the body) — a snapshot directory or a store root,
+        in which case the store's ``latest`` wins — loads it with
+        checksum verification, and atomically swaps the engine onto
+        it. In-flight queries finish on the artifact they started
+        with; a reload to a content-identical snapshot is a no-op that
+        keeps the cache warm and open sessions valid.
+        """
+        payload = _parse_body(body)
+        source = payload.get("path") or self.snapshot_source
+        if source is None:
+            raise BadRequest(
+                "no snapshot source configured; serve with a "
+                "--snapshot source or supply 'path' in the body")
+        try:
+            snapshot = load_snapshot(locate_snapshot(source))
+        except SnapshotNotFoundError as error:
+            raise NotFound(str(error))
+        except SnapshotError as error:
+            raise BadRequest(str(error))
+        changed = self.engine.swap_snapshot(snapshot)
+        return {
+            "reloaded": changed,
+            "snapshot": snapshot.id,
+            "generation": self.engine.generation,
+            "loaded_at": self.engine.snapshot_loaded_at,
         }
 
     def _query(self, body: bytes) -> Dict[str, Any]:
@@ -477,8 +534,16 @@ class CommunityService:
             "repro_queue_depth": float(self.admission.queued),
             "repro_in_flight": float(self.admission.in_flight),
             "repro_sessions_active": float(self.sessions.count),
-            "repro_engine_generation": float(self.engine.generation),
+            "repro_engine_generation": float(
+                self.engine.generation_epoch),
             "repro_projection_cache_size": float(
                 len(self.engine.cache)),
         })
-        return self.metrics.render(counters=counters, gauges=gauges)
+        infos: Dict[str, Dict[str, str]] = {}
+        if self.engine.snapshot_id is not None:
+            infos["repro_snapshot_info"] = {
+                "snapshot_id": self.engine.snapshot_id}
+            gauges["repro_snapshot_loaded_timestamp_seconds"] = \
+                float(self.engine.snapshot_loaded_at or 0.0)
+        return self.metrics.render(counters=counters, gauges=gauges,
+                                   infos=infos)

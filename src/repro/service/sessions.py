@@ -73,7 +73,7 @@ class SessionLease:
     """One leased stream plus the bookkeeping to police it."""
 
     def __init__(self, session_id: str, stream: Any,
-                 context: QueryContext, generation: int,
+                 context: QueryContext, generation: str,
                  keywords: Tuple[str, ...], rmax: float,
                  ttl_seconds: float, now: float) -> None:
         self.id = session_id

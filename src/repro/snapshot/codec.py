@@ -1,0 +1,142 @@
+"""Canonical payload encoding shared by snapshots and legacy files.
+
+One module owns the translation between in-memory artifacts
+(:class:`~repro.graph.database_graph.DatabaseGraph`,
+:class:`~repro.text.inverted_index.CommunityIndex`) and their
+JSON-able payload dictionaries. The legacy single-file formats
+(:mod:`repro.graph.io`, :mod:`repro.text.persistence`) are thin shims
+over these functions, and the snapshot reader/writer
+(:mod:`repro.snapshot.snapshot`) reuses the same provenance and
+posting encodings for its sections — so a graph round-trips
+identically whichever container it travels in.
+
+Notable here: :func:`index_payload` unions the node- and edge-index
+keyword sets. The pre-snapshot writer iterated only
+``node_index.keywords()`` when dumping ``edge_postings``, silently
+dropping any keyword present solely in the edge index (possible when
+an index is built over an explicit vocabulary containing words absent
+from the graph).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import QueryError
+from repro.graph.csr import CompiledGraph
+from repro.graph.database_graph import DatabaseGraph, Provenance
+from repro.text.inverted_index import (
+    CommunityIndex,
+    EdgeInvertedIndex,
+    NodeInvertedIndex,
+)
+
+
+def encode_pk(pk: object) -> object:
+    """A primary key as JSON-able data (tuples become lists)."""
+    if isinstance(pk, tuple):
+        return [encode_pk(part) for part in pk]
+    return pk
+
+
+def decode_pk(pk: object) -> object:
+    """Restore composite-key tuples JSON turned into lists."""
+    if isinstance(pk, list):
+        return tuple(decode_pk(part) for part in pk)
+    return pk
+
+
+def encode_provenance(entry: Optional[Provenance]) -> Optional[List]:
+    """One node's ``(table, pk)`` provenance as JSON-able data."""
+    if entry is None:
+        return None
+    return [entry[0], encode_pk(entry[1])]
+
+
+def decode_provenance(entry: Optional[List]) -> Optional[Provenance]:
+    """Inverse of :func:`encode_provenance`."""
+    if entry is None:
+        return None
+    return (entry[0], decode_pk(entry[1]))
+
+
+# ----------------------------------------------------------------------
+# database graph <-> payload
+# ----------------------------------------------------------------------
+def graph_payload(dbg: DatabaseGraph) -> Dict[str, Any]:
+    """``dbg`` as the legacy JSON payload (sans format header)."""
+    return {
+        "n": dbg.n,
+        "edges": [[u, v, w] for u, v, w in dbg.graph.edges()],
+        "keywords": [sorted(dbg.keywords_of(u)) for u in range(dbg.n)],
+        "labels": [dbg.label_of(u) for u in range(dbg.n)],
+        "provenance": [encode_provenance(dbg.provenance_of(u))
+                       for u in range(dbg.n)],
+    }
+
+
+def graph_from_payload(payload: Dict[str, Any]) -> DatabaseGraph:
+    """Inverse of :func:`graph_payload`."""
+    graph = CompiledGraph.from_edges(
+        payload["n"],
+        [(u, v, w) for u, v, w in payload["edges"]])
+    return DatabaseGraph(
+        graph,
+        [set(kws) for kws in payload["keywords"]],
+        payload["labels"],
+        [decode_provenance(entry) for entry in payload["provenance"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# community index <-> payload
+# ----------------------------------------------------------------------
+def index_payload(index: CommunityIndex) -> Dict[str, Any]:
+    """``index`` postings as the legacy JSON payload.
+
+    Both posting maps are dumped over the *union* of the node- and
+    edge-index keyword sets, so a keyword present in only one of the
+    two survives the round trip.
+    """
+    keywords = sorted(set(index.node_index.keywords())
+                      | set(index.edge_index.keywords()))
+    return {
+        "radius": index.radius,
+        "build_seconds": index.build_seconds,
+        "node_postings": {
+            kw: index.node_index.nodes(kw) for kw in keywords},
+        "edge_postings": {
+            kw: [[u, v, w] for u, v, w in index.edge_index.edges(kw)]
+            for kw in keywords},
+    }
+
+
+def index_from_payload(payload: Dict[str, Any],
+                       dbg: DatabaseGraph) -> CommunityIndex:
+    """Inverse of :func:`index_payload`, re-attached to ``dbg``.
+
+    A cheap sanity check rejects node postings outside the graph's
+    node range — the symptom of pairing an index file with the wrong
+    graph.
+    """
+    node_postings = {
+        kw: [int(u) for u in nodes]
+        for kw, nodes in payload["node_postings"].items()
+    }
+    for kw, nodes in node_postings.items():
+        if nodes and (min(nodes) < 0 or max(nodes) >= dbg.n):
+            raise QueryError(
+                f"index posting for {kw!r} references node outside "
+                f"the supplied graph (n={dbg.n}); wrong graph?")
+    edge_postings = {
+        kw: [(int(u), int(v), float(w)) for u, v, w in edges]
+        for kw, edges in payload["edge_postings"].items()
+    }
+    radius = float(payload["radius"])
+    return CommunityIndex(
+        dbg,
+        NodeInvertedIndex(node_postings),
+        EdgeInvertedIndex(edge_postings, radius),
+        radius,
+        float(payload.get("build_seconds", 0.0)),
+    )

@@ -1,0 +1,191 @@
+"""Snapshot store: atomic publish, ``latest`` resolution, pruning.
+
+A :class:`SnapshotStore` is a directory of published snapshots, one
+subdirectory per snapshot id, plus a ``LATEST`` pointer file::
+
+    store/
+      LATEST               one line: the id of the newest snapshot
+      sn-1a2b3c4d5e6f/     a snapshot directory (see repro.snapshot)
+      sn-aabbccddeeff/
+
+Publishing is crash-safe: the snapshot is written to a temporary
+sibling directory and moved into place with one ``os.replace``-style
+rename, then ``LATEST`` is repointed the same way. A reader never
+observes a half-written snapshot — it either sees the old ``LATEST``
+or the new one.
+
+Because snapshot ids are content-derived, publishing identical content
+twice is idempotent: the second publish sees the id already present
+and only repoints ``LATEST``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import SnapshotNotFoundError
+from repro.graph.database_graph import DatabaseGraph
+from repro.snapshot.snapshot import (
+    MANIFEST_NAME,
+    Snapshot,
+    load_snapshot,
+    read_manifest,
+    write_snapshot,
+)
+from repro.text.inverted_index import CommunityIndex
+
+PathLike = Union[str, Path]
+
+_LATEST = "LATEST"
+
+
+class SnapshotStore:
+    """A directory of immutable snapshots with a ``latest`` pointer."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # publish
+    # ------------------------------------------------------------------
+    def publish(self, dbg: DatabaseGraph,
+                index: Optional[CommunityIndex] = None,
+                provenance: Optional[Dict[str, Any]] = None,
+                compress: bool = False) -> Snapshot:
+        """Write a snapshot into the store and repoint ``latest``.
+
+        The artifact is staged in a temporary directory inside the
+        store (same filesystem, so the final rename is atomic) and
+        moved to ``<root>/<id>`` only once fully written. Republishing
+        content already in the store just repoints ``latest``.
+        """
+        staging = Path(tempfile.mkdtemp(prefix=".staging-",
+                                        dir=str(self.root)))
+        try:
+            snapshot = write_snapshot(staging, dbg, index=index,
+                                      provenance=provenance,
+                                      compress=compress)
+            final = self.root / snapshot.id
+            if final.exists():
+                # Content-identical snapshot already published.
+                shutil.rmtree(staging)
+            else:
+                os.replace(staging, final)
+            snapshot.path = final
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._point_latest(snapshot.id)
+        return snapshot
+
+    def _point_latest(self, snapshot_id: str) -> None:
+        """Atomically repoint the ``LATEST`` file at ``snapshot_id``."""
+        fd, tmp = tempfile.mkstemp(prefix=".latest-",
+                                   dir=str(self.root))
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_id + "\n")
+            os.replace(tmp, self.root / _LATEST)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # resolve / load
+    # ------------------------------------------------------------------
+    def latest_id(self) -> str:
+        """The id ``latest`` points at.
+
+        Raises :class:`~repro.exceptions.SnapshotNotFoundError` when
+        the store has never published.
+        """
+        pointer = self.root / _LATEST
+        if not pointer.is_file():
+            raise SnapshotNotFoundError(
+                f"store {self.root} has no published snapshot")
+        snapshot_id = pointer.read_text(encoding="utf-8").strip()
+        if not snapshot_id:
+            raise SnapshotNotFoundError(
+                f"store {self.root} has an empty {_LATEST} pointer")
+        return snapshot_id
+
+    def resolve(self, ref: str = "latest") -> Path:
+        """The directory of snapshot ``ref`` (an id, or ``latest``)."""
+        snapshot_id = self.latest_id() if ref == "latest" else ref
+        path = self.root / snapshot_id
+        if not (path / MANIFEST_NAME).is_file():
+            raise SnapshotNotFoundError(
+                f"store {self.root} has no snapshot {snapshot_id!r}")
+        return path
+
+    def load(self, ref: str = "latest",
+             verify: bool = True) -> Snapshot:
+        """Load snapshot ``ref`` (checksum-verified by default)."""
+        return load_snapshot(self.resolve(ref), verify=verify)
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+    def list(self) -> List[Dict[str, Any]]:
+        """Manifests of every published snapshot, newest first.
+
+        Ordering is by ``created_at`` (build time) then id; the entry
+        currently pointed at by ``latest`` carries ``"latest": True``.
+        """
+        try:
+            latest = self.latest_id()
+        except SnapshotNotFoundError:
+            latest = None
+        manifests = []
+        for child in self.root.iterdir():
+            if not child.is_dir() or child.name.startswith("."):
+                continue
+            if not (child / MANIFEST_NAME).is_file():
+                continue
+            manifest = dict(read_manifest(child))
+            manifest["latest"] = manifest["id"] == latest
+            manifests.append(manifest)
+        manifests.sort(key=lambda mf: (mf["created_at"], mf["id"]),
+                       reverse=True)
+        return manifests
+
+    def prune(self, keep: int = 2) -> List[str]:
+        """Delete all but the ``keep`` newest snapshots.
+
+        The ``latest`` snapshot is never deleted regardless of age.
+        Returns the ids removed.
+        """
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        removed: List[str] = []
+        for manifest in self.list()[keep:]:
+            if manifest["latest"]:
+                continue
+            shutil.rmtree(self.root / manifest["id"])
+            removed.append(manifest["id"])
+        return removed
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore(root={str(self.root)!r})"
+
+
+def locate_snapshot(path: PathLike) -> Path:
+    """Resolve ``path`` to a concrete snapshot directory.
+
+    Accepts a snapshot directory itself, or a store root — in which
+    case the store's ``latest`` snapshot is resolved. This is what CLI
+    commands use so ``--snapshot`` works with either layout.
+    """
+    path = Path(path)
+    if (path / MANIFEST_NAME).is_file():
+        return path
+    if (path / _LATEST).is_file():
+        return SnapshotStore(path).resolve("latest")
+    raise SnapshotNotFoundError(
+        f"{path} is neither a snapshot directory nor a snapshot store")

@@ -128,6 +128,12 @@ class EdgeInvertedIndex:
     def __contains__(self, keyword: str) -> bool:
         return keyword in self._postings
 
+    def keywords(self) -> List[str]:
+        """All indexed keywords, sorted (may differ from the node
+        index's set when the index was built over an explicit
+        vocabulary)."""
+        return sorted(self._postings)
+
     def entry_count(self) -> int:
         """Total edge postings across all keywords."""
         return sum(len(v) for v in self._postings.values())

@@ -1,60 +1,42 @@
-"""Serialization of the community index (Section VI's two inverted
-indexes), JSON with optional gzip.
+"""Legacy single-file index serialization (JSON, optionally gzipped).
 
-The paper builds its indexes once per database (355 s for DBLP) and
-then answers every query from them; persisting the build is the
-production workflow. The on-disk payload stores both posting maps and
-the radius; the graph itself is stored separately
-(:mod:`repro.graph.io`) and re-attached at load time.
+A compatibility shim over :mod:`repro.snapshot.codec` (payload
+encoding) and :mod:`repro.ioutil` (versioned-JSON container): the
+paper builds its indexes once per database (355 s for DBLP) and then
+answers every query from them, and this format persists that build as
+one JSON file. New code should prefer snapshots
+(:mod:`repro.snapshot`), which bundle the graph with the index under
+checksums; this format stays for files written by earlier releases
+and for graph-less tooling.
 """
 
 from __future__ import annotations
 
-import gzip
-import json
 from pathlib import Path
 from typing import Union
 
 from repro.exceptions import QueryError
 from repro.graph.database_graph import DatabaseGraph
-from repro.text.inverted_index import (
-    CommunityIndex,
-    EdgeInvertedIndex,
-    NodeInvertedIndex,
-)
+from repro.ioutil import dump_versioned_json, load_versioned_json
+from repro.snapshot.codec import index_from_payload, index_payload
+from repro.text.inverted_index import CommunityIndex
 
+FORMAT_NAME = "repro.community_index"
 FORMAT_VERSION = 1
 
 PathLike = Union[str, Path]
 
 
-def _open(path: Path, mode: str):
-    if path.suffix == ".gz":
-        return gzip.open(path, mode + "t", encoding="utf-8")
-    return open(path, mode, encoding="utf-8")
-
-
 def save_index(index: CommunityIndex, path: PathLike) -> None:
-    """Write the index postings to ``path`` (``.gz`` to compress)."""
-    node_postings = {
-        kw: index.node_index.nodes(kw)
-        for kw in index.node_index.keywords()
-    }
-    edge_postings = {
-        kw: [[u, v, w] for u, v, w in index.edge_index.edges(kw)]
-        for kw in index.node_index.keywords()
-    }
-    payload = {
-        "format": "repro.community_index",
-        "version": FORMAT_VERSION,
-        "radius": index.radius,
-        "build_seconds": index.build_seconds,
-        "node_postings": node_postings,
-        "edge_postings": edge_postings,
-    }
-    path = Path(path)
-    with _open(path, "w") as handle:
-        json.dump(payload, handle)
+    """Write the index postings to ``path`` (``.gz`` to compress).
+
+    Both posting maps are dumped over the union of the node- and
+    edge-index keyword sets — a keyword present in only one of the
+    two (possible with an explicit build vocabulary) survives the
+    round trip.
+    """
+    dump_versioned_json(index_payload(index), Path(path),
+                        FORMAT_NAME, FORMAT_VERSION)
 
 
 def load_index(path: PathLike, dbg: DatabaseGraph) -> CommunityIndex:
@@ -64,34 +46,6 @@ def load_index(path: PathLike, dbg: DatabaseGraph) -> CommunityIndex:
     was built from (node ids are meaningless otherwise); a cheap
     sanity check rejects postings outside the graph's node range.
     """
-    path = Path(path)
-    with _open(path, "r") as handle:
-        payload = json.load(handle)
-    if payload.get("format") != "repro.community_index":
-        raise QueryError(f"{path} is not a repro community index file")
-    if payload.get("version") != FORMAT_VERSION:
-        raise QueryError(
-            f"unsupported index format version "
-            f"{payload.get('version')!r} (expected {FORMAT_VERSION})")
-
-    node_postings = {
-        kw: [int(u) for u in nodes]
-        for kw, nodes in payload["node_postings"].items()
-    }
-    for kw, nodes in node_postings.items():
-        if nodes and (min(nodes) < 0 or max(nodes) >= dbg.n):
-            raise QueryError(
-                f"index posting for {kw!r} references node outside "
-                f"the supplied graph (n={dbg.n}); wrong graph?")
-    edge_postings = {
-        kw: [(int(u), int(v), float(w)) for u, v, w in edges]
-        for kw, edges in payload["edge_postings"].items()
-    }
-    radius = float(payload["radius"])
-    return CommunityIndex(
-        dbg,
-        NodeInvertedIndex(node_postings),
-        EdgeInvertedIndex(edge_postings, radius),
-        radius,
-        float(payload.get("build_seconds", 0.0)),
-    )
+    payload = load_versioned_json(Path(path), FORMAT_NAME,
+                                  FORMAT_VERSION, QueryError)
+    return index_from_payload(payload, dbg)

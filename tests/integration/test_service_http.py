@@ -101,7 +101,8 @@ class TestQueryEndpoint:
     def test_health(self, client):
         health = client.health()
         assert health["status"] == "ok"
-        assert health["generation"] == 1
+        assert health["generation"] == "g1"
+        assert health["snapshot"] is None   # engine built in-memory
 
 
 class TestInteractiveSessions:

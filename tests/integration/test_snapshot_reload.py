@@ -1,0 +1,172 @@
+"""End-to-end snapshot lifecycle: build → publish → serve → reload.
+
+The PR's acceptance flow, over a real socket: a service starts from a
+published snapshot, a newer snapshot is published into the same
+store, ``POST /admin/reload`` swaps the engine atomically — open PDk
+sessions leased on the old artifact answer ``410 Gone``, new queries
+succeed on the new artifact, and ``/metrics`` reports the new
+snapshot id. A second test drives the same flow through the actual
+``python -m repro serve --snapshot`` process.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.engine import QueryEngine
+from repro.service import CommunityService, ServiceClient, SessionGone
+from repro.snapshot import SnapshotStore
+from repro.text.inverted_index import CommunityIndex
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _publish(store_root, radius):
+    """Build fig4 at ``radius`` and publish it; returns the id."""
+    dbg = figure4_graph()
+    index = CommunityIndex.build(dbg, radius)
+    snapshot = SnapshotStore(store_root).publish(
+        dbg, index, provenance={"dataset": "fig4",
+                                "index_radius": radius})
+    return snapshot.id
+
+
+class TestReloadInProcess:
+    def test_reload_swaps_sessions_and_metrics(self, tmp_path):
+        store_root = tmp_path / "store"
+        old_id = _publish(store_root, radius=FIG4_RMAX)
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(store_root).resolve())
+        with CommunityService(engine, port=0,
+                              snapshot_source=store_root).start() \
+                as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            assert client.health()["snapshot"] == old_id
+
+            session = client.open_session(list(FIG4_QUERY),
+                                          FIG4_RMAX)
+            assert session.generation == old_id
+            assert len(session.next(1)) == 1
+
+            # Reload with nothing new published: a no-op, the old
+            # session stays valid.
+            response = client.admin_reload()
+            assert response == {
+                "reloaded": False, "snapshot": old_id,
+                "generation": old_id,
+                "loaded_at": response["loaded_at"]}
+            assert len(session.next(1)) == 1
+
+            # Publish newer content (different radius -> different
+            # id) and reload: atomic swap.
+            new_id = _publish(store_root, radius=4.0)
+            assert new_id != old_id
+            response = client.admin_reload()
+            assert response["reloaded"] is True
+            assert response["snapshot"] == new_id
+
+            # The old lease observes the swap as 410 Gone ...
+            with pytest.raises(SessionGone):
+                session.next(1)
+            # ... while new queries and sessions work immediately.
+            fresh = client.query(list(FIG4_QUERY), 4.0, k=2)
+            assert fresh["count"] >= 1
+            health = client.health()
+            assert health["generation"] == new_id
+            assert health["snapshot"] == new_id
+            metrics = client.metrics()
+            assert f'snapshot_id="{new_id}"' in metrics
+            assert "repro_snapshot_loaded_timestamp_seconds" \
+                in metrics
+
+    def test_reload_explicit_path_overrides_source(self, tmp_path):
+        old_id = _publish(tmp_path / "a", radius=FIG4_RMAX)
+        new_id = _publish(tmp_path / "b", radius=4.0)
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(tmp_path / "a").resolve())
+        with CommunityService(engine, port=0).start() as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            assert client.health()["snapshot"] == old_id
+            response = client.admin_reload(
+                path=str(tmp_path / "b"))
+            assert response["snapshot"] == new_id
+
+    def test_reload_without_source_is_400(self, fig4):
+        engine = QueryEngine(fig4)
+        engine.build_index(radius=FIG4_RMAX)
+        with CommunityService(engine, port=0).start() as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            from repro.service import BadRequest
+            with pytest.raises(BadRequest):
+                client.admin_reload()
+
+
+class TestServeSnapshotCli:
+    def test_serve_snapshot_process_reloads(self, tmp_path):
+        """`python -m repro serve --snapshot` + reload, over a real
+        process boundary — what a deployment actually runs."""
+        store_root = tmp_path / "store"
+        assert main(["snapshot", "build", "--dataset", "fig4",
+                     "--store", str(store_root),
+                     "--radius", str(FIG4_RMAX)]) == 0
+        old_id = SnapshotStore(store_root).latest_id()
+
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--snapshot", str(store_root), "--port", "0",
+             "--port-file", str(port_file)],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, cwd=str(REPO_ROOT))
+        try:
+            deadline = time.time() + 30
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.1)
+            assert port_file.exists(), "server never bound"
+            host, port = port_file.read_text().split()
+            client = ServiceClient(f"http://{host}:{port}",
+                                   timeout=30.0)
+            assert client.health()["snapshot"] == old_id
+
+            assert main(["snapshot", "build", "--dataset", "fig4",
+                         "--store", str(store_root),
+                         "--radius", "4"]) == 0
+            new_id = SnapshotStore(store_root).latest_id()
+            assert new_id != old_id
+
+            response = client.admin_reload()
+            assert response["snapshot"] == new_id
+            result = client.query(list(FIG4_QUERY), 4.0, k=1)
+            assert result["count"] == 1
+            assert f'snapshot_id="{new_id}"' in client.metrics()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_verify_rejects_flipped_byte_via_cli(self, tmp_path,
+                                                 capsys):
+        store_root = tmp_path / "store"
+        assert main(["snapshot", "build", "--dataset", "fig4",
+                     "--store", str(store_root)]) == 0
+        assert main(["snapshot", "verify", str(store_root)]) == 0
+
+        snapshot_dir = SnapshotStore(store_root).resolve()
+        target = snapshot_dir / "postings.bin"
+        data = bytearray(target.read_bytes())
+        data[3] ^= 0x01
+        target.write_bytes(bytes(data))
+        assert main(["snapshot", "verify", str(store_root)]) == 2
+        err = capsys.readouterr().err
+        assert "checksum" in err

@@ -182,8 +182,10 @@ class TestProjectionCache:
         ctx = QueryContext()
         engine.project(list(FIG4_QUERY), FIG4_RMAX, ctx)
         generation = engine.generation
+        epoch = engine.generation_epoch
         engine.index = engine.index       # any assignment invalidates
-        assert engine.generation == generation + 1
+        assert engine.generation != generation
+        assert engine.generation_epoch == epoch + 1
         assert len(engine.cache) == 0
         engine.project(list(FIG4_QUERY), FIG4_RMAX, ctx)
         assert ctx.counter("projection_runs") == 2
@@ -223,7 +225,7 @@ class TestProjectionCache:
         projection = engine.project(list(FIG4_QUERY), FIG4_RMAX)
         key = (frozenset(FIG4_QUERY), float(FIG4_RMAX))
         assert cache.get(key, engine.generation) is projection
-        assert cache.get(key, engine.generation + 1) is None
+        assert cache.get(key, engine.generation + "-stale") is None
         assert cache.stats.stale_drops == 1
         assert key not in cache
 
