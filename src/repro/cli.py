@@ -32,6 +32,7 @@ Workflows:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import Tuple
@@ -142,6 +143,11 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _raise_sigterm(signum, frame):
+    """Turn SIGTERM into a normal exit so cleanup handlers run."""
+    raise SystemExit(0)
+
+
 def cmd_serve(args) -> int:
     """``serve``: put the engine behind the HTTP/JSON service.
 
@@ -150,17 +156,36 @@ def cmd_serve(args) -> int:
     interrupted. With ``--snapshot`` the engine loads a published
     snapshot (checksum-verified) instead of building anything, and
     ``POST /admin/reload`` hot-swaps to whatever that source's newest
-    snapshot is. ``--port-file`` writes ``host port`` after binding so
-    scripts (CI smoke tests) can discover an ephemeral port.
+    snapshot is; combined with ``--workers N`` (N > 1) queries execute
+    on N worker *processes* sharing that snapshot, so COMM-all
+    throughput scales with cores instead of saturating one. A reload
+    fans out to every worker behind its in-flight work.
+    ``--port-file`` writes ``host port`` after binding so scripts
+    (CI smoke tests) can discover an ephemeral port.
     """
     from repro.service import CommunityService
 
+    engine_close = None
     if getattr(args, "snapshot", None):
-        from repro.engine.engine import QueryEngine
         from repro.snapshot.store import locate_snapshot
 
         path = locate_snapshot(args.snapshot)
-        engine = QueryEngine.from_snapshot(path)
+        if args.workers > 1:
+            # Process tier: N workers, each its own engine over the
+            # same snapshot — true multi-core query execution. The
+            # admission pool keeps `workers` threads, each blocking
+            # on one pool response at a time.
+            from repro.parallel import ParallelQueryEngine
+
+            engine = ParallelQueryEngine(
+                path, workers=args.workers).start()
+            engine_close = engine.close
+            print(f"started {args.workers} worker processes",
+                  file=sys.stderr)
+        else:
+            from repro.engine.engine import QueryEngine
+
+            engine = QueryEngine.from_snapshot(path)
         dbg = engine.dbg
         print(f"loaded snapshot {engine.snapshot_id} from {path}",
               file=sys.stderr)
@@ -182,12 +207,18 @@ def cmd_serve(args) -> int:
             handle.write(f"{service.host} {service.port}\n")
     print(f"serving {dbg.n} nodes / {dbg.m} edges on {service.url} "
           f"({args.workers} workers, queue {args.queue_depth})")
+    # SIGTERM (``kill``, process supervisors) must unwind through the
+    # finally block, or a --workers pool would leave orphaned worker
+    # processes behind.
+    signal.signal(signal.SIGTERM, _raise_sigterm)
     try:
         service.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         print("shutting down", file=sys.stderr)
     finally:
         service.shutdown()
+        if engine_close is not None:
+            engine_close()
     return 0
 
 
@@ -367,7 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8420,
                        help="port to bind (0 = ephemeral)")
     serve.add_argument("--workers", type=int, default=4,
-                       help="concurrent query executions (default 4)")
+                       help="concurrent query executions (default 4); "
+                            "with --snapshot and N > 1, N worker "
+                            "*processes* are started so queries use "
+                            "N cores (otherwise threads in-process)")
     serve.add_argument("--queue-depth", type=int, default=16,
                        dest="queue_depth",
                        help="admitted-but-waiting requests before "

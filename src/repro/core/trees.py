@@ -71,6 +71,12 @@ def _simple_paths(dbg: DatabaseGraph, source: int, targets: FrozenSet[int],
     found: Dict[int, List[Tuple[Path, float]]] = {t: [] for t in targets}
     count = 0
 
+    # Hot loop: iterate the forward CSR slices directly instead of the
+    # per-edge ``out_edges``/``neighbors`` generator (which costs a
+    # frame resume per edge on a path-enumeration workload).
+    indptr = graph.forward.indptr
+    succs = graph.forward.targets
+    succ_weights = graph.forward.weights
     stack: List[Tuple[int, Tuple[int, ...], float]] = [
         (source, (source,), 0.0)]
     while stack:
@@ -82,11 +88,13 @@ def _simple_paths(dbg: DatabaseGraph, source: int, targets: FrozenSet[int],
                 raise QueryError(
                     f"tree enumeration exceeded {max_paths} paths; "
                     f"tighten max_weight or raise max_paths")
-        for succ, w in graph.out_edges(node):
+        for idx in range(indptr[node], indptr[node + 1]):
+            succ = succs[idx]
             if succ in path:
                 continue
-            if weight + w <= max_weight:
-                stack.append((succ, path + (succ,), weight + w))
+            if weight + succ_weights[idx] <= max_weight:
+                stack.append((succ, path + (succ,),
+                              weight + succ_weights[idx]))
     return found
 
 

@@ -19,10 +19,17 @@ scanning, no timestamps, no risk of serving pre-delta answers.
 Eviction is plain LRU over an :class:`collections.OrderedDict`;
 :class:`CacheStats` keeps the hit/miss/eviction counts the benchmark
 harness and the stage report surface.
+
+The cache is shared by every thread of the service's admission pool,
+so both the ``OrderedDict`` *and* the counters mutate under one lock:
+an unsynchronized ``stats.hits += 1`` is a read-modify-write that
+drops increments under concurrency, which would make ``/metrics`` and
+:attr:`CacheStats.hit_rate` drift from the true traffic.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
@@ -88,6 +95,7 @@ class ProjectionCache:
                 f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, Tuple[int, ProjectionResult]]" \
             = OrderedDict()
 
@@ -100,31 +108,35 @@ class ProjectionCache:
 
         An entry built against an older index generation is dropped on
         sight: after :func:`repro.text.maintenance.apply_delta` the
-        old projection may lack new nodes/edges entirely.
+        old projection may lack new nodes/edges entirely. Counter
+        increments happen under the cache lock, so hit/miss/lookup
+        totals stay exact under the threaded service.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        stored_generation, projection = entry
-        if stored_generation != generation:
-            del self._entries[key]
-            self.stats.stale_drops += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return projection
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            stored_generation, projection = entry
+            if stored_generation != generation:
+                del self._entries[key]
+                self.stats.stale_drops += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return projection
 
     def put(self, key: CacheKey, generation: str,
             projection: ProjectionResult) -> None:
         """Insert (or refresh) an entry, evicting LRU past capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = (generation, projection)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (generation, projection)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     # ------------------------------------------------------------------
     # invalidation / inspection
@@ -136,18 +148,22 @@ class ProjectionCache:
         grown), where generation comparison alone could collide — a
         rebuilt index restarts its own counter.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        if dropped:
-            self.stats.invalidations += 1
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.stats.invalidations += 1
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Tuple[CacheKey, ...]:
         """Current keys, LRU-first (diagnostics)."""
-        return tuple(self._entries)
+        with self._lock:
+            return tuple(self._entries)

@@ -15,7 +15,10 @@ callers can catch one base class. Subsystems refine it:
   "snapshot does not exist" (:class:`SnapshotNotFoundError`),
 * the HTTP service layer raises :class:`ServiceError` subclasses
   (see :mod:`repro.service.errors`), each carrying the HTTP status
-  the server maps it to.
+  the server maps it to,
+* the process worker pool (:mod:`repro.parallel`) raises
+  :class:`WorkerError` for a task that failed inside a worker and
+  :class:`WorkerCrashedError` when the worker process died outright.
 """
 
 from __future__ import annotations
@@ -83,3 +86,18 @@ class ServiceError(ReproError):
     """
 
     status: int = 500
+
+
+class WorkerError(ReproError):
+    """A pool task raised inside its worker process.
+
+    Carries the worker-side ``ExceptionType: message`` rendering; the
+    worker itself survived and keeps serving.
+    """
+
+
+class WorkerCrashedError(WorkerError):
+    """The worker process died (crash, kill, OOM) with tasks pending.
+
+    The pool fails every future assigned to the dead worker with this
+    error and respawns a replacement from the same snapshot."""

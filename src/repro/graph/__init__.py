@@ -15,6 +15,8 @@ from repro.graph.digraph import DiGraph
 from repro.graph.dijkstra import (
     DistanceMap,
     bounded_dijkstra,
+    flat_bounded_dijkstra,
+    heap_bounded_dijkstra,
     single_source_distances,
 )
 from repro.graph.generators import gnp_random_digraph, power_law_digraph
@@ -27,7 +29,9 @@ __all__ = [
     "DiGraph",
     "DistanceMap",
     "bounded_dijkstra",
+    "flat_bounded_dijkstra",
     "gnp_random_digraph",
+    "heap_bounded_dijkstra",
     "node_weighted_view",
     "power_law_digraph",
     "single_source_distances",

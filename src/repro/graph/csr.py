@@ -192,16 +192,22 @@ class CompiledGraph:
         """Weight of edge ``u -> v``; raises :class:`EdgeError` if absent."""
         self._check_node(u)
         self._check_node(v)
-        for target, weight in self.forward.neighbors(u):
-            if target == v:
-                return weight
+        forward = self.forward
+        targets = forward.targets
+        for idx in range(forward.indptr[u], forward.indptr[u + 1]):
+            if targets[idx] == v:
+                return forward.weights[idx]
         raise EdgeError(f"no edge ({u}, {v})")
 
     def has_edge(self, u: int, v: int) -> bool:
         """True if the directed edge ``u -> v`` exists."""
         self._check_node(u)
         self._check_node(v)
-        return any(target == v for target, _ in self.forward.neighbors(u))
+        forward = self.forward
+        targets = forward.targets
+        return any(targets[idx] == v
+                   for idx in range(forward.indptr[u],
+                                    forward.indptr[u + 1]))
 
     def induced_edges(self, nodes: Sequence[int]) -> List[Edge]:
         """Edges of the subgraph induced by ``nodes`` (paper Def. 2.1:

@@ -1,0 +1,228 @@
+"""A drop-in engine facade that executes queries on a process pool.
+
+CPython threads cannot run the enumeration kernels in parallel (the
+GIL serializes them), so the service's thread pool only ever overlaps
+I/O. :class:`ParallelQueryEngine` keeps the :class:`~repro.engine.
+QueryEngine` surface the service already programs against — same
+``execute``/``run_all``/``top_k``, same ``generation``/``snapshot_id``
+/``swap_snapshot``, same ``top_k_stream`` for PDk sessions — but ships
+each materialized query to a :class:`~repro.parallel.pool.WorkerPool`
+whose workers are separate processes, each serving the same immutable
+snapshot. N cores then give ~N× aggregate COMM-all throughput.
+
+Division of labor:
+
+* **workers** run ``execute`` (COMM-all / COMM-k) — the CPU-bound,
+  stateless bulk of the traffic. Results come back as the same
+  :class:`~repro.core.community.Community` dataclasses a local engine
+  returns, and the worker's stage timings/counters are merged into
+  the caller's :class:`~repro.engine.context.QueryContext`, so
+  ``/metrics`` aggregation is unchanged;
+* **the parent's local engine** serves everything stateful or cheap:
+  PDk session streams (leases hold generators, which cannot cross a
+  process boundary), projections requested directly, label lookups
+  (``dbg``), and the generation/snapshot identity the session manager
+  stale-checks against.
+
+Hot swap: :meth:`swap_snapshot` swaps the local engine first (new
+queries immediately see the new generation), then broadcasts a
+``reload`` control task to every worker. Control tasks ride the same
+per-worker queues as queries, so each worker finishes its in-flight
+work, reloads, and keeps going — no query is dropped, and the next
+``stats`` broadcast shows every worker on the new snapshot id.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.community import Community
+from repro.engine.context import QueryContext, ensure_context
+from repro.engine.engine import QueryEngine
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError
+from repro.parallel.pool import WorkerPool
+from repro.snapshot.snapshot import Snapshot
+from repro.snapshot.store import locate_snapshot
+
+#: Default number of worker processes.
+DEFAULT_POOL_WORKERS = 2
+
+
+class ParallelQueryEngine:
+    """``QueryEngine``-shaped facade over a process worker pool."""
+
+    def __init__(self, source: Union[str, Path],
+                 workers: int = DEFAULT_POOL_WORKERS,
+                 mp_method: Optional[str] = None) -> None:
+        self.path = locate_snapshot(source)
+        self.local = QueryEngine.from_snapshot(self.path)
+        self.pool = WorkerPool(self.path, workers=workers,
+                               mp_method=mp_method)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, wait_ready: bool = True) -> "ParallelQueryEngine":
+        """Start the pool (blocks until workers loaded the snapshot)."""
+        self.pool.start(wait_ready=wait_ready)
+        return self
+
+    def close(self) -> None:
+        """Shut the pool down; the local engine needs no teardown."""
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ParallelQueryEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # identity / stateful surface — delegated to the local engine
+    # ------------------------------------------------------------------
+    @property
+    def dbg(self):
+        """The served database graph (labels, serialization)."""
+        return self.local.dbg
+
+    @property
+    def cache(self):
+        """The parent-side projection cache (sessions/projections)."""
+        return self.local.cache
+
+    @property
+    def generation(self) -> str:
+        """Generation token — the snapshot id while unmodified."""
+        return self.local.generation
+
+    @property
+    def generation_epoch(self) -> int:
+        """Monotonic index-change count of the local engine."""
+        return self.local.generation_epoch
+
+    @property
+    def snapshot_id(self) -> Optional[str]:
+        """Id of the snapshot the parent (and workers) serve."""
+        return self.local.snapshot_id
+
+    @property
+    def snapshot_loaded_at(self) -> Optional[float]:
+        """Epoch seconds of the last snapshot load/swap."""
+        return self.local.snapshot_loaded_at
+
+    @property
+    def index(self):
+        """The local engine's community index."""
+        return self.local.index
+
+    def project(self, *args: Any, **kwargs: Any):
+        """Projection on the parent (sessions and direct callers)."""
+        return self.local.project(*args, **kwargs)
+
+    def top_k_stream(self, *args: Any, **kwargs: Any):
+        """PDk streams stay in-process — leases hold live iterators."""
+        return self.local.top_k_stream(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # execution — shipped to the pool
+    # ------------------------------------------------------------------
+    def execute(self, spec: QuerySpec,
+                context: Optional[QueryContext] = None
+                ) -> List[Community]:
+        """Run one spec on a pool worker; merge its stats locally."""
+        future = self.pool.submit("query", spec)
+        communities, timings, counters = future.result()
+        self._merge(ensure_context(context), timings, counters)
+        return list(communities)
+
+    def run_all(self, spec: QuerySpec,
+                context: Optional[QueryContext] = None
+                ) -> List[Community]:
+        """Materialized COMM-all on a worker."""
+        if spec.mode != "all":
+            raise QueryError(
+                f"run_all needs an 'all' spec, got {spec.mode!r}")
+        return self.execute(spec, context)
+
+    def top_k(self, spec: QuerySpec,
+              context: Optional[QueryContext] = None
+              ) -> List[Community]:
+        """COMM-k on a worker."""
+        if spec.mode != "topk":
+            raise QueryError(
+                f"top_k needs a 'topk' spec, got {spec.mode!r}")
+        return self.execute(spec, context)
+
+    def iter_all(self, spec: QuerySpec,
+                 context: Optional[QueryContext] = None
+                 ) -> Iterator[Community]:
+        """API parity with ``QueryEngine.iter_all`` (materialized —
+        answers cross a process boundary, so laziness is gone)."""
+        return iter(self.run_all(spec, context))
+
+    def execute_batch(self, specs: Sequence[QuerySpec],
+                      contexts: Optional[Sequence[QueryContext]] = None
+                      ) -> List[List[Community]]:
+        """Fan a list of specs across the pool; results in order.
+
+        All specs are queued before any result is awaited, so the
+        batch runs on as many workers (cores) as the pool has. With
+        ``contexts`` given (one per spec), each query's worker-side
+        stats merge into its own context.
+        """
+        futures = [self.pool.submit("query", spec) for spec in specs]
+        results: List[List[Community]] = []
+        for position, future in enumerate(futures):
+            communities, timings, counters = future.result()
+            if contexts is not None:
+                self._merge(contexts[position], timings, counters)
+            results.append(list(communities))
+        return results
+
+    @staticmethod
+    def _merge(context: QueryContext, timings: Dict[str, float],
+               counters: Dict[str, int]) -> None:
+        """Fold a worker's stage stats into a parent-side context."""
+        for name, seconds in timings.items():
+            context.add_time(name, seconds)
+        for name, value in counters.items():
+            context.count(name, value)
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    def swap_snapshot(self, snapshot: Snapshot) -> bool:
+        """Swap the parent, then fan the reload out to every worker.
+
+        Blocks until each worker acknowledged the reload; because the
+        control task queues behind in-flight queries, nothing is
+        dropped. Returns whether the parent actually changed artifact
+        (a content-identical reload is a no-op everywhere).
+        """
+        changed = self.local.swap_snapshot(snapshot)
+        for future in self.pool.broadcast(
+                "reload", str(snapshot.path)).values():
+            future.result()
+        return changed
+
+    def load_snapshot(self, path: Union[str, Path],
+                      verify: bool = True) -> Snapshot:
+        """Load ``path`` and swap everyone onto it."""
+        from repro.snapshot.snapshot import load_snapshot
+        snapshot = load_snapshot(path, verify=verify)
+        self.swap_snapshot(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured pool size."""
+        return self.pool.workers
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """Identity + counters per worker (see ``/metrics``)."""
+        return self.pool.stats()

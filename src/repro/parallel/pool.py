@@ -1,0 +1,299 @@
+"""Process worker pool over one shared snapshot.
+
+:class:`WorkerPool` owns N worker processes (see
+:mod:`repro.parallel.worker`), each serving the same published
+snapshot. The plumbing is deliberately simple and lock-light:
+
+* **dispatch** — every worker has a private task queue; tasks are
+  round-robined across live workers (or targeted, for broadcasts).
+  Each task gets a :class:`concurrent.futures.Future` the caller
+  blocks on, so any number of parent threads can submit concurrently;
+* **router** — one parent thread drains the single shared result
+  queue and resolves futures by request id;
+* **monitor** — one parent thread polls worker liveness. A dead
+  worker (crash, kill, OOM) fails every future assigned to it with
+  :class:`~repro.exceptions.WorkerCrashedError`, then a replacement
+  process is spawned from the same snapshot with a fresh task queue —
+  callers see one errored request, never a hung one;
+* **shutdown** — a ``None`` sentinel per task queue, bounded joins,
+  ``terminate()`` for stragglers.
+
+The pool prefers the ``fork`` start method when the platform offers
+it (workers then share the parent's page-cache view of the snapshot
+files and start in milliseconds); pass ``mp_method="spawn"`` for a
+fully isolated cold start.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import uuid
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import (
+    QueryError,
+    WorkerCrashedError,
+    WorkerError,
+)
+from repro.parallel.worker import worker_main
+
+#: Seconds between liveness polls of the monitor thread.
+MONITOR_INTERVAL = 0.2
+
+#: Seconds a worker gets to exit after its shutdown sentinel.
+JOIN_TIMEOUT = 5.0
+
+
+class _WorkerHandle:
+    """One worker slot: the live process and its private task queue."""
+
+    __slots__ = ("worker_id", "process", "queue")
+
+    def __init__(self, worker_id: int, process: Any,
+                 queue: Any) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.queue = queue
+
+
+class WorkerPool:
+    """N processes serving the snapshot at ``snapshot_path``."""
+
+    def __init__(self, snapshot_path: Union[str, Path],
+                 workers: int = 2,
+                 mp_method: Optional[str] = None) -> None:
+        if workers <= 0:
+            raise ValueError(
+                f"worker count must be positive, got {workers}")
+        self.snapshot_path = str(snapshot_path)
+        self.workers = workers
+        methods = multiprocessing.get_all_start_methods()
+        if mp_method is None:
+            mp_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_method)
+        self._handles: Dict[int, _WorkerHandle] = {}
+        self._pending: Dict[str, Tuple[Future, int]] = {}
+        self._lock = threading.Lock()
+        self._rr = itertools.count()
+        self._result_queue: Any = None
+        self._router: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, wait_ready: bool = True,
+              timeout: float = 60.0) -> "WorkerPool":
+        """Spawn the workers and the router/monitor threads.
+
+        With ``wait_ready`` (the default) the call blocks until every
+        worker answered a ``ping`` — i.e. finished loading the
+        snapshot — so the first real query never pays cold-start.
+        """
+        if self._result_queue is not None:
+            return self
+        self._result_queue = self._ctx.Queue()
+        for worker_id in range(self.workers):
+            self._spawn(worker_id)
+        self._router = threading.Thread(
+            target=self._route_results, daemon=True,
+            name="repro-pool-router")
+        self._router.start()
+        self._monitor = threading.Thread(
+            target=self._watch_workers, daemon=True,
+            name="repro-pool-monitor")
+        self._monitor.start()
+        if wait_ready:
+            for future in self.broadcast("ping", None).values():
+                future.result(timeout=timeout)
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        """Start (or restart) the worker in slot ``worker_id``."""
+        queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.snapshot_path, queue,
+                  self._result_queue),
+            daemon=True, name=f"repro-worker-{worker_id}")
+        process.start()
+        self._handles[worker_id] = _WorkerHandle(
+            worker_id, process, queue)
+
+    def shutdown(self) -> None:
+        """Sentinel every worker, join, terminate stragglers."""
+        if self._result_queue is None:
+            return
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=JOIN_TIMEOUT)
+        for handle in self._handles.values():
+            try:
+                handle.queue.put(None)
+            except (ValueError, OSError):
+                pass                      # queue already closed
+        for handle in self._handles.values():
+            handle.process.join(timeout=JOIN_TIMEOUT)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        self._result_queue.put(None)
+        if self._router is not None:
+            self._router.join(timeout=JOIN_TIMEOUT)
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future, _ in pending:
+            if not future.done():
+                future.set_exception(
+                    WorkerError("pool shut down with request pending"))
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(1 for handle in self._handles.values()
+                   if handle.process.is_alive())
+
+    def pids(self) -> Dict[int, int]:
+        """``worker_id -> pid`` of the current processes."""
+        return {wid: handle.process.pid
+                for wid, handle in self._handles.items()}
+
+    def submit(self, op: str, payload: Any,
+               worker_id: Optional[int] = None) -> Future:
+        """Queue one task; returns the future for its result.
+
+        Without ``worker_id`` the task round-robins across live
+        workers; a targeted submit goes to that slot regardless (used
+        by broadcasts, which must reach every worker).
+        """
+        if self._result_queue is None:
+            raise WorkerError("pool is not started")
+        if worker_id is None:
+            worker_id = self._pick_worker()
+        handle = self._handles[worker_id]
+        request_id = uuid.uuid4().hex
+        future: Future = Future()
+        with self._lock:
+            self._pending[request_id] = (future, worker_id)
+        try:
+            handle.queue.put((request_id, op, payload))
+        except Exception as error:  # noqa: BLE001 — queue failure
+            with self._lock:
+                self._pending.pop(request_id, None)
+            future.set_exception(WorkerError(str(error)))
+        return future
+
+    def request(self, op: str, payload: Any,
+                timeout: Optional[float] = None) -> Any:
+        """Submit and block for the result."""
+        return self.submit(op, payload).result(timeout=timeout)
+
+    def broadcast(self, op: str,
+                  payload: Any) -> Dict[int, Future]:
+        """One targeted task per worker slot; ``worker_id -> future``.
+
+        Control messages (reload, stats, ping) ride the same queues
+        as queries, so a broadcast lands *behind* whatever each worker
+        already has in flight — a reload never preempts or drops a
+        running query.
+        """
+        return {worker_id: self.submit(op, payload, worker_id)
+                for worker_id in sorted(self._handles)}
+
+    def _pick_worker(self) -> int:
+        """Round-robin over live workers (any slot if none look live)."""
+        slots = sorted(self._handles)
+        for _ in range(len(slots)):
+            worker_id = slots[next(self._rr) % len(slots)]
+            if self._handles[worker_id].process.is_alive():
+                return worker_id
+        return slots[next(self._rr) % len(slots)]
+
+    # ------------------------------------------------------------------
+    # router / monitor threads
+    # ------------------------------------------------------------------
+    def _route_results(self) -> None:
+        """Drain the shared result queue, resolving futures."""
+        while True:
+            item = self._result_queue.get()
+            if item is None:
+                return
+            request_id, _worker_id, status, payload = item
+            with self._lock:
+                entry = self._pending.pop(request_id, None)
+            if entry is None:
+                continue              # crashed-and-failed, late reply
+            future, _ = entry
+            if future.done():
+                continue
+            if status == "ok":
+                future.set_result(payload)
+            elif status == "query_error":
+                # Bad query, healthy worker: surface the same
+                # exception type in-process execution raises.
+                future.set_exception(QueryError(payload))
+            else:
+                future.set_exception(WorkerError(payload))
+
+    def _watch_workers(self) -> None:
+        """Fail futures of dead workers and respawn replacements."""
+        while not self._stop.wait(MONITOR_INTERVAL):
+            for worker_id in sorted(self._handles):
+                handle = self._handles[worker_id]
+                if handle.process.is_alive():
+                    continue
+                if self._stop.is_set():
+                    return
+                self._fail_pending(
+                    worker_id,
+                    f"worker {worker_id} (pid {handle.process.pid}) "
+                    f"died with exit code "
+                    f"{handle.process.exitcode}")
+                self._spawn(worker_id)
+                self.respawns += 1
+
+    def _fail_pending(self, worker_id: int, message: str) -> None:
+        """Error out every future assigned to ``worker_id``."""
+        with self._lock:
+            doomed = [rid for rid, (_, wid) in self._pending.items()
+                      if wid == worker_id]
+            futures = [self._pending.pop(rid)[0] for rid in doomed]
+        for future in futures:
+            if not future.done():
+                future.set_exception(WorkerCrashedError(message))
+
+    # ------------------------------------------------------------------
+    def stats(self, timeout: Optional[float] = 30.0
+              ) -> List[Dict[str, Any]]:
+        """Per-worker identity/counter dicts, ordered by worker id.
+
+        A worker that cannot answer (mid-respawn) is reported as a
+        stub with ``"alive": False`` instead of failing the scrape.
+        """
+        results: List[Dict[str, Any]] = []
+        for worker_id, future in self.broadcast("stats", None).items():
+            try:
+                payload = future.result(timeout=timeout)
+                payload["alive"] = True
+            except (WorkerError, FutureTimeout) as error:
+                payload = {"worker": worker_id, "alive": False,
+                           "error": str(error)}
+            results.append(payload)
+        return results

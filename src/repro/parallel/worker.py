@@ -1,0 +1,111 @@
+"""Worker-process entry point for the parallel query pool.
+
+Each worker is a separate OS process that loads its own
+:class:`~repro.engine.QueryEngine` from the *same published snapshot*
+the parent serves, then answers tasks from its private task queue
+until it receives the ``None`` shutdown sentinel. Because snapshots
+are immutable content-addressed artifacts, N workers loading the same
+snapshot id are guaranteed to agree on every answer — the pool never
+ships graphs over the queues, only :class:`~repro.engine.spec.QuerySpec`
+objects in and :class:`~repro.core.community.Community` tuples out.
+
+Task protocol (all tuples, all picklable):
+
+* in:  ``(request_id, op, payload)`` where ``op`` is one of
+  ``query`` / ``reload`` / ``stats`` / ``ping``;
+* out: ``(request_id, worker_id, "ok", result)``,
+  ``(request_id, worker_id, "query_error", message)`` for a
+  :class:`~repro.exceptions.QueryError` (a bad query, not a broken
+  worker — the parent re-raises it as ``QueryError`` so the service
+  still answers 400, exactly as in-process execution would), or
+  ``(request_id, worker_id, "error", "ExcType: message")`` for
+  anything else (re-raised as
+  :class:`~repro.exceptions.WorkerError`).
+
+A ``query`` returns ``(communities, timings, counters)`` so the
+parent can merge the worker's per-stage wall-clock and cache counters
+into its own :class:`~repro.engine.context.QueryContext` — that is
+how ``/metrics`` keeps aggregating stage timings when execution moves
+out of process. ``stats`` reports the worker's identity (pid,
+snapshot id, generation) plus its private projection-cache and
+Dijkstra-memo counters; ``reload`` re-points the worker at a snapshot
+path and returns the adopted snapshot id.
+
+Any exception inside a task is caught and reported as an ``error``
+result — a worker only exits on the sentinel or a hard crash (which
+the pool's monitor detects and repairs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Tuple
+
+from repro.engine.context import QueryContext
+from repro.engine.engine import QueryEngine
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError
+from repro.graph.dijkstra import _thread_memo
+
+
+def _run_query(engine: QueryEngine, spec: QuerySpec) -> Tuple:
+    """Execute one spec; returns (communities, timings, counters)."""
+    context = QueryContext()
+    communities = engine.execute(spec, context)
+    return (communities, dict(context.timings),
+            dict(context.counters))
+
+
+def _stats(worker_id: int, engine: QueryEngine) -> Dict[str, Any]:
+    """This worker's identity and private counters."""
+    memo = _thread_memo()
+    payload: Dict[str, Any] = {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "snapshot_id": engine.snapshot_id,
+        "generation": engine.generation,
+        "dijkstra_memo_hits": memo.hits,
+        "dijkstra_memo_misses": memo.misses,
+    }
+    payload.update(engine.cache.stats.as_dict())
+    return payload
+
+
+def _reload(engine: QueryEngine, path: str) -> Dict[str, Any]:
+    """Swap this worker onto the snapshot at ``path``."""
+    snapshot = engine.load_snapshot(path)
+    return {"snapshot_id": snapshot.id,
+            "generation": engine.generation}
+
+
+def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
+                result_queue: Any) -> None:
+    """Process target: load the snapshot, serve tasks until sentinel."""
+    engine = QueryEngine.from_snapshot(snapshot_path)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        request_id, op, payload = task
+        try:
+            if op == "query":
+                result: Any = _run_query(engine, payload)
+            elif op == "stats":
+                result = _stats(worker_id, engine)
+            elif op == "reload":
+                result = _reload(engine, payload)
+            elif op == "ping":
+                result = {"worker": worker_id, "pid": os.getpid()}
+            else:
+                raise ValueError(f"unknown pool op {op!r}")
+            result_queue.put((request_id, worker_id, "ok", result))
+        except QueryError as error:
+            # A bad query, not a broken worker — keep the error's
+            # identity so the parent answers 400, not 500.
+            result_queue.put(
+                (request_id, worker_id, "query_error", str(error)))
+        except Exception as error:  # noqa: BLE001 — boundary: report
+            # the failure to the parent instead of dying.
+            result_queue.put(
+                (request_id, worker_id, "error",
+                 f"{type(error).__name__}: {error}"))

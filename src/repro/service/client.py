@@ -139,6 +139,24 @@ class ServiceClient:
         response = self.query(keywords, rmax, **options)
         return communities_from_dicts(response["communities"])
 
+    def batch(self, queries: Sequence[Dict[str, Any]],
+              deadline_seconds: Optional[float] = None,
+              labels: bool = False) -> Dict[str, Any]:
+        """``POST /batch``: many queries in one request, in order.
+
+        Each entry is a ``/query``-shaped dict (``keywords``,
+        ``rmax``, optional ``k``/``algorithm``/``aggregate``/...).
+        Against a multi-worker server the entries run concurrently on
+        the worker processes; the response's ``results`` list matches
+        the request order, one query envelope per entry.
+        """
+        payload: Dict[str, Any] = {"queries": list(queries)}
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        if labels:
+            payload["labels"] = True
+        return self.request("POST", "/batch", payload)
+
     def open_session(self, keywords: Sequence[str], rmax: float,
                      aggregate: str = "sum",
                      ttl_seconds: Optional[float] = None,

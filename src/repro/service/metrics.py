@@ -120,7 +120,7 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     def render(self, counters: Optional[Dict[str, float]] = None,
                gauges: Optional[Dict[str, float]] = None,
-               infos: Optional[Dict[str, Dict[str, str]]] = None
+               infos: Optional[Dict[str, object]] = None
                ) -> str:
         """The full scrape body.
 
@@ -129,9 +129,11 @@ class ServiceMetrics:
         flattened to ``{metric_name: value}``; names ending in
         ``_total`` render as counters, everything else in ``counters``
         still renders as a counter type but keeps its given name.
-        ``infos`` are identity gauges (``{name: labels}``), rendered
-        as a constant ``1`` with the labels attached — the Prometheus
-        idiom for non-numeric facts such as the active snapshot id.
+        ``infos`` are identity gauges (``{name: labels}`` or
+        ``{name: [labels, ...]}`` for several rows of one metric),
+        rendered as a constant ``1`` with the labels attached — the
+        Prometheus idiom for non-numeric facts such as the active
+        snapshot id or the per-worker snapshot ids.
         """
         with self._lock:
             lines: List[str] = []
@@ -174,13 +176,19 @@ class ServiceMetrics:
 
     @staticmethod
     def _render_infos(lines: List[str],
-                      infos: Dict[str, Dict[str, str]]) -> None:
+                      infos: Dict[str, object]) -> None:
+        """Identity gauges; a metric may carry one label set (a dict)
+        or several (a list of dicts — e.g. one row per pool worker)."""
         for name in sorted(infos):
-            rendered = ",".join(
-                f'{key}="{escape_label(str(value))}"'
-                for key, value in sorted(infos[name].items()))
+            label_sets = infos[name]
+            if isinstance(label_sets, dict):
+                label_sets = [label_sets]
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name}{{{rendered}}} 1")
+            for labels in label_sets:
+                rendered = ",".join(
+                    f'{key}="{escape_label(str(value))}"'
+                    for key, value in sorted(labels.items()))
+                lines.append(f"{name}{{{rendered}}} 1")
 
     def _render_responses(self, lines: List[str]) -> None:
         lines.append("# HELP repro_requests_total HTTP responses by "

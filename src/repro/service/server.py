@@ -8,6 +8,9 @@
   :class:`~repro.engine.QuerySpec` (``keywords``, ``rmax``, ``k`` or
   ``mode``, ``algorithm``, ``aggregate``, ``deadline_seconds``,
   ``labels``);
+* ``POST /batch`` — a list of such queries in one request, answered
+  in order; with a :class:`~repro.parallel.ParallelQueryEngine` the
+  entries execute concurrently across the worker processes;
 * ``POST /sessions`` — open an interactive PDk session (projection +
   heap seeding happen here, once);
 * ``POST /sessions/{id}/next`` — enlarge ``k``: up to ``k`` further
@@ -240,6 +243,7 @@ class CommunityService:
         self._httpd.daemon_threads = True                 # type: ignore[attr-defined]
         self._httpd.service = self                        # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._serving = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -262,6 +266,7 @@ class CommunityService:
     def start(self) -> "CommunityService":
         """Serve on a background thread; returns ``self`` (chainable)."""
         if self._thread is None:
+            self._serving = True
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever, daemon=True,
                 name="repro-service-accept")
@@ -270,11 +275,20 @@ class CommunityService:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
+        self._serving = True
         self._httpd.serve_forever()
 
     def shutdown(self) -> None:
-        """Stop accepting, join the accept thread, drain the pool."""
-        self._httpd.shutdown()
+        """Stop accepting, join the accept thread, drain the pool.
+
+        Safe on a service that never served a socket (tests drive
+        :meth:`handle` directly): ``HTTPServer.shutdown`` blocks
+        forever unless ``serve_forever`` is running, so it is only
+        called when serving actually started.
+        """
+        if self._serving:
+            self._httpd.shutdown()
+            self._serving = False
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -344,6 +358,9 @@ class CommunityService:
         if method == "POST" and parts == ("query",):
             return "/query", json.dumps(self._query(body)), \
                 JSON_CONTENT_TYPE
+        if method == "POST" and parts == ("batch",):
+            return "/batch", json.dumps(self._batch(body)), \
+                JSON_CONTENT_TYPE
         if method == "POST" and parts == ("sessions",):
             return "/sessions", \
                 json.dumps(self._session_create(body)), \
@@ -378,7 +395,7 @@ class CommunityService:
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
         """Liveness payload."""
-        return {
+        health = {
             "status": "ok",
             "generation": self.engine.generation,
             "snapshot": self.engine.snapshot_id,
@@ -386,6 +403,11 @@ class CommunityService:
             "queued": self.admission.queued,
             "in_flight": self.admission.in_flight,
         }
+        pool = getattr(self.engine, "pool", None)
+        if pool is not None:
+            health["pool_workers"] = pool.workers
+            health["pool_alive"] = pool.alive
+        return health
 
     def _admin_reload(self, body: bytes) -> Dict[str, Any]:
         """``POST /admin/reload``: swap onto the newest snapshot.
@@ -418,20 +440,35 @@ class CommunityService:
             "loaded_at": self.engine.snapshot_loaded_at,
         }
 
-    def _query(self, body: bytes) -> Dict[str, Any]:
-        """``POST /query``: one-shot COMM-all / COMM-k."""
-        payload = _parse_body(body)
+    @staticmethod
+    def _spec_of(payload: Dict[str, Any]) -> QuerySpec:
+        """A validated :class:`QuerySpec` from one query payload."""
         keywords = _keywords_of(payload)
         rmax = _float_of(payload, "rmax")
         k = _int_of(payload, "k")
         mode = payload.get("mode") or ("topk" if k is not None
                                        else "all")
-        spec = QuerySpec(
+        return QuerySpec(
             tuple(keywords), rmax, mode=mode, k=k,
             algorithm=payload.get("algorithm", "pd"),
             aggregate=payload.get("aggregate", "sum"),
             budget_seconds=_float_of(payload, "budget_seconds",
                                      required=False))
+
+    @staticmethod
+    def _clamp_budget(spec: QuerySpec,
+                      remaining: Optional[float]) -> QuerySpec:
+        """Tighten the spec's budget to the admission deadline."""
+        if remaining is not None and (
+                spec.budget_seconds is None
+                or remaining < spec.budget_seconds):
+            return replace(spec, budget_seconds=remaining)
+        return spec
+
+    def _query(self, body: bytes) -> Dict[str, Any]:
+        """``POST /query``: one-shot COMM-all / COMM-k."""
+        payload = _parse_body(body)
+        spec = self._spec_of(payload)
         deadline = _float_of(payload, "deadline_seconds",
                              required=False,
                              default=self.default_deadline)
@@ -440,12 +477,8 @@ class CommunityService:
         start = time.perf_counter()
 
         def job(remaining: Optional[float]) -> Any:
-            run_spec = spec
-            if remaining is not None and (
-                    spec.budget_seconds is None
-                    or remaining < spec.budget_seconds):
-                run_spec = replace(spec, budget_seconds=remaining)
-            return self.engine.execute(run_spec, context)
+            return self.engine.execute(
+                self._clamp_budget(spec, remaining), context)
 
         results = self.admission.run(job, deadline)
         self.metrics.observe_context(context)
@@ -454,6 +487,60 @@ class CommunityService:
             dbg=self.engine.dbg if want_labels else None,
             context=context, spec=spec,
             elapsed_seconds=time.perf_counter() - start)
+
+    def _batch(self, body: bytes) -> Dict[str, Any]:
+        """``POST /batch``: fan a list of queries across the pool.
+
+        Body: ``{"queries": [<query payload>, ...]}`` plus optional
+        batch-wide ``deadline_seconds``/``labels``. The batch is one
+        admission job (one queue slot, one deadline) but its queries
+        run **concurrently** when the engine is a
+        :class:`~repro.parallel.ParallelQueryEngine` — that is the
+        whole point: one HTTP round-trip keeps every worker process
+        busy. Results come back in request order, one standard query
+        envelope per entry, each with its own per-query stats.
+
+        On a plain in-process engine the batch degrades gracefully to
+        a sequential loop with identical semantics.
+        """
+        payload = _parse_body(body)
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise BadRequest(
+                "'queries' must be a non-empty list of query objects")
+        if not all(isinstance(q, dict) for q in queries):
+            raise BadRequest("every batch entry must be an object")
+        specs = [self._spec_of(query) for query in queries]
+        deadline = _float_of(payload, "deadline_seconds",
+                             required=False,
+                             default=self.default_deadline)
+        want_labels = bool(payload.get("labels", False))
+        contexts = [QueryContext() for _ in specs]
+        start = time.perf_counter()
+
+        def job(remaining: Optional[float]) -> List[Any]:
+            run_specs = [self._clamp_budget(spec, remaining)
+                         for spec in specs]
+            fan_out = getattr(self.engine, "execute_batch", None)
+            if fan_out is not None:
+                return fan_out(run_specs, contexts)
+            return [self.engine.execute(spec, ctx)
+                    for spec, ctx in zip(run_specs, contexts)]
+
+        all_results = self.admission.run(job, deadline)
+        elapsed = time.perf_counter() - start
+        dbg = self.engine.dbg if want_labels else None
+        envelopes = []
+        for spec, context, results in zip(specs, contexts,
+                                          all_results):
+            self.metrics.observe_context(context)
+            envelopes.append(results_to_dict(
+                results, dbg=dbg, context=context, spec=spec))
+        return {
+            "queries": len(envelopes),
+            "results": envelopes,
+            "elapsed_seconds": elapsed,
+        }
 
     def _session_create(self, body: bytes) -> Dict[str, Any]:
         """``POST /sessions``: lease an interactive PDk stream."""
@@ -539,11 +626,65 @@ class CommunityService:
             "repro_projection_cache_size": float(
                 len(self.engine.cache)),
         })
-        infos: Dict[str, Dict[str, str]] = {}
+        infos: Dict[str, Any] = {}
         if self.engine.snapshot_id is not None:
             infos["repro_snapshot_info"] = {
                 "snapshot_id": self.engine.snapshot_id}
             gauges["repro_snapshot_loaded_timestamp_seconds"] = \
                 float(self.engine.snapshot_loaded_at or 0.0)
+        self._worker_metrics(counters, gauges, infos)
         return self.metrics.render(counters=counters, gauges=gauges,
                                    infos=infos)
+
+    def _worker_metrics(self, counters: Dict[str, float],
+                        gauges: Dict[str, float],
+                        infos: Dict[str, Any]) -> None:
+        """Fold pool-worker observability into one scrape.
+
+        Engines without a pool contribute nothing. With a
+        :class:`~repro.parallel.ParallelQueryEngine`:
+
+        * ``repro_worker_info{worker,pid,snapshot_id,generation}`` —
+          one identity row per worker, which is how the reload smoke
+          test asserts every worker adopted the new snapshot;
+        * ``repro_worker_*_total`` — the workers' private projection
+          cache and Dijkstra-memo counters, summed (per-stage wall
+          clock needs no special handling: workers report timings per
+          query and the service folds them into
+          ``repro_stage_seconds_total`` exactly as in-process
+          execution does);
+        * ``repro_pool_workers`` / ``repro_pool_workers_alive`` /
+          ``repro_pool_respawns_total`` — pool health.
+        """
+        stats_of = getattr(self.engine, "worker_stats", None)
+        pool = getattr(self.engine, "pool", None)
+        if stats_of is None or pool is None:
+            return
+        per_worker = stats_of()
+        rows = []
+        summed: Dict[str, float] = {}
+        for stats in per_worker:
+            rows.append({
+                "worker": str(stats.get("worker")),
+                "pid": str(stats.get("pid", "")),
+                "snapshot_id": str(stats.get("snapshot_id", "")),
+                "generation": str(stats.get("generation", "")),
+                "alive": str(bool(stats.get("alive"))).lower(),
+            })
+            for name, value in stats.items():
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    continue
+                if name in ("worker", "pid"):
+                    continue
+                summed[name] = summed.get(name, 0.0) + float(value)
+        infos["repro_worker_info"] = rows
+        worker_counters, worker_gauges = split_rates(
+            summed, ("cache_hit_rate",))
+        counters.update(prefixed(worker_counters,
+                                 prefix="repro_worker_",
+                                 suffix="_total"))
+        gauges.update(prefixed(worker_gauges, prefix="repro_worker_"))
+        gauges["repro_pool_workers"] = float(pool.workers)
+        gauges["repro_pool_workers_alive"] = float(pool.alive)
+        counters["repro_pool_respawns_total"] = float(pool.respawns)

@@ -1,0 +1,156 @@
+"""Flat-array kernel == dict-based reference, including tie-breaks.
+
+The production path (:func:`~repro.graph.dijkstra.bounded_dijkstra`)
+runs :func:`~repro.graph.dijkstra.flat_bounded_dijkstra` behind a
+duplicate-search memo; :func:`~repro.graph.dijkstra.
+heap_bounded_dijkstra` is the reference oracle. These properties hold
+the whole stack to exact agreement — settled sets, distances **and**
+nearest-seed assignment, where equal-distance ties must resolve the
+same way (both kernels push identical ``(distance, node, origin)``
+heap entries, so ties break toward the smaller node id, then the
+smaller origin) — plus the memo's isolation guarantees (fresh dicts
+per call, bounded size, oversized-result bypass).
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CompiledGraph
+from repro.graph.dijkstra import (
+    MEMO_CAPACITY,
+    MEMO_MAX_NODES,
+    SearchMemo,
+    bounded_dijkstra,
+    flat_bounded_dijkstra,
+    heap_bounded_dijkstra,
+)
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes=14):
+    """Random digraphs with small integer weights (ties are common)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    edge_count = draw(st.integers(min_value=0, max_value=4 * n))
+    edges = []
+    for _ in range(edge_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        w = draw(st.integers(min_value=0, max_value=5))
+        edges.append((u, v, float(w)))
+    return CompiledGraph.from_edges(n, edges)
+
+
+@st.composite
+def seed_sets(draw, graph):
+    """1-4 seeds, mixing bare node ids and (node, offset) pairs."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    seeds = []
+    for _ in range(count):
+        node = draw(st.integers(min_value=0, max_value=graph.n - 1))
+        if draw(st.booleans()):
+            offset = draw(st.integers(min_value=0, max_value=3))
+            seeds.append((node, float(offset)))
+        else:
+            seeds.append(node)
+    return seeds
+
+
+@st.composite
+def search_cases(draw):
+    """(graph, seeds, radius) triples over both CSR directions."""
+    graph = draw(weighted_graphs())
+    seeds = draw(seed_sets(graph))
+    radius = draw(st.one_of(
+        st.just(math.inf),
+        st.integers(min_value=0, max_value=15).map(float)))
+    adjacency = graph.reverse if draw(st.booleans()) else graph.forward
+    return adjacency, seeds, radius
+
+
+def assert_equivalent(got, ref):
+    """Same settled set, same distances, same nearest-seed per node."""
+    assert dict(got.items()) == dict(ref.items())
+    assert got.sources() == ref.sources()
+
+
+@settings(max_examples=200, deadline=None)
+@given(search_cases())
+def test_flat_kernel_matches_heap_reference(case):
+    adjacency, seeds, radius = case
+    assert_equivalent(flat_bounded_dijkstra(adjacency, seeds, radius),
+                      heap_bounded_dijkstra(adjacency, seeds, radius))
+
+
+@settings(max_examples=100, deadline=None)
+@given(search_cases())
+def test_public_entry_matches_reference_with_memo_live(case):
+    """bounded_dijkstra (flat + memo) stays exact across repeats."""
+    adjacency, seeds, radius = case
+    ref = heap_bounded_dijkstra(adjacency, seeds, radius)
+    first = bounded_dijkstra(adjacency, seeds, radius)
+    second = bounded_dijkstra(adjacency, seeds, radius)  # memo hit
+    assert_equivalent(first, ref)
+    assert_equivalent(second, ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weighted_graphs(), st.integers(min_value=0, max_value=10))
+def test_unit_weight_tie_breaks_agree(graph, radius_int):
+    """Uniform weights maximize equal-distance ties; sources must
+    still match node for node."""
+    uniform = CompiledGraph.from_edges(
+        graph.n, [(u, v, 1.0) for u, v, _ in graph.edges()])
+    seeds = list(range(min(3, uniform.n)))
+    radius = float(radius_int)
+    assert_equivalent(
+        flat_bounded_dijkstra(uniform.forward, seeds, radius),
+        heap_bounded_dijkstra(uniform.forward, seeds, radius))
+
+
+class TestSearchMemo:
+    """Isolation and bounding of the duplicate-search memo."""
+
+    def _line(self, n):
+        return CompiledGraph.from_edges(
+            n, [(i, i + 1, 1.0) for i in range(n - 1)])
+
+    def test_hits_return_fresh_dicts(self):
+        graph = self._line(6)
+        first = bounded_dijkstra(graph.forward, [0], 10.0)
+        second = bounded_dijkstra(graph.forward, [0], 10.0)
+        assert dict(first.items()) == dict(second.items())
+        # Mutating one caller's result must not leak into the next.
+        assert second.distances() is not first.distances()
+        assert second.sources() is not first.sources()
+        first.distances()[0] = -1.0
+        third = bounded_dijkstra(graph.forward, [0], 10.0)
+        assert third[0] == 0.0
+
+    def test_capacity_is_bounded(self):
+        memo = SearchMemo(capacity=4)
+        graph = self._line(3)
+        result = flat_bounded_dijkstra(graph.forward, [0])
+        for i in range(10):
+            memo.store((i,), graph.forward, result)
+        assert len(memo) == 4
+
+    def test_oversized_results_bypass_the_memo(self):
+        memo = SearchMemo()
+        n = MEMO_MAX_NODES + 2
+        graph = self._line(n)
+        result = flat_bounded_dijkstra(graph.forward, [0])
+        assert len(result) == n
+        memo.store(("big",), graph.forward, result)
+        assert len(memo) == 0
+        assert memo.lookup(("big",)) is None
+
+    def test_distinct_radii_are_distinct_entries(self):
+        graph = self._line(5)
+        near = bounded_dijkstra(graph.forward, [0], 1.0)
+        far = bounded_dijkstra(graph.forward, [0], 3.0)
+        assert len(near) == 2
+        assert len(far) == 4
+
+    def test_default_capacity_sane(self):
+        assert SearchMemo().capacity == MEMO_CAPACITY

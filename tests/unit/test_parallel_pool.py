@@ -1,0 +1,360 @@
+"""Worker-pool lifecycle, ``/batch`` semantics, and pool metrics.
+
+Everything here drives real worker *processes* over a published fig4
+snapshot, but stays socketless: HTTP-level assertions go through
+:meth:`~repro.service.server.CommunityService.handle` directly. The
+acceptance properties covered:
+
+* pool lifecycle — start (ping-ready), round-robined queries, a
+  killed worker fails its pending futures with
+  :class:`~repro.exceptions.WorkerCrashedError` and is respawned,
+  clean shutdown;
+* answers through the pool are exactly the local engine's answers —
+  ``POST /query`` envelopes are byte-identical (modulo wall-clock
+  fields) with and without ``--workers``;
+* ``POST /batch`` preserves request order and validates its body;
+* ``/metrics`` exposes one ``repro_worker_info`` row per worker and
+  ``POST /admin/reload`` moves every row to the new snapshot id;
+* the :class:`~repro.engine.cache.ProjectionCache` counters stay
+  exact under thread contention (they increment under the cache
+  lock).
+"""
+
+import json
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.engine import QueryEngine, QuerySpec
+from repro.engine.cache import ProjectionCache
+from repro.engine.context import QueryContext
+from repro.exceptions import QueryError, WorkerCrashedError, WorkerError
+from repro.parallel import ParallelQueryEngine, WorkerPool
+from repro.service import CommunityService
+from repro.service.serialize import dumps
+from repro.snapshot import SnapshotStore
+from repro.text.inverted_index import CommunityIndex
+
+#: Longest we poll for an asynchronous pool event (respawn).
+POLL_SECONDS = 15.0
+
+
+def publish_fig4(store_root, radius=FIG4_RMAX):
+    """Build fig4 at ``radius``, publish it, return the snapshot."""
+    dbg = figure4_graph()
+    index = CommunityIndex.build(dbg, radius)
+    return SnapshotStore(store_root).publish(
+        dbg, index,
+        provenance={"dataset": "fig4", "index_radius": radius})
+
+
+def wait_until(predicate, timeout=POLL_SECONDS, interval=0.05):
+    """Poll ``predicate`` until true (returns False on timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def store_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("pool-snapshots")
+    publish_fig4(root)
+    return root
+
+
+@pytest.fixture(scope="module")
+def parallel_engine(store_root):
+    with ParallelQueryEngine(store_root, workers=2) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def local_engine(store_root):
+    return QueryEngine.from_snapshot(
+        SnapshotStore(store_root).resolve())
+
+
+class TestWorkerPoolLifecycle:
+    def test_start_spawns_live_distinct_processes(self,
+                                                  parallel_engine):
+        pool = parallel_engine.pool
+        assert pool.alive == 2
+        pids = pool.pids()
+        assert sorted(pids) == [0, 1]
+        assert len(set(pids.values())) == 2
+
+    def test_ping_round_trips_worker_identity(self, parallel_engine):
+        pool = parallel_engine.pool
+        answer = pool.request("ping", None, timeout=30.0)
+        assert answer["pid"] in pool.pids().values()
+
+    def test_stats_report_snapshot_per_worker(self, parallel_engine,
+                                              store_root):
+        snapshot_id = SnapshotStore(store_root).latest_id()
+        stats = parallel_engine.worker_stats()
+        assert [s["worker"] for s in stats] == [0, 1]
+        for s in stats:
+            assert s["alive"] is True
+            assert s["snapshot_id"] == snapshot_id
+
+    def test_worker_errors_propagate_as_worker_error(
+            self, parallel_engine):
+        with pytest.raises(WorkerError):
+            parallel_engine.pool.request("no-such-op", None,
+                                         timeout=30.0)
+
+    def test_crash_respawns_and_keeps_serving(self, parallel_engine):
+        pool = parallel_engine.pool
+        respawns_before = pool.respawns
+        victim = pool._handles[0].process
+        victim_pid = victim.pid
+        victim.terminate()
+        assert wait_until(
+            lambda: pool.alive == 2
+            and pool.respawns > respawns_before)
+        assert pool.pids()[0] != victim_pid
+        # The pool keeps answering queries after the crash.
+        spec = QuerySpec.comm_k(list(FIG4_QUERY), 2, FIG4_RMAX)
+        assert len(parallel_engine.top_k(spec)) == 2
+
+    def test_dead_worker_fails_its_pending_futures(self,
+                                                   parallel_engine):
+        pool = parallel_engine.pool
+        # Register a pending request against slot 1, then kill the
+        # process: the monitor must fail the future (no hung caller)
+        # before spawning the replacement.
+        future: Future = Future()
+        with pool._lock:
+            pool._pending["test-doomed"] = (future, 1)
+        pool._handles[1].process.terminate()
+        with pytest.raises(WorkerCrashedError):
+            future.result(timeout=POLL_SECONDS)
+        assert wait_until(lambda: pool.alive == 2)
+
+    def test_shutdown_is_clean_and_idempotent(self, store_root):
+        pool = WorkerPool(SnapshotStore(store_root).resolve(),
+                          workers=1).start()
+        assert pool.alive == 1
+        pool.shutdown()
+        assert pool.alive == 0
+        pool.shutdown()             # second call is a no-op
+        with pytest.raises(WorkerError):
+            WorkerPool(store_root, workers=1).submit("ping", None)
+
+    def test_zero_workers_rejected(self, store_root):
+        with pytest.raises(ValueError):
+            WorkerPool(store_root, workers=0)
+
+
+class TestParallelEngineAnswers:
+    def test_top_k_matches_local_engine(self, parallel_engine,
+                                        local_engine):
+        spec = QuerySpec.comm_k(list(FIG4_QUERY), 3, FIG4_RMAX)
+        assert parallel_engine.top_k(spec) == local_engine.top_k(spec)
+
+    def test_run_all_matches_local_engine(self, parallel_engine,
+                                          local_engine):
+        spec = QuerySpec.comm_all(list(FIG4_QUERY), FIG4_RMAX)
+        assert parallel_engine.run_all(spec) \
+            == local_engine.run_all(spec)
+
+    def test_worker_stats_merge_into_context(self, parallel_engine):
+        context = QueryContext()
+        spec = QuerySpec.comm_all(list(FIG4_QUERY), FIG4_RMAX)
+        parallel_engine.execute(spec, context)
+        assert context.timings            # worker stages merged in
+        assert context.counters["communities"] > 0
+
+    def test_execute_batch_preserves_order(self, parallel_engine,
+                                           local_engine):
+        specs = [QuerySpec.comm_k(list(FIG4_QUERY), k, FIG4_RMAX)
+                 for k in (1, 2, 3)]
+        batched = parallel_engine.execute_batch(specs)
+        assert [len(r) for r in batched] == [1, 2, 3]
+        assert batched == [local_engine.top_k(s) for s in specs]
+
+    def test_mode_validation_still_enforced(self, parallel_engine):
+        all_spec = QuerySpec.comm_all(list(FIG4_QUERY), FIG4_RMAX)
+        with pytest.raises(QueryError):
+            parallel_engine.top_k(all_spec)
+
+    def test_swap_fans_out_to_every_worker(self, tmp_path):
+        store = tmp_path / "store"
+        publish_fig4(store, radius=FIG4_RMAX)
+        with ParallelQueryEngine(store, workers=2) as engine:
+            old_id = engine.snapshot_id
+            publish_fig4(store, radius=4.0)
+            new_id = SnapshotStore(store).latest_id()
+            assert new_id != old_id
+            engine.load_snapshot(SnapshotStore(store).resolve())
+            assert engine.snapshot_id == new_id
+            assert all(s["snapshot_id"] == new_id
+                       for s in engine.worker_stats())
+
+
+def post(service, path, payload):
+    """Drive one POST through the service router, no sockets."""
+    status, _template, body, _ctype = service.handle(
+        "POST", path, json.dumps(payload).encode("utf-8"))
+    return status, json.loads(body)
+
+
+@pytest.fixture(scope="module")
+def pooled_service(parallel_engine):
+    service = CommunityService(parallel_engine, port=0)
+    yield service
+    service.shutdown()
+
+
+class TestBatchEndpoint:
+    def test_results_arrive_in_request_order(self, pooled_service):
+        queries = [{"keywords": list(FIG4_QUERY),
+                    "rmax": FIG4_RMAX, "k": k} for k in (1, 2, 3)]
+        status, response = post(pooled_service, "/batch",
+                                {"queries": queries})
+        assert status == 200
+        assert response["queries"] == 3
+        assert [r["count"] for r in response["results"]] == [1, 2, 3]
+        assert response["elapsed_seconds"] >= 0.0
+
+    def test_batch_entries_match_single_queries(self, pooled_service):
+        query = {"keywords": list(FIG4_QUERY), "rmax": FIG4_RMAX,
+                 "k": 2}
+        _, single = post(pooled_service, "/query", query)
+        _, batch = post(pooled_service, "/batch",
+                        {"queries": [query]})
+        assert batch["results"][0]["communities"] \
+            == single["communities"]
+
+    def test_empty_or_malformed_batch_is_400(self, pooled_service):
+        for bad in ({}, {"queries": []}, {"queries": "nope"},
+                    {"queries": [42]}):
+            status, response = post(pooled_service, "/batch", bad)
+            assert status == 400, response
+
+    def test_bad_entry_fails_whole_batch_as_400(self,
+                                                pooled_service):
+        queries = [{"keywords": list(FIG4_QUERY),
+                    "rmax": FIG4_RMAX},
+                   {"keywords": ["nosuchkeyword"],
+                    "rmax": FIG4_RMAX}]
+        status, _ = post(pooled_service, "/batch",
+                         {"queries": queries})
+        assert status == 400
+
+    def test_unknown_keyword_is_400_through_the_pool(
+            self, pooled_service):
+        status, response = post(
+            pooled_service, "/query",
+            {"keywords": ["nosuchkeyword"], "rmax": FIG4_RMAX})
+        assert status == 400
+        assert "nosuchkeyword" in response["error"]
+
+
+class TestPoolTransparency:
+    """`--workers N` must be invisible in the response bytes."""
+
+    def test_query_envelope_byte_identical_to_local(
+            self, parallel_engine, local_engine):
+        payload = {"keywords": list(FIG4_QUERY), "rmax": FIG4_RMAX,
+                   "labels": True}
+
+        def canonical(engine):
+            service = CommunityService(engine, port=0)
+            try:
+                status, response = post(service, "/query", payload)
+            finally:
+                service.shutdown()
+            assert status == 200
+            del response["elapsed_seconds"]     # wall-clock noise
+            del response["stats"]               # timings differ
+            return dumps(response)
+
+        assert canonical(parallel_engine) == canonical(local_engine)
+
+    def test_sessions_still_work_over_the_pool(self, pooled_service):
+        status, opened = post(pooled_service, "/sessions",
+                              {"keywords": list(FIG4_QUERY),
+                               "rmax": FIG4_RMAX})
+        assert status == 200
+        status, page = post(
+            pooled_service, f"/sessions/{opened['session']}/next",
+            {"k": 2})
+        assert status == 200
+        assert page["returned"] == 2
+
+
+class TestPoolMetrics:
+    def test_one_info_row_per_worker(self, pooled_service,
+                                     store_root):
+        snapshot_id = SnapshotStore(store_root).latest_id()
+        body = pooled_service.render_metrics()
+        rows = [line for line in body.splitlines()
+                if line.startswith("repro_worker_info{")]
+        assert len(rows) == 2
+        for worker_id in ("0", "1"):
+            assert any(f'worker="{worker_id}"' in row
+                       for row in rows)
+        assert all(f'snapshot_id="{snapshot_id}"' in row
+                   for row in rows)
+        assert "repro_pool_workers 2" in body
+        assert "repro_pool_workers_alive 2" in body
+        assert "repro_pool_respawns_total" in body
+        assert "repro_worker_dijkstra_memo_hits_total" in body
+
+    def test_admin_reload_reaches_every_worker(self, tmp_path):
+        store = tmp_path / "store"
+        publish_fig4(store, radius=FIG4_RMAX)
+        with ParallelQueryEngine(store, workers=2) as engine:
+            service = CommunityService(engine, port=0,
+                                       snapshot_source=store)
+            try:
+                publish_fig4(store, radius=4.0)
+                new_id = SnapshotStore(store).latest_id()
+                status, reloaded = post(service, "/admin/reload", {})
+                assert status == 200
+                assert reloaded["snapshot"] == new_id
+                rows = [line for line in
+                        service.render_metrics().splitlines()
+                        if line.startswith("repro_worker_info{")]
+                assert len(rows) == 2
+                assert all(f'snapshot_id="{new_id}"' in row
+                           for row in rows)
+            finally:
+                service.shutdown()
+
+
+class TestCacheCounterExactness:
+    """Satellite regression: stats increment under the cache lock."""
+
+    def test_threaded_lookups_count_exactly(self):
+        cache = ProjectionCache(capacity=8)
+        threads, per_thread = 8, 500
+        barrier = threading.Barrier(threads)
+
+        def hammer(seed):
+            barrier.wait()
+            for i in range(per_thread):
+                key = (frozenset({f"k{(seed + i) % 4}"}), 1.0)
+                if cache.get(key, "g1") is None:
+                    cache.put(key, "g1", object())
+
+        workers = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        stats = cache.stats
+        assert stats.lookups == threads * per_thread
+        assert stats.hits + stats.misses == stats.lookups
