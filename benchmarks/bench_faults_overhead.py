@@ -1,0 +1,81 @@
+"""Disarmed-failpoint overhead: the zero-cost guarantee, measured.
+
+The robustness PR threads ``faults.hit`` / ``faults.corrupt`` sites
+through the snapshot loader, the worker loop, the pool, and the
+service request path. The contract is that with ``REPRO_FAILPOINTS``
+unset these hooks are one module-global load and a falsy branch —
+nothing a query could measure. These benchmarks pin that down:
+
+* the raw per-call cost of a disarmed ``hit``/``corrupt`` (compared
+  against a plain no-op function call baseline);
+* an end-to-end query on the fig4 engine with the sites in place,
+  which is the configuration every other benchmark in this directory
+  already runs under.
+"""
+
+import pytest
+
+from repro import faults
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.engine import QueryEngine, QuerySpec
+
+#: Calls per benchmark round — hit() is nanoseconds, so single calls
+#: would measure timer noise.
+CALLS = 10_000
+
+
+def _noop():
+    """The floor: what calling any function at all costs."""
+
+
+@pytest.fixture()
+def disarmed():
+    """Guarantee nothing is armed (the production state)."""
+    faults.clear()
+    assert not faults.is_armed()
+    yield
+    faults.clear()
+
+
+def test_disarmed_hit_costs_a_function_call(benchmark, disarmed):
+    def hammer():
+        for _ in range(CALLS):
+            faults.hit("bench.site")
+
+    benchmark.pedantic(hammer, rounds=20, iterations=1)
+    benchmark.extra_info["calls_per_round"] = CALLS
+
+
+def test_disarmed_corrupt_costs_a_function_call(benchmark, disarmed):
+    payload = b"x" * 4096
+
+    def hammer():
+        for _ in range(CALLS):
+            faults.corrupt("bench.site", payload)
+
+    benchmark.pedantic(hammer, rounds=20, iterations=1)
+    benchmark.extra_info["calls_per_round"] = CALLS
+
+
+def test_noop_call_baseline(benchmark):
+    def hammer():
+        for _ in range(CALLS):
+            _noop()
+
+    benchmark.pedantic(hammer, rounds=20, iterations=1)
+    benchmark.extra_info["calls_per_round"] = CALLS
+
+
+def test_query_with_disarmed_sites(benchmark, disarmed):
+    """End-to-end COMM-k with every failpoint site on its fast path."""
+    dbg = figure4_graph()
+    engine = QueryEngine(dbg)
+    engine.build_index(radius=FIG4_RMAX)
+    spec = QuerySpec.comm_k(list(FIG4_QUERY), 3, FIG4_RMAX)
+
+    results = benchmark(lambda: engine.execute(spec))
+    assert len(results) == 3

@@ -178,7 +178,8 @@ def cmd_serve(args) -> int:
             from repro.parallel import ParallelQueryEngine
 
             engine = ParallelQueryEngine(
-                path, workers=args.workers).start()
+                path, workers=args.workers,
+                lease_seconds=args.worker_lease).start()
             engine_close = engine.close
             print(f"started {args.workers} worker processes",
                   file=sys.stderr)
@@ -201,7 +202,8 @@ def cmd_serve(args) -> int:
         workers=args.workers, queue_depth=args.queue_depth,
         session_ttl=args.session_ttl, max_sessions=args.max_sessions,
         default_deadline=args.deadline,
-        snapshot_source=getattr(args, "snapshot", None))
+        snapshot_source=getattr(args, "snapshot", None),
+        drain_seconds=args.drain_seconds)
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{service.host} {service.port}\n")
@@ -419,6 +421,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", default=None,
                        help="write 'host port' here after binding "
                             "(for scripts using an ephemeral port)")
+    serve.add_argument("--drain-seconds", type=float, default=5.0,
+                       dest="drain_seconds",
+                       help="graceful-shutdown budget: how long "
+                            "SIGTERM/SIGINT lets in-flight requests "
+                            "finish before hard teardown (default 5)")
+    serve.add_argument("--worker-lease", type=float, default=120.0,
+                       dest="worker_lease",
+                       help="per-request watchdog lease for pool "
+                            "workers in seconds; a worker silent "
+                            "past this is killed and respawned "
+                            "(default 120)")
     serve.set_defaults(func=cmd_serve)
 
     snapshot = sub.add_parser(

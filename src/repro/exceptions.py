@@ -17,8 +17,13 @@ callers can catch one base class. Subsystems refine it:
   (see :mod:`repro.service.errors`), each carrying the HTTP status
   the server maps it to,
 * the process worker pool (:mod:`repro.parallel`) raises
-  :class:`WorkerError` for a task that failed inside a worker and
-  :class:`WorkerCrashedError` when the worker process died outright.
+  :class:`WorkerError` for a task that failed inside a worker,
+  :class:`WorkerCrashedError` when the worker process died outright,
+  and :class:`WorkerTimeoutError` when the watchdog declared a worker
+  hung (its per-request lease expired) and killed it,
+* the failpoint subsystem (:mod:`repro.faults`) raises
+  :class:`FaultInjectedError` when an armed ``raise`` failpoint fires
+  (never in production — failpoints are inert unless armed).
 """
 
 from __future__ import annotations
@@ -83,9 +88,13 @@ class ServiceError(ReproError):
 
     ``status`` is the HTTP status code the server responds with when
     this error escapes a handler; subclasses override it.
+    ``retry_after`` is the server's ``Retry-After`` hint in seconds —
+    the client fills it from the response header (``None`` when the
+    server sent none or the error never crossed the wire).
     """
 
     status: int = 500
+    retry_after: "float | None" = None
 
 
 class WorkerError(ReproError):
@@ -101,3 +110,22 @@ class WorkerCrashedError(WorkerError):
 
     The pool fails every future assigned to the dead worker with this
     error and respawns a replacement from the same snapshot."""
+
+
+class WorkerTimeoutError(WorkerError):
+    """A worker blew its per-request lease deadline and was killed.
+
+    The watchdog detected a hung worker (stuck enumeration, deadlock,
+    livelock), escalated ``terminate()`` to ``kill()``, respawned the
+    slot, and failed every future leased to it with this error. The
+    service maps it to HTTP 503 — the request *may* have been
+    side-effect free but never answered."""
+
+
+class FaultInjectedError(ReproError):
+    """An armed ``raise`` failpoint fired (see :mod:`repro.faults`).
+
+    Only ever raised when fault injection was explicitly armed via
+    the ``REPRO_FAILPOINTS`` environment variable or the
+    :func:`repro.faults.activate` API — production paths never see
+    this error."""

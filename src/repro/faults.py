@@ -1,0 +1,364 @@
+"""Deterministic fault injection: named failpoints, armed on demand.
+
+Production code is sprinkled with **failpoint sites** — named hooks at
+the places that can fail for real (snapshot section reads, worker task
+execution, pool dispatch/respawn, service request handling). A site is
+a single call::
+
+    faults.hit("worker.exec")                    # maybe raise/sleep/exit
+    data = faults.corrupt("snapshot.section", data)   # maybe flip bytes
+
+With no failpoints armed (the production state) a site is one module
+attribute load and a falsy branch — the chaos suite's micro-benchmark
+(``benchmarks/bench_faults_overhead.py``) guards that this stays
+unmeasurable. Arming happens two ways:
+
+* the ``REPRO_FAILPOINTS`` environment variable, which worker
+  *processes* inherit — e.g.::
+
+      REPRO_FAILPOINTS="worker.0.exec=once:sleep(30);snapshot.section=always:corrupt"
+
+* the :func:`activate` / :func:`clear` API, for same-process tests.
+
+Each armed site pairs a **trigger** (when to fire) with an **action**
+(what to do):
+
+========================  ==============================================
+trigger                   fires
+========================  ==============================================
+``off``                   never (site stays registered but inert)
+``once``                  on the first evaluation only
+``always``                on every evaluation
+``nth(N)``                on the Nth evaluation only (1-based)
+``prob(p,seed)``          on each evaluation with probability ``p``,
+                          from a private ``random.Random(seed)`` — the
+                          fire pattern is a pure function of the seed
+========================  ==============================================
+
+========================  ==============================================
+action                    effect
+========================  ==============================================
+``raise``                 raise :class:`~repro.exceptions.FaultInjectedError`
+``raise(Name)``           raise the exception class ``Name`` resolved
+                          from :mod:`repro.exceptions` or
+                          :mod:`repro.service.errors`
+``sleep(seconds)``        block the calling thread (a hung worker)
+``corrupt``               at a :func:`corrupt` site: flip bytes in the
+                          payload deterministically; at a :func:`hit`
+                          site: no-op
+``exit`` / ``exit(code)``  ``os._exit`` — an instant process death, no
+                          cleanup handlers (a crashed worker)
+========================  ==============================================
+
+Everything is deterministic: ``once``/``nth`` count per-process calls,
+``prob`` draws from its own seeded generator, and byte corruption
+targets fixed offsets — a chaos scenario replays identically run after
+run. No sleeps-and-hope anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import FaultInjectedError, ReproError
+
+#: Environment variable holding ``site=trigger:action`` specs,
+#: separated by ``;`` (or ``,``).
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: Fast-path flag: ``hit``/``corrupt`` return immediately when False.
+#: Only :func:`_rearm` mutates it, under :data:`_LOCK`.
+_ACTIVE = False
+
+_LOCK = threading.Lock()
+
+_SITES: Dict[str, "Failpoint"] = {}
+
+_CALL_RE = re.compile(r"^([a-z-]+)(?:\((.*)\))?$")
+
+
+def _parse_args(raw: Optional[str]) -> List[str]:
+    """Split a ``f(a, b)`` argument blob into stripped tokens."""
+    if not raw:
+        return []
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+class FailpointSpecError(ReproError):
+    """A ``site=trigger:action`` spec string cannot be parsed."""
+
+
+class Failpoint:
+    """One armed site: a trigger deciding *when*, an action *what*.
+
+    Instances are internal — tests and operators speak spec strings
+    (``once:raise``, ``nth(3):sleep(0.5)``, ``prob(0.2,42):exit``)
+    through :func:`activate` / :data:`ENV_VAR`.
+    """
+
+    def __init__(self, name: str, spec: str) -> None:
+        self.name = name
+        self.spec = spec
+        trigger, _, action = spec.partition(":")
+        trigger = trigger.strip().lower()
+        action = action.strip()
+        if not action and trigger != "off":
+            raise FailpointSpecError(
+                f"failpoint {name!r}: spec {spec!r} needs "
+                f"'trigger:action'")
+        self._calls = 0
+        self._fired = False
+        self._rng: Optional[random.Random] = None
+        self._parse_trigger(trigger, name)
+        self._parse_action(action, name)
+
+    # -- parsing -------------------------------------------------------
+    def _parse_trigger(self, trigger: str, name: str) -> None:
+        """Decode the *when* half of the spec."""
+        match = _CALL_RE.match(trigger)
+        if match is None:
+            raise FailpointSpecError(
+                f"failpoint {name!r}: bad trigger {trigger!r}")
+        kind, args = match.group(1), _parse_args(match.group(2))
+        self.trigger = kind
+        self.nth = 0
+        self.probability = 0.0
+        if kind in ("off", "once", "always"):
+            if args:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: trigger {kind!r} takes no "
+                    f"arguments")
+        elif kind == "nth":
+            if len(args) != 1 or not args[0].isdigit() \
+                    or int(args[0]) < 1:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: nth(N) needs a positive "
+                    f"integer, got {args}")
+            self.nth = int(args[0])
+        elif kind in ("prob", "probability"):
+            if len(args) != 2:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: prob(p, seed) needs two "
+                    f"arguments, got {args}")
+            try:
+                self.probability = float(args[0])
+                seed = int(args[1])
+            except ValueError as exc:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: bad prob arguments "
+                    f"{args}") from exc
+            if not 0.0 <= self.probability <= 1.0:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: probability must be in "
+                    f"[0, 1], got {self.probability}")
+            self.trigger = "prob"
+            self._rng = random.Random(seed)
+        else:
+            raise FailpointSpecError(
+                f"failpoint {name!r}: unknown trigger {kind!r}")
+
+    def _parse_action(self, action: str, name: str) -> None:
+        """Decode the *what* half of the spec."""
+        if self.trigger == "off":
+            self.action, self.action_args = "off", []
+            return
+        match = _CALL_RE.match(action)
+        if match is None:
+            raise FailpointSpecError(
+                f"failpoint {name!r}: bad action {action!r}")
+        kind, args = match.group(1), _parse_args(match.group(2))
+        if kind == "corrupt-bytes":
+            kind = "corrupt"
+        if kind not in ("raise", "sleep", "corrupt", "exit"):
+            raise FailpointSpecError(
+                f"failpoint {name!r}: unknown action {kind!r}")
+        if kind == "sleep":
+            if len(args) != 1:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: sleep(seconds) needs one "
+                    f"argument, got {args}")
+            try:
+                float(args[0])
+            except ValueError as exc:
+                raise FailpointSpecError(
+                    f"failpoint {name!r}: bad sleep duration "
+                    f"{args[0]!r}") from exc
+        self.action = kind
+        self.action_args = args
+
+    # -- evaluation ----------------------------------------------------
+    def should_fire(self) -> bool:
+        """Advance this site's call count; True when the action runs."""
+        with _LOCK:
+            self._calls += 1
+            calls = self._calls
+            if self.trigger == "off":
+                return False
+            if self.trigger == "once":
+                if self._fired:
+                    return False
+                self._fired = True
+                return True
+            if self.trigger == "always":
+                return True
+            if self.trigger == "nth":
+                return calls == self.nth
+            # prob: a private seeded stream — deterministic replay.
+            assert self._rng is not None
+            return self._rng.random() < self.probability
+
+    def perform(self, data: Optional[bytes] = None
+                ) -> Optional[bytes]:
+        """Run the action; returns (possibly corrupted) ``data``."""
+        if self.action == "raise":
+            raise _exception_for(self.action_args)(
+                f"failpoint {self.name!r} fired ({self.spec})")
+        if self.action == "sleep":
+            time.sleep(float(self.action_args[0]))
+            return data
+        if self.action == "exit":
+            code = int(self.action_args[0]) if self.action_args else 1
+            os._exit(code)
+        if self.action == "corrupt" and data is not None:
+            return _flip_bytes(data)
+        return data
+
+
+def _exception_for(args: List[str]) -> Callable[..., BaseException]:
+    """Resolve ``raise(Name)`` to an exception class (lazily).
+
+    Looks in :mod:`repro.exceptions` first, then
+    :mod:`repro.service.errors` (imported on demand — faults must not
+    depend on the service layer). Defaults to
+    :class:`FaultInjectedError`.
+    """
+    if not args:
+        return FaultInjectedError
+    name = args[0]
+    import repro.exceptions as exceptions_module
+    candidate: Any = getattr(exceptions_module, name, None)
+    if candidate is None:
+        try:
+            import repro.service.errors as service_errors
+            candidate = getattr(service_errors, name, None)
+        except ImportError:           # pragma: no cover — stdlib only
+            candidate = None
+    if not (isinstance(candidate, type)
+            and issubclass(candidate, BaseException)):
+        raise FailpointSpecError(
+            f"raise({name}): unknown exception class")
+    return candidate
+
+
+def _flip_bytes(data: bytes) -> bytes:
+    """Deterministically damage a payload (first/middle/last byte)."""
+    if not data:
+        return b"\xff"                # corrupting nothing adds a byte
+    corrupted = bytearray(data)
+    for offset in {0, len(data) // 2, len(data) - 1}:
+        corrupted[offset] ^= 0xFF
+    return bytes(corrupted)
+
+
+# ----------------------------------------------------------------------
+# arming / disarming
+# ----------------------------------------------------------------------
+def _rearm() -> None:
+    """Recompute the fast-path flag after a registry change."""
+    global _ACTIVE
+    _ACTIVE = any(fp.trigger != "off" for fp in _SITES.values())
+
+
+def activate(name: str, spec: str) -> None:
+    """Arm (or re-arm) the site ``name`` with ``trigger:action``."""
+    failpoint = Failpoint(name, spec)
+    with _LOCK:
+        _SITES[name] = failpoint
+    _rearm()
+
+
+def clear(name: Optional[str] = None) -> None:
+    """Disarm one site (or every site, with no argument)."""
+    with _LOCK:
+        if name is None:
+            _SITES.clear()
+        else:
+            _SITES.pop(name, None)
+    _rearm()
+
+
+def configure(text: str) -> None:
+    """Arm sites from one ``site=spec;site=spec`` string."""
+    for chunk in re.split(r"[;,](?![^()]*\))", text):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, spec = chunk.partition("=")
+        if not sep or not name.strip():
+            raise FailpointSpecError(
+                f"bad failpoint entry {chunk!r} (want site=spec)")
+        activate(name.strip(), spec.strip())
+
+
+def reload_env() -> None:
+    """Reset the registry to exactly what :data:`ENV_VAR` says.
+
+    Called at import and by worker processes at startup, so a spawned
+    (not forked) worker still sees the failpoints the test armed in
+    the environment before starting the pool.
+    """
+    clear()
+    text = os.environ.get(ENV_VAR, "")
+    if text:
+        configure(text)
+
+
+def active_sites() -> Dict[str, str]:
+    """``site -> spec`` of every registered failpoint (for /healthz)."""
+    with _LOCK:
+        return {name: fp.spec for name, fp in _SITES.items()}
+
+
+def is_armed() -> bool:
+    """Whether any site is armed (the fast-path flag)."""
+    return _ACTIVE
+
+
+# ----------------------------------------------------------------------
+# sites
+# ----------------------------------------------------------------------
+def hit(name: str) -> None:
+    """Evaluate the failpoint ``name``; inert unless armed.
+
+    The production fast path is the first two lines: one global load
+    and a falsy branch.
+    """
+    if not _ACTIVE:
+        return
+    failpoint = _SITES.get(name)
+    if failpoint is not None and failpoint.should_fire():
+        failpoint.perform()
+
+
+def corrupt(name: str, data: bytes) -> bytes:
+    """Evaluate ``name`` against a byte payload.
+
+    A ``corrupt`` action returns deterministically damaged bytes; any
+    other action behaves as in :func:`hit`. Unarmed, returns ``data``
+    untouched.
+    """
+    if not _ACTIVE:
+        return data
+    failpoint = _SITES.get(name)
+    if failpoint is None or not failpoint.should_fire():
+        return data
+    result = failpoint.perform(data)
+    return data if result is None else result
+
+
+reload_env()

@@ -41,9 +41,14 @@ from repro.core.community import Community
 from repro.engine.context import QueryContext, ensure_context
 from repro.engine.engine import QueryEngine
 from repro.engine.spec import QuerySpec
-from repro.exceptions import QueryError
-from repro.parallel.pool import WorkerPool
-from repro.snapshot.snapshot import Snapshot
+from repro.exceptions import QueryError, SnapshotError
+from repro.parallel.pool import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_RESPAWNS,
+    DEFAULT_RESPAWN_WINDOW,
+    WorkerPool,
+)
+from repro.snapshot.snapshot import Snapshot, load_snapshot
 from repro.snapshot.store import locate_snapshot
 
 #: Default number of worker processes.
@@ -55,11 +60,21 @@ class ParallelQueryEngine:
 
     def __init__(self, source: Union[str, Path],
                  workers: int = DEFAULT_POOL_WORKERS,
-                 mp_method: Optional[str] = None) -> None:
+                 mp_method: Optional[str] = None,
+                 lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 respawn_window: float = DEFAULT_RESPAWN_WINDOW
+                 ) -> None:
         self.path = locate_snapshot(source)
-        self.local = QueryEngine.from_snapshot(self.path)
+        #: The snapshot everyone (parent + workers) currently serves;
+        #: kept so a failed swap can roll back to it.
+        self._active = load_snapshot(self.path)
+        self.local = QueryEngine.from_snapshot(self._active)
         self.pool = WorkerPool(self.path, workers=workers,
-                               mp_method=mp_method)
+                               mp_method=mp_method,
+                               lease_seconds=lease_seconds,
+                               max_respawns=max_respawns,
+                               respawn_window=respawn_window)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -200,17 +215,48 @@ class ParallelQueryEngine:
         control task queues behind in-flight queries, nothing is
         dropped. Returns whether the parent actually changed artifact
         (a content-identical reload is a no-op everywhere).
+
+        **All-or-nothing:** when any worker fails its reload (corrupt
+        or vanished snapshot directory, worker-side load error), the
+        parent swaps back to the previous snapshot, every worker is
+        re-pointed at it, and :class:`~repro.exceptions.SnapshotError`
+        is raised — the pool never serves two generations at once,
+        and a failed ``POST /admin/reload`` keeps answering from the
+        old graph.
         """
+        previous = self._active
         changed = self.local.swap_snapshot(snapshot)
-        for future in self.pool.broadcast(
-                "reload", str(snapshot.path)).values():
-            future.result()
+        failures: Dict[int, Exception] = {}
+        for worker_id, future in self.pool.broadcast(
+                "reload", str(snapshot.path)).items():
+            try:
+                future.result()
+            except Exception as error:  # noqa: BLE001 — collected,
+                # the swap is rolled back below.
+                failures[worker_id] = error
+        if failures:
+            self.local.swap_snapshot(previous)
+            for future in self.pool.broadcast(
+                    "reload", str(previous.path)).values():
+                try:
+                    future.result()
+                except Exception:  # noqa: BLE001 — best effort: a
+                    # worker that failed both ways answers from its
+                    # old in-memory engine anyway.
+                    pass
+            detail = "; ".join(
+                f"worker {wid}: {error}"
+                for wid, error in sorted(failures.items()))
+            raise SnapshotError(
+                f"reload to {snapshot.id} failed on "
+                f"{len(failures)}/{self.pool.workers} workers "
+                f"({detail}); rolled back to {previous.id}")
+        self._active = snapshot
         return changed
 
     def load_snapshot(self, path: Union[str, Path],
                       verify: bool = True) -> Snapshot:
         """Load ``path`` and swap everyone onto it."""
-        from repro.snapshot.snapshot import load_snapshot
         snapshot = load_snapshot(path, verify=verify)
         self.swap_snapshot(snapshot)
         return snapshot

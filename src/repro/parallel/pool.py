@@ -15,8 +15,24 @@ snapshot. The plumbing is deliberately simple and lock-light:
   :class:`~repro.exceptions.WorkerCrashedError`, then a replacement
   process is spawned from the same snapshot with a fresh task queue —
   callers see one errored request, never a hung one;
+* **watchdog** — every request carries a lease deadline
+  (``lease_seconds`` past dispatch). A worker still holding an
+  expired lease is declared *hung* — stuck enumeration, deadlock,
+  swap storm — and the monitor escalates ``terminate()`` →
+  ``kill()``, respawns the slot, and fails the leased futures with
+  :class:`~repro.exceptions.WorkerTimeoutError` (HTTP 503 at the
+  service), so a caller waits at most one lease, never forever;
+* **circuit breaker** — each respawn is stamped; more than
+  ``max_respawns`` inside ``respawn_window`` seconds is a crash
+  storm (bad snapshot, poison query, OOM loop). The breaker opens:
+  the dead slot is *removed* instead of respawned, the pool shrinks
+  to its surviving workers, and :attr:`WorkerPool.degraded` flips —
+  ``/healthz`` reports ``degraded`` and ``repro_pool_degraded`` is 1.
+  The breaker is sticky; recovery is an operator restart (see
+  ``docs/OPERATIONS.md``);
 * **shutdown** — a ``None`` sentinel per task queue, bounded joins,
-  ``terminate()`` for stragglers.
+  ``terminate()`` then ``kill()`` for stragglers — shutdown can
+  never leave a live orphan process behind.
 
 The pool prefers the ``fork`` start method when the platform offers
 it (workers then share the parent's page-cache view of the snapshot
@@ -26,19 +42,23 @@ fully isolated cold start.
 
 from __future__ import annotations
 
+import collections
 import itertools
 import multiprocessing
 import threading
+import time
 import uuid
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.exceptions import (
     QueryError,
     WorkerCrashedError,
     WorkerError,
+    WorkerTimeoutError,
 )
 from repro.parallel.worker import worker_main
 
@@ -47,6 +67,21 @@ MONITOR_INTERVAL = 0.2
 
 #: Seconds a worker gets to exit after its shutdown sentinel.
 JOIN_TIMEOUT = 5.0
+
+#: Seconds a terminated process gets before the SIGKILL escalation.
+KILL_GRACE = 1.0
+
+#: Default per-request lease before the watchdog declares the worker
+#: hung. Generous: COMM-all on the bench datasets answers in
+#: milliseconds; anything holding a core for minutes is wedged.
+DEFAULT_LEASE_SECONDS = 120.0
+
+#: Default crash-storm circuit breaker: more than this many respawns
+#: inside :data:`DEFAULT_RESPAWN_WINDOW` seconds opens the breaker.
+DEFAULT_MAX_RESPAWNS = 5
+
+#: Seconds over which respawns are counted against the breaker.
+DEFAULT_RESPAWN_WINDOW = 30.0
 
 
 class _WorkerHandle:
@@ -66,18 +101,33 @@ class WorkerPool:
 
     def __init__(self, snapshot_path: Union[str, Path],
                  workers: int = 2,
-                 mp_method: Optional[str] = None) -> None:
+                 mp_method: Optional[str] = None,
+                 lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
+                 max_respawns: int = DEFAULT_MAX_RESPAWNS,
+                 respawn_window: float = DEFAULT_RESPAWN_WINDOW
+                 ) -> None:
         if workers <= 0:
             raise ValueError(
                 f"worker count must be positive, got {workers}")
+        if lease_seconds is not None and lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be positive, got {lease_seconds}")
         self.snapshot_path = str(snapshot_path)
         self.workers = workers
+        #: Per-request watchdog lease; ``None`` disables the watchdog.
+        self.lease_seconds = lease_seconds
+        self.max_respawns = max_respawns
+        self.respawn_window = respawn_window
         methods = multiprocessing.get_all_start_methods()
         if mp_method is None:
             mp_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(mp_method)
         self._handles: Dict[int, _WorkerHandle] = {}
         self._pending: Dict[str, Tuple[Future, int]] = {}
+        #: request_id -> monotonic lease deadline (kept apart from
+        #: ``_pending`` so its 2-tuple shape stays stable for callers).
+        self._leases: Dict[str, float] = {}
+        self._respawn_times: Deque[float] = collections.deque()
         self._lock = threading.Lock()
         self._rr = itertools.count()
         self._result_queue: Any = None
@@ -85,6 +135,11 @@ class WorkerPool:
         self._monitor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self.respawns = 0
+        #: Requests failed by the watchdog (hung-worker kills).
+        self.timeouts = 0
+        #: True once the crash-storm breaker opened; sticky until the
+        #: pool is rebuilt.
+        self.degraded = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -117,6 +172,7 @@ class WorkerPool:
 
     def _spawn(self, worker_id: int) -> None:
         """Start (or restart) the worker in slot ``worker_id``."""
+        faults.hit("pool.spawn")
         queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=worker_main,
@@ -127,8 +183,42 @@ class WorkerPool:
         self._handles[worker_id] = _WorkerHandle(
             worker_id, process, queue)
 
+    @staticmethod
+    def _destroy(handle: _WorkerHandle,
+                 grace: float = KILL_GRACE) -> None:
+        """Stop a worker process for sure: terminate, then kill.
+
+        SIGTERM first (lets the child run atexit/queue feeders down),
+        SIGKILL when it survives the grace period — a worker stuck in
+        an uninterruptible loop or masking signals cannot outlive
+        this.
+        """
+        process = handle.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=grace)
+
+    @staticmethod
+    def _dispose_queue(queue: Any) -> None:
+        """Release a parent-side queue without risking an exit hang.
+
+        ``multiprocessing.Queue`` registers an atexit finalizer that
+        joins its feeder thread; a queue whose consumer died (a
+        crashed or killed worker) can leave that feeder blocked
+        forever, hanging interpreter shutdown. ``cancel_join_thread``
+        unregisters the join so exit never waits on it.
+        """
+        try:
+            queue.cancel_join_thread()
+            queue.close()
+        except (ValueError, OSError):
+            pass                          # queue already closed
+
     def shutdown(self) -> None:
-        """Sentinel every worker, join, terminate stragglers."""
+        """Sentinel every worker, join, terminate/kill stragglers."""
         if self._result_queue is None:
             return
         self._stop.set()
@@ -141,15 +231,19 @@ class WorkerPool:
                 pass                      # queue already closed
         for handle in self._handles.values():
             handle.process.join(timeout=JOIN_TIMEOUT)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=1.0)
-        self._result_queue.put(None)
+            self._destroy(handle)
+            self._dispose_queue(handle.queue)
+        try:
+            self._result_queue.put(None)
+        except (ValueError, OSError):
+            pass                          # already closed (re-entry)
         if self._router is not None:
             self._router.join(timeout=JOIN_TIMEOUT)
+        self._dispose_queue(self._result_queue)
         with self._lock:
             pending = list(self._pending.values())
             self._pending.clear()
+            self._leases.clear()
         for future, _ in pending:
             if not future.done():
                 future.set_exception(
@@ -185,6 +279,7 @@ class WorkerPool:
         """
         if self._result_queue is None:
             raise WorkerError("pool is not started")
+        faults.hit("pool.dispatch")
         if worker_id is None:
             worker_id = self._pick_worker()
         handle = self._handles[worker_id]
@@ -192,11 +287,15 @@ class WorkerPool:
         future: Future = Future()
         with self._lock:
             self._pending[request_id] = (future, worker_id)
+            if self.lease_seconds is not None:
+                self._leases[request_id] = (
+                    time.monotonic() + self.lease_seconds)
         try:
             handle.queue.put((request_id, op, payload))
         except Exception as error:  # noqa: BLE001 — queue failure
             with self._lock:
                 self._pending.pop(request_id, None)
+                self._leases.pop(request_id, None)
             future.set_exception(WorkerError(str(error)))
         return future
 
@@ -220,6 +319,9 @@ class WorkerPool:
     def _pick_worker(self) -> int:
         """Round-robin over live workers (any slot if none look live)."""
         slots = sorted(self._handles)
+        if not slots:
+            raise WorkerCrashedError(
+                "pool has no workers left (crash-storm breaker open)")
         for _ in range(len(slots)):
             worker_id = slots[next(self._rr) % len(slots)]
             if self._handles[worker_id].process.is_alive():
@@ -238,6 +340,7 @@ class WorkerPool:
             request_id, _worker_id, status, payload = item
             with self._lock:
                 entry = self._pending.pop(request_id, None)
+                self._leases.pop(request_id, None)
             if entry is None:
                 continue              # crashed-and-failed, late reply
             future, _ = entry
@@ -253,8 +356,28 @@ class WorkerPool:
                 future.set_exception(WorkerError(payload))
 
     def _watch_workers(self) -> None:
-        """Fail futures of dead workers and respawn replacements."""
+        """Fail futures of dead workers, kill hung ones, respawn.
+
+        One loop, two detectors: a *dead* worker (``is_alive`` false)
+        crashed on its own; a *hung* worker is alive but holds a
+        request whose lease deadline passed — the watchdog kills it.
+        Either way the slot's futures fail immediately and the slot is
+        respawned, unless the crash-storm breaker has opened.
+        """
         while not self._stop.wait(MONITOR_INTERVAL):
+            for worker_id in self._expired_workers():
+                if self._stop.is_set():
+                    return
+                handle = self._handles[worker_id]
+                self.timeouts += 1
+                self._fail_pending(
+                    worker_id,
+                    f"worker {worker_id} (pid {handle.process.pid}) "
+                    f"exceeded its {self.lease_seconds:g}s request "
+                    f"lease and was killed",
+                    WorkerTimeoutError)
+                self._destroy(handle)
+                self._respawn(worker_id)
             for worker_id in sorted(self._handles):
                 handle = self._handles[worker_id]
                 if handle.process.is_alive():
@@ -265,35 +388,93 @@ class WorkerPool:
                     worker_id,
                     f"worker {worker_id} (pid {handle.process.pid}) "
                     f"died with exit code "
-                    f"{handle.process.exitcode}")
-                self._spawn(worker_id)
-                self.respawns += 1
+                    f"{handle.process.exitcode}",
+                    WorkerCrashedError)
+                self._respawn(worker_id)
 
-    def _fail_pending(self, worker_id: int, message: str) -> None:
+    def _expired_workers(self) -> List[int]:
+        """Worker ids currently holding an expired request lease."""
+        if self.lease_seconds is None:
+            return []
+        now = time.monotonic()
+        with self._lock:
+            return sorted({
+                worker_id
+                for request_id, (_, worker_id) in self._pending.items()
+                if self._leases.get(request_id, now + 1.0) <= now
+                and worker_id in self._handles})
+
+    def _respawn(self, worker_id: int) -> None:
+        """Refill a dead slot — unless this is a crash storm.
+
+        Every respawn is timestamped; more than ``max_respawns``
+        inside ``respawn_window`` seconds opens the breaker: the slot
+        is removed (the pool shrinks to its survivors), ``degraded``
+        flips, and no further respawns happen. Surviving workers keep
+        answering; ``/healthz`` turns ``degraded``.
+        """
+        old = self._handles.get(worker_id)
+        now = time.monotonic()
+        while self._respawn_times and \
+                now - self._respawn_times[0] > self.respawn_window:
+            self._respawn_times.popleft()
+        if self.degraded or \
+                len(self._respawn_times) >= self.max_respawns:
+            self.degraded = True
+            self._handles.pop(worker_id, None)
+            if old is not None:
+                self._dispose_queue(old.queue)
+            return
+        self._respawn_times.append(now)
+        faults.hit("pool.respawn")
+        self._spawn(worker_id)
+        self.respawns += 1
+        if old is not None:
+            self._dispose_queue(old.queue)
+
+    def _fail_pending(self, worker_id: int, message: str,
+                      exc_type: type = WorkerCrashedError) -> None:
         """Error out every future assigned to ``worker_id``."""
         with self._lock:
             doomed = [rid for rid, (_, wid) in self._pending.items()
                       if wid == worker_id]
             futures = [self._pending.pop(rid)[0] for rid in doomed]
+            for rid in doomed:
+                self._leases.pop(rid, None)
         for future in futures:
             if not future.done():
-                future.set_exception(WorkerCrashedError(message))
+                future.set_exception(exc_type(message))
 
     # ------------------------------------------------------------------
-    def stats(self, timeout: Optional[float] = 30.0
+    def stats(self, timeout: Optional[float] = 5.0
               ) -> List[Dict[str, Any]]:
         """Per-worker identity/counter dicts, ordered by worker id.
 
-        A worker that cannot answer (mid-respawn) is reported as a
-        stub with ``"alive": False`` instead of failing the scrape.
+        A worker that cannot answer — mid-respawn, hung, crashed, or
+        just slow — is reported as a placeholder row with
+        ``"alive": False`` and ``"unresponsive": True`` instead of
+        being dropped or failing the scrape, so ``/metrics`` always
+        shows one row per pool slot and never under-reports pool
+        size. The timeout is deliberately short: a scrape must not
+        hang behind a wedged worker (the watchdog deals with those).
         """
+        futures = self.broadcast("stats", None)
         results: List[Dict[str, Any]] = []
-        for worker_id, future in self.broadcast("stats", None).items():
+        for worker_id in range(self.workers):
+            future = futures.get(worker_id)
+            if future is None:
+                results.append({
+                    "worker": worker_id, "alive": False,
+                    "unresponsive": True,
+                    "error": "slot removed by the crash-storm "
+                             "breaker"})
+                continue
             try:
                 payload = future.result(timeout=timeout)
                 payload["alive"] = True
+                payload["unresponsive"] = False
             except (WorkerError, FutureTimeout) as error:
                 payload = {"worker": worker_id, "alive": False,
-                           "error": str(error)}
+                           "unresponsive": True, "error": str(error)}
             results.append(payload)
         return results

@@ -41,6 +41,7 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Tuple
 
+from repro import faults
 from repro.engine.context import QueryContext
 from repro.engine.engine import QueryEngine
 from repro.engine.spec import QuerySpec
@@ -71,8 +72,11 @@ def _stats(worker_id: int, engine: QueryEngine) -> Dict[str, Any]:
     return payload
 
 
-def _reload(engine: QueryEngine, path: str) -> Dict[str, Any]:
+def _reload(worker_id: int, engine: QueryEngine,
+            path: str) -> Dict[str, Any]:
     """Swap this worker onto the snapshot at ``path``."""
+    faults.hit("worker.reload")
+    faults.hit(f"worker.{worker_id}.reload")
     snapshot = engine.load_snapshot(path)
     return {"snapshot_id": snapshot.id,
             "generation": engine.generation}
@@ -81,6 +85,11 @@ def _reload(engine: QueryEngine, path: str) -> Dict[str, Any]:
 def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
                 result_queue: Any) -> None:
     """Process target: load the snapshot, serve tasks until sentinel."""
+    # A spawned (not forked) worker starts with a fresh interpreter:
+    # re-read REPRO_FAILPOINTS so chaos scenarios reach it too.
+    faults.reload_env()
+    faults.hit("worker.start")
+    faults.hit(f"worker.{worker_id}.start")
     engine = QueryEngine.from_snapshot(snapshot_path)
     while True:
         task = task_queue.get()
@@ -89,11 +98,13 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
         request_id, op, payload = task
         try:
             if op == "query":
+                faults.hit("worker.exec")
+                faults.hit(f"worker.{worker_id}.exec")
                 result: Any = _run_query(engine, payload)
             elif op == "stats":
                 result = _stats(worker_id, engine)
             elif op == "reload":
-                result = _reload(engine, payload)
+                result = _reload(worker_id, engine, payload)
             elif op == "ping":
                 result = {"worker": worker_id, "pid": os.getpid()}
             else:

@@ -30,7 +30,9 @@ from repro.service.errors import (
     NotFound,
     Overloaded,
     ServiceError,
+    ServiceUnreachable,
     SessionGone,
+    ShuttingDown,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.server import CommunityService
@@ -53,8 +55,10 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceSession",
+    "ServiceUnreachable",
     "SessionGone",
     "SessionLease",
     "SessionManager",
     "SessionStats",
+    "ShuttingDown",
 ]

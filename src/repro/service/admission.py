@@ -34,7 +34,11 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import QueryError
-from repro.service.errors import DeadlineExceeded, Overloaded
+from repro.service.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    ShuttingDown,
+)
 
 #: Workers per controller unless the caller says otherwise.
 DEFAULT_WORKERS = 4
@@ -105,6 +109,7 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._in_flight = 0
         self._closed = False
+        self._draining = False
         self._threads: List[threading.Thread] = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"repro-admission-{i}")
@@ -125,6 +130,9 @@ class AdmissionController:
         :class:`DeadlineExceeded` when the deadline is already
         non-positive — both *before* consuming a queue slot.
         """
+        if self._draining:
+            raise ShuttingDown(
+                "service is draining for shutdown; retry elsewhere")
         if self._closed:
             raise Overloaded("service is shutting down")
         if deadline_seconds is None:
@@ -190,6 +198,24 @@ class AdmissionController:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def drain(self, timeout: float) -> bool:
+        """Stop admitting, then wait for queued + running jobs.
+
+        New submissions shed immediately with :class:`ShuttingDown`
+        (503 + ``Retry-After``); work already admitted keeps running.
+        Returns ``True`` when everything finished inside ``timeout``
+        seconds, ``False`` when the drain deadline passed with work
+        still in flight — the caller then tears down hard
+        (:meth:`shutdown`), which fails the leftovers.
+        """
+        self._draining = True
+        deadline = time.monotonic() + max(0.0, timeout)
+        while time.monotonic() < deadline:
+            if self._queue.qsize() == 0 and self.in_flight == 0:
+                return True
+            time.sleep(0.02)
+        return self._queue.qsize() == 0 and self.in_flight == 0
+
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop accepting work and join the workers.
 

@@ -19,43 +19,131 @@ written against exception types, not status codes.
 
 The CLI's ``serve`` smoke path and the throughput benchmark both
 drive the service through this module.
+
+**Retries.** With ``retries=N`` (default 0 — fail fast, the historic
+behavior), :meth:`ServiceClient.request` retries transient failures —
+HTTP 429/503 and connection-level errors — up to ``N`` times with
+capped exponential backoff plus jitter, honoring the server's
+``Retry-After`` header when present. Pass ``retry_seed`` for a
+deterministic jitter stream (the chaos tests do). Every raised
+:class:`~repro.exceptions.ServiceError` carries ``status`` (the class
+attribute) and ``retry_after`` (the parsed header, or ``None``), so
+callers can build their own policies too.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.core.community import Community
-from repro.service.errors import ServiceError, for_status
+from repro.service.errors import (
+    RETRYABLE_STATUSES,
+    ServiceError,
+    ServiceUnreachable,
+    for_status,
+)
 from repro.service.serialize import communities_from_dicts
 
 #: Default per-call socket timeout (seconds). Distinct from the
 #: server-side request deadline; this guards against a dead server.
 DEFAULT_TIMEOUT = 30.0
 
+#: First backoff delay (seconds); doubles each retry.
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: Upper bound on a single backoff delay (seconds).
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+def _retry_after_of(headers: Any) -> Optional[float]:
+    """The ``Retry-After`` header as seconds, if parseable.
+
+    Only the delta-seconds form is produced by this service; an
+    HTTP-date (or garbage) yields ``None`` rather than an exception —
+    a malformed hint must not break error propagation."""
+    value = headers.get("Retry-After") if headers else None
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
 
 class ServiceClient:
     """A thin, dependency-free HTTP client for one service base URL."""
 
     def __init__(self, base_url: str,
-                 timeout: float = DEFAULT_TIMEOUT) -> None:
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = 0,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 retry_seed: Optional[int] = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = random.Random(retry_seed)
+        #: Lifetime count of retry sleeps this client performed.
+        self.retries_performed = 0
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def request(self, method: str, path: str,
                 payload: Optional[Dict[str, Any]] = None) -> Any:
-        """One HTTP exchange; JSON in, JSON (or text) out.
+        """One logical HTTP exchange; JSON in, JSON (or text) out.
 
         Non-2xx responses raise the matching
         :class:`~repro.exceptions.ServiceError` subclass with the
-        server's error message.
+        server's error message, its HTTP ``status``, and the parsed
+        ``retry_after`` (``None`` when the server sent no hint). When
+        :attr:`retries` is positive, 429/503 and connection failures
+        are retried with capped exponential backoff + jitter before
+        the final error escapes; anything else (400/404/410/500)
+        fails immediately — retrying a malformed request or a dead
+        session cannot succeed.
         """
+        attempt = 0
+        while True:
+            try:
+                return self._attempt(method, path, payload)
+            except ServiceError as error:
+                status = getattr(error, "status", 500)
+                if attempt >= self.retries \
+                        or status not in RETRYABLE_STATUSES:
+                    raise
+                time.sleep(self._backoff(
+                    attempt, getattr(error, "retry_after", None)))
+                self.retries_performed += 1
+                attempt += 1
+
+    def _backoff(self, attempt: int,
+                 retry_after: Optional[float]) -> float:
+        """Delay before retry ``attempt + 1``.
+
+        The server's ``Retry-After`` wins when present (it knows its
+        own drain/queue state); otherwise capped exponential backoff
+        with full jitter, so a thundering herd of retrying clients
+        decorrelates."""
+        if retry_after is not None:
+            return max(0.0, retry_after)
+        cap = min(self.backoff_cap,
+                  self.backoff_base * (2.0 ** attempt))
+        return cap * self._rng.random()
+
+    def _attempt(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Any:
+        """One physical HTTP exchange (no retry logic)."""
+        faults.hit("client.request")
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -75,11 +163,23 @@ class ServiceClient:
                 message = json.loads(body).get("error", body)
             except ValueError:
                 message = body or error.reason
-            raise for_status(error.code, message) from None
+            raised = for_status(error.code, message)
+            raised.retry_after = _retry_after_of(error.headers)
+            raise raised from None
         except urllib.error.URLError as error:
-            raise ServiceError(
-                f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
+            raised = ServiceUnreachable(
+                f"cannot reach {self.base_url}: {error.reason}")
+            raised.retry_after = None
+            raise raised from None
+        except (OSError, http.client.HTTPException) as error:
+            # The connection tore mid-exchange (reset, truncated
+            # response, timeout during read) — same retryable class
+            # as never reaching the server at all.
+            raised = ServiceUnreachable(
+                f"connection to {self.base_url} failed "
+                f"mid-request: {error}")
+            raised.retry_after = None
+            raise raised from None
         if content_type.startswith("application/json"):
             return json.loads(body)
         return body

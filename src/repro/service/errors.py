@@ -25,8 +25,11 @@ __all__ = [
     "DeadlineExceeded",
     "NotFound",
     "Overloaded",
+    "RETRYABLE_STATUSES",
     "ServiceError",
+    "ServiceUnreachable",
     "SessionGone",
+    "ShuttingDown",
     "for_status",
 ]
 
@@ -65,6 +68,35 @@ class DeadlineExceeded(ServiceError):
     """The per-request deadline expired before an answer (HTTP 503)."""
 
     status = 503
+
+
+class ShuttingDown(ServiceError):
+    """The service is draining for shutdown; retry another replica.
+
+    Raised for requests arriving *after* SIGTERM started the drain,
+    and for admitted jobs still unfinished when the drain deadline
+    passes. ``503`` with ``Retry-After``, like the other transient
+    rejections, so standard client retry policies do the right
+    thing."""
+
+    status = 503
+
+
+class ServiceUnreachable(ServiceError):
+    """The client could not reach the server at all (client-side).
+
+    Connection refused, DNS failure, socket timeout — no HTTP
+    exchange happened, so there is no server status; ``503`` is the
+    closest honest rendering and marks it retryable for
+    :class:`~repro.service.client.ServiceClient`'s backoff loop."""
+
+    status = 503
+
+
+#: HTTP statuses a client may safely retry with backoff: shed at
+#: admission (429) and transient unavailability (503 — deadline,
+#: drain, hung-worker kill). Everything else is not retryable.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 #: Status-code -> error class, for client-side re-raising.

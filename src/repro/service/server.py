@@ -52,6 +52,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro import faults
 from repro.engine.context import QueryContext
 from repro.engine.engine import QueryEngine
 from repro.engine.spec import QuerySpec
@@ -60,6 +61,7 @@ from repro.exceptions import (
     ServiceError,
     SnapshotError,
     SnapshotNotFoundError,
+    WorkerError,
 )
 from repro.snapshot.snapshot import load_snapshot
 from repro.snapshot.store import locate_snapshot
@@ -68,7 +70,7 @@ from repro.service.admission import (
     DEFAULT_WORKERS,
     AdmissionController,
 )
-from repro.service.errors import BadRequest, NotFound
+from repro.service.errors import BadRequest, NotFound, ShuttingDown
 from repro.service.metrics import ServiceMetrics, prefixed, split_rates
 from repro.service.serialize import (
     community_to_dict,
@@ -84,6 +86,13 @@ from repro.service.sessions import (
 
 #: Content type for the Prometheus exposition format.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Seconds :meth:`CommunityService.shutdown` waits for in-flight and
+#: queued work before tearing the admission pool down hard.
+DEFAULT_DRAIN_SECONDS = 5.0
+
+#: ``Retry-After`` value (seconds) sent with 429/503 sheds.
+RETRY_AFTER_SECONDS = 1
 
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
@@ -202,8 +211,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
-        if status == 429:
-            self.send_header("Retry-After", "1")
+        if status in (429, 503):
+            # Both shed classes are transient: tell clients when to
+            # come back, so their retry loops need not guess.
+            self.send_header("Retry-After", str(RETRY_AFTER_SECONDS))
         self.end_headers()
         self.wfile.write(data)
 
@@ -226,10 +237,14 @@ class CommunityService:
                  session_ttl: float = DEFAULT_TTL_SECONDS,
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
                  default_deadline: Optional[float] = None,
-                 snapshot_source: Optional[Union[str, Path]] = None
+                 snapshot_source: Optional[Union[str, Path]] = None,
+                 drain_seconds: float = DEFAULT_DRAIN_SECONDS
                  ) -> None:
         self.engine = engine
         self.default_deadline = default_deadline
+        #: Graceful-shutdown budget: how long :meth:`shutdown` lets
+        #: queued + in-flight work finish before tearing down hard.
+        self.drain_seconds = drain_seconds
         #: Where ``POST /admin/reload`` looks for the newest published
         #: snapshot: a snapshot directory or a store root.
         self.snapshot_source = snapshot_source
@@ -278,14 +293,25 @@ class CommunityService:
         self._serving = True
         self._httpd.serve_forever()
 
-    def shutdown(self) -> None:
-        """Stop accepting, join the accept thread, drain the pool.
+    def shutdown(self, drain_seconds: Optional[float] = None) -> None:
+        """Graceful stop: drain in-flight work, then tear down.
+
+        Sequence: stop admitting (new submissions shed ``503
+        ShuttingDown`` + ``Retry-After``), let queued and in-flight
+        jobs finish for up to ``drain_seconds`` (default: the
+        constructor's :attr:`drain_seconds`), then close the listener
+        and fail whatever is left. A request admitted before SIGTERM
+        therefore completes normally as long as it fits the drain
+        budget.
 
         Safe on a service that never served a socket (tests drive
         :meth:`handle` directly): ``HTTPServer.shutdown`` blocks
         forever unless ``serve_forever`` is running, so it is only
         called when serving actually started.
         """
+        if drain_seconds is None:
+            drain_seconds = self.drain_seconds
+        drained = self.admission.drain(drain_seconds)
         if self._serving:
             self._httpd.shutdown()
             self._serving = False
@@ -294,6 +320,9 @@ class CommunityService:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.admission.shutdown()
+        #: Whether the last shutdown finished all admitted work inside
+        #: the drain budget (callers/ops scripts can assert on it).
+        self.drained_clean = drained
 
     def __enter__(self) -> "CommunityService":
         """Context-manager entry (the server need not be started)."""
@@ -318,6 +347,7 @@ class CommunityService:
         parts = tuple(p for p in path.split("?", 1)[0].split("/") if p)
         template = path
         try:
+            faults.hit("service.request")
             template, result, content_type = self._route(
                 method, parts, body)
             status, payload = 200, result
@@ -326,6 +356,15 @@ class CommunityService:
             template = self._error_template(template, parts)
             payload = json.dumps(
                 {"error": str(error), "status": status})
+            content_type = JSON_CONTENT_TYPE
+        except WorkerError as error:
+            # A pool worker crashed or blew its lease mid-request. The
+            # request is lost but the *service* is healthy (the
+            # watchdog respawned the worker), so this is transient
+            # unavailability: 503 + Retry-After, not a 500.
+            status = 503
+            template = self._error_template(template, parts)
+            payload = json.dumps({"error": str(error), "status": 503})
             content_type = JSON_CONTENT_TYPE
         except QueryError as error:
             status = 400
@@ -394,7 +433,12 @@ class CommunityService:
     # handlers
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
-        """Liveness payload."""
+        """Liveness payload.
+
+        ``status`` is ``"ok"`` normally and ``"degraded"`` once the
+        pool's crash-storm breaker opened (the service still answers,
+        on fewer workers) — orchestrators alert on it without parsing
+        metrics."""
         health = {
             "status": "ok",
             "generation": self.engine.generation,
@@ -407,6 +451,9 @@ class CommunityService:
         if pool is not None:
             health["pool_workers"] = pool.workers
             health["pool_alive"] = pool.alive
+            health["pool_degraded"] = pool.degraded
+            if pool.degraded:
+                health["status"] = "degraded"
         return health
 
     def _admin_reload(self, body: bytes) -> Dict[str, Any]:
@@ -420,6 +467,7 @@ class CommunityService:
         with; a reload to a content-identical snapshot is a no-op that
         keeps the cache warm and open sessions valid.
         """
+        faults.hit("service.reload")
         payload = _parse_body(body)
         source = payload.get("path") or self.snapshot_source
         if source is None:
@@ -432,7 +480,13 @@ class CommunityService:
             raise NotFound(str(error))
         except SnapshotError as error:
             raise BadRequest(str(error))
-        changed = self.engine.swap_snapshot(snapshot)
+        try:
+            changed = self.engine.swap_snapshot(snapshot)
+        except SnapshotError as error:
+            # The engine already rolled everyone back to the previous
+            # snapshot; report the failure without pretending the
+            # request was malformed.
+            raise ServiceError(str(error))
         return {
             "reloaded": changed,
             "snapshot": snapshot.id,
@@ -687,4 +741,11 @@ class CommunityService:
         gauges.update(prefixed(worker_gauges, prefix="repro_worker_"))
         gauges["repro_pool_workers"] = float(pool.workers)
         gauges["repro_pool_workers_alive"] = float(pool.alive)
+        gauges["repro_pool_degraded"] = float(
+            bool(getattr(pool, "degraded", False)))
         counters["repro_pool_respawns_total"] = float(pool.respawns)
+        # Alias kept alongside respawns_total: dashboards built on the
+        # conventional restart counter name need no relabeling.
+        counters["repro_worker_restarts_total"] = float(pool.respawns)
+        counters["repro_pool_timeouts_total"] = float(
+            getattr(pool, "timeouts", 0))

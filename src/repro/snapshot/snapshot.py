@@ -49,6 +49,7 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.exceptions import (
     GraphError,
     SnapshotFormatError,
@@ -354,6 +355,11 @@ def _read_section(path: Path, manifest: Dict[str, Any], name: str,
             raise SnapshotIntegrityError(
                 f"snapshot section {section_path} is corrupt "
                 f"(gzip: {exc})") from exc
+    # Failpoint: simulate on-disk damage (bit rot, torn write) after
+    # decompression so the checksum below is what catches it — the
+    # exact production detection path.
+    raw = faults.corrupt(f"snapshot.section.{name}",
+                         faults.corrupt("snapshot.section", raw))
     if len(raw) != entry["bytes"]:
         raise SnapshotIntegrityError(
             f"snapshot section {section_path} is truncated: "
@@ -478,6 +484,7 @@ def load_snapshot(path: PathLike, verify: bool = True) -> Snapshot:
     :class:`~repro.exceptions.SnapshotIntegrityError`.
     """
     path = Path(path)
+    faults.hit("snapshot.load")
     manifest = read_manifest(path)
     graph_data = _read_section(path, manifest, "graph", verify)
     nodes_data = _read_section(path, manifest, "nodes", verify)

@@ -1,0 +1,30 @@
+"""Helpers shared by the chaos test modules (imported by name —
+the tests directories are not packages)."""
+
+import time
+
+from repro.datasets.paper_example import FIG4_RMAX, figure4_graph
+from repro.snapshot import SnapshotStore
+from repro.text.inverted_index import CommunityIndex
+
+#: Longest we poll for an asynchronous pool event (kill, respawn).
+POLL_SECONDS = 15.0
+
+
+def publish_fig4(store_root, radius=FIG4_RMAX):
+    """Build fig4 at ``radius``, publish it, return the snapshot."""
+    dbg = figure4_graph()
+    index = CommunityIndex.build(dbg, radius)
+    return SnapshotStore(store_root).publish(
+        dbg, index,
+        provenance={"dataset": "fig4", "index_radius": radius})
+
+
+def wait_until(predicate, timeout=POLL_SECONDS, interval=0.05):
+    """Poll ``predicate`` until true (returns False on timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()

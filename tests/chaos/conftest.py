@@ -1,0 +1,33 @@
+"""Shared fixtures for the chaos suite.
+
+Every test runs against a clean failpoint registry: the autouse
+fixture clears armed sites before *and* after each test, so a chaos
+scenario can never leak into its neighbors (or into the rest of the
+test session). Worker-process scenarios arm failpoints through the
+``REPRO_FAILPOINTS`` environment variable (``monkeypatch.setenv``),
+which forked workers pick up via ``faults.reload_env()`` at startup;
+same-process scenarios use ``faults.activate`` directly.
+"""
+
+import pytest
+
+from repro import faults
+
+from chaos_helpers import publish_fig4
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints(monkeypatch):
+    """No armed sites and no env spec before or after any test."""
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture()
+def fig4_store(tmp_path):
+    """A store with one published fig4 snapshot; returns its root."""
+    root = tmp_path / "store"
+    publish_fig4(root)
+    return root

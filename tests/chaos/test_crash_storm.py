@@ -1,0 +1,121 @@
+"""Crash-storm circuit breaker: shrink, degrade, keep serving.
+
+Worker 0 is armed (via the inherited environment) to die instantly on
+every query it receives, so each respawned incarnation crashes again —
+a deterministic crash storm confined to one slot. The breaker must
+stop burning respawns, remove the slot, flip the pool degraded, and
+leave worker 1 answering.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.exceptions import WorkerCrashedError
+from repro.parallel import ParallelQueryEngine
+from repro.engine import QuerySpec
+from repro.service import CommunityService
+
+from chaos_helpers import POLL_SECONDS, wait_until
+
+
+@pytest.fixture()
+def storming_engine(fig4_store, monkeypatch):
+    """A 2-worker engine whose slot 0 crashes on every query."""
+    monkeypatch.setenv("REPRO_FAILPOINTS",
+                       "worker.0.exec=always:exit(3)")
+    with ParallelQueryEngine(fig4_store, workers=2,
+                             lease_seconds=30.0, max_respawns=2,
+                             respawn_window=60.0) as engine:
+        yield engine
+
+
+def crash_until_breaker_opens(pool, spec):
+    """Feed slot 0 queries until the breaker removes it."""
+    for _ in range(10):
+        if 0 not in pool._handles:
+            break
+        try:
+            future = pool.submit("query", spec, worker_id=0)
+        except KeyError:
+            break                    # monitor removed the slot mid-loop
+        with pytest.raises(WorkerCrashedError):
+            future.result(timeout=POLL_SECONDS)
+        # Either a replacement came up or the breaker opened.
+        assert wait_until(
+            lambda: 0 not in pool._handles
+            or pool._handles[0].process.is_alive())
+    assert wait_until(lambda: pool.degraded)
+    assert wait_until(lambda: 0 not in pool._handles)
+
+
+class TestCrashStormBreaker:
+    def test_breaker_opens_shrinks_and_survivors_serve(
+            self, storming_engine):
+        pool = storming_engine.pool
+        spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+        crash_until_breaker_opens(pool, spec)
+        assert pool.respawns <= pool.max_respawns
+
+        # The surviving worker keeps answering (round-robin now only
+        # ever lands on slot 1).
+        for _ in range(3):
+            assert len(storming_engine.top_k(spec)) == 1
+
+        # Stats still report one row per configured slot: the removed
+        # slot as an unresponsive placeholder, the survivor live.
+        rows = pool.stats()
+        assert [row["worker"] for row in rows] == [0, 1]
+        assert rows[0]["alive"] is False
+        assert rows[0]["unresponsive"] is True
+        assert "breaker" in rows[0]["error"]
+        assert rows[1]["alive"] is True
+        assert rows[1]["unresponsive"] is False
+
+    def test_degraded_health_and_metrics(self, storming_engine):
+        pool = storming_engine.pool
+        spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+        crash_until_breaker_opens(pool, spec)
+
+        with CommunityService(storming_engine, port=0) as service:
+            status, _t, body, _c = service.handle("GET", "/healthz",
+                                                  b"")
+            assert status == 200
+            health = json.loads(body)
+            assert health["status"] == "degraded"
+            assert health["pool_degraded"] is True
+            assert health["pool_alive"] == 1
+
+            metrics = service.render_metrics()
+            assert "repro_pool_degraded 1" in metrics
+            assert "repro_worker_restarts_total" in metrics
+            assert "repro_pool_timeouts_total" in metrics
+            # One info row per configured slot, even post-shrink.
+            rows = [line for line in metrics.splitlines()
+                    if line.startswith("repro_worker_info{")]
+            assert len(rows) == 2
+
+    def test_empty_pool_fails_fast_not_forever(self, fig4_store,
+                                               monkeypatch):
+        """With every slot storming, the breaker empties the pool and
+        submissions fail immediately instead of hanging."""
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.exec=always:exit(3)")
+        with ParallelQueryEngine(fig4_store, workers=1,
+                                 max_respawns=1,
+                                 respawn_window=60.0) as engine:
+            pool = engine.pool
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            for _ in range(3):
+                if not pool._handles:
+                    break
+                with pytest.raises(WorkerCrashedError):
+                    pool.request("query", spec, timeout=POLL_SECONDS)
+                wait_until(lambda: not pool._handles
+                           or pool._handles[0].process.is_alive())
+            assert wait_until(lambda: pool.degraded)
+            assert wait_until(lambda: not pool._handles)
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                pool.submit("query", spec)
+            assert "no workers left" in str(excinfo.value)

@@ -1,0 +1,108 @@
+"""Graceful drain semantics, socketless.
+
+The in-flight job is gated on a ``threading.Event`` — the test
+controls exactly when it finishes, so drain outcomes are asserted
+deterministically instead of raced against wall clock.
+"""
+
+import threading
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryEngine
+from repro.service import (
+    CommunityService,
+    Overloaded,
+    ShuttingDown,
+)
+from repro.service.admission import AdmissionController
+from repro.snapshot import SnapshotStore
+
+
+class TestAdmissionDrain:
+    def test_drain_waits_for_in_flight_work(self):
+        controller = AdmissionController(workers=1, queue_depth=4)
+        release = threading.Event()
+        started = threading.Event()
+
+        def job(_remaining):
+            started.set()
+            release.wait(timeout=30.0)
+            return "done"
+
+        future = controller.submit(job)
+        assert started.wait(timeout=5.0)
+
+        # Work still running: a bounded drain reports failure ...
+        assert controller.drain(timeout=0.2) is False
+        # ... and new work is shed with 503 ShuttingDown (not 429 —
+        # the queue is not full, the service is going away).
+        with pytest.raises(ShuttingDown):
+            controller.submit(lambda _r: None)
+
+        # Release the job: the next drain sees an idle controller and
+        # the admitted work was never dropped.
+        release.set()
+        assert future.result(timeout=5.0) == "done"
+        assert controller.drain(timeout=5.0) is True
+        controller.shutdown()
+
+    def test_drain_of_idle_controller_is_immediate(self):
+        controller = AdmissionController(workers=1, queue_depth=4)
+        assert controller.drain(timeout=0.0) is True
+        controller.shutdown()
+
+    def test_shutdown_without_drain_still_sheds_with_429(self):
+        # The historic contract: a hard-shutdown controller sheds
+        # Overloaded, and queued-but-unstarted jobs fail the same way.
+        controller = AdmissionController(workers=1, queue_depth=4)
+        controller.shutdown()
+        with pytest.raises(Overloaded):
+            controller.submit(lambda _r: None)
+
+
+class TestServiceDrain:
+    def test_shutdown_reports_clean_drain(self, fig4_store):
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(fig4_store).resolve())
+        service = CommunityService(engine, port=0,
+                                   drain_seconds=2.0)
+        service.shutdown()
+        assert service.drained_clean is True
+
+    def test_shutdown_reports_dirty_drain_on_stuck_work(
+            self, fig4_store):
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(fig4_store).resolve())
+        service = CommunityService(engine, port=0)
+        release = threading.Event()
+        service.admission.submit(
+            lambda _r: release.wait(timeout=30.0))
+        try:
+            service.shutdown(drain_seconds=0.2)
+            assert service.drained_clean is False
+        finally:
+            release.set()
+
+    def test_requests_during_drain_get_503(self, fig4_store):
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(fig4_store).resolve())
+        with CommunityService(engine, port=0) as service:
+            release = threading.Event()
+            service.admission.submit(
+                lambda _r: release.wait(timeout=30.0))
+            try:
+                # A zero-budget drain flips the draining flag and
+                # returns immediately (work is still running).
+                assert service.admission.drain(timeout=0.0) is False
+                import json
+                status, _t, body, _c = service.handle(
+                    "POST", "/query",
+                    json.dumps({"keywords": list(FIG4_QUERY),
+                                "rmax": FIG4_RMAX, "k": 1}
+                               ).encode("utf-8"))
+                assert status == 503
+                assert "drain" in json.loads(body)["error"]
+            finally:
+                release.set()

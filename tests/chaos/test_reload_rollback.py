@@ -1,0 +1,111 @@
+"""Reload rollback: a failed hot swap keeps serving the old graph.
+
+Two failure planes:
+
+* the *parent* rejects a snapshot that fails checksum verification at
+  load time (real on-disk damage — no failpoint needed);
+* a *worker* fails its reload broadcast (injected via
+  ``worker.0.reload=once:raise``): the engine must roll every worker
+  and the parent back to the previous snapshot, raise, and keep
+  answering from the old graph — then succeed on a later retry once
+  the fault has passed.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QuerySpec
+from repro.exceptions import SnapshotError
+from repro.parallel import ParallelQueryEngine
+from repro.service import CommunityService
+from repro.snapshot import SnapshotStore
+
+from chaos_helpers import publish_fig4
+
+
+def post(service, path, payload):
+    """Drive one POST through the service router, no sockets."""
+    status, _template, body, _ctype = service.handle(
+        "POST", path, json.dumps(payload).encode("utf-8"))
+    return status, json.loads(body)
+
+
+class TestWorkerReloadRollback:
+    def test_failed_worker_reload_rolls_back_then_recovers(
+            self, fig4_store, monkeypatch):
+        old_id = SnapshotStore(fig4_store).latest_id()
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.reload=once:raise")
+        with ParallelQueryEngine(fig4_store, workers=2) as engine:
+            with CommunityService(engine, port=0,
+                                  snapshot_source=fig4_store) \
+                    as service:
+                new_id = publish_fig4(fig4_store, radius=4.0).id
+                assert new_id != old_id
+
+                # First reload: worker 0's failpoint fires, the swap
+                # is rolled back and surfaced as a server error.
+                status, body = post(service, "/admin/reload", {})
+                assert status == 500
+                assert "rolled back" in body["error"]
+                assert old_id in body["error"]
+
+                # Everyone — parent and both workers — still serves
+                # the old snapshot, and queries still answer.
+                assert engine.snapshot_id == old_id
+                assert all(s["snapshot_id"] == old_id
+                           for s in engine.worker_stats())
+                spec = QuerySpec.comm_k(list(FIG4_QUERY), 1,
+                                        FIG4_RMAX)
+                assert len(engine.top_k(spec)) == 1
+
+                # The fault was once-only: the retry goes through and
+                # moves every worker to the new artifact.
+                status, body = post(service, "/admin/reload", {})
+                assert status == 200
+                assert body["snapshot"] == new_id
+                assert all(s["snapshot_id"] == new_id
+                           for s in engine.worker_stats())
+
+    def test_engine_swap_raises_and_rolls_back(self, fig4_store,
+                                               monkeypatch):
+        old_id = SnapshotStore(fig4_store).latest_id()
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.reload=once:raise")
+        with ParallelQueryEngine(fig4_store, workers=2) as engine:
+            publish_fig4(fig4_store, radius=4.0)
+            with pytest.raises(SnapshotError) as excinfo:
+                engine.load_snapshot(
+                    SnapshotStore(fig4_store).resolve())
+            assert "rolled back" in str(excinfo.value)
+            assert engine.snapshot_id == old_id
+
+
+class TestParentLoadRejection:
+    def test_damaged_snapshot_is_rejected_before_any_swap(
+            self, fig4_store):
+        """Real on-disk damage: flip a byte in the newest snapshot's
+        postings section. ``/admin/reload`` must answer 4xx and keep
+        the engine on the old artifact."""
+        old_id = SnapshotStore(fig4_store).latest_id()
+        with ParallelQueryEngine(fig4_store, workers=2) as engine:
+            damaged = publish_fig4(fig4_store, radius=4.0)
+            target = damaged.path / "postings.bin"
+            data = bytearray(target.read_bytes())
+            data[3] ^= 0x01
+            target.write_bytes(bytes(data))
+
+            with CommunityService(engine, port=0,
+                                  snapshot_source=fig4_store) \
+                    as service:
+                status, body = post(service, "/admin/reload", {})
+                assert status == 400
+                assert "checksum" in body["error"]
+                assert engine.snapshot_id == old_id
+                assert all(s["snapshot_id"] == old_id
+                           for s in engine.worker_stats())
+                spec = QuerySpec.comm_k(list(FIG4_QUERY), 1,
+                                        FIG4_RMAX)
+                assert len(engine.top_k(spec)) == 1

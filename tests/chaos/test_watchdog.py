@@ -1,0 +1,98 @@
+"""Hung-worker watchdog: lease expiry, kill escalation, 503 mapping.
+
+The hang is injected deterministically: ``worker.0.exec=once:sleep``
+armed through the environment, which only the first incarnation of
+worker 0 inherits (the env is cleared before the doomed request, so
+the watchdog's replacement forks with a clean registry).
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryEngine, QuerySpec
+from repro.exceptions import WorkerTimeoutError
+from repro.parallel import WorkerPool
+from repro.snapshot import SnapshotStore
+from repro.service import CommunityService
+
+from chaos_helpers import POLL_SECONDS, wait_until
+
+
+@pytest.fixture()
+def snapshot_path(fig4_store):
+    return SnapshotStore(fig4_store).resolve()
+
+
+class TestWatchdog:
+    def test_hung_worker_is_killed_and_caller_gets_timeout(
+            self, snapshot_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.exec=once:sleep(60)")
+        pool = WorkerPool(snapshot_path, workers=2,
+                          lease_seconds=1.0).start()
+        try:
+            # The workers are up and armed; clear the env so the
+            # watchdog's replacement forks without the failpoint.
+            monkeypatch.delenv("REPRO_FAILPOINTS")
+            hung_pid = pool.pids()[0]
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            future = pool.submit("query", spec, worker_id=0)
+            with pytest.raises(WorkerTimeoutError) as excinfo:
+                future.result(timeout=POLL_SECONDS)
+            assert "lease" in str(excinfo.value)
+            assert pool.timeouts >= 1
+
+            # The slot is respawned (new pid) and serves again.
+            assert wait_until(
+                lambda: pool.alive == 2
+                and pool.pids().get(0) not in (None, hung_pid))
+            replay = pool.submit("query", spec, worker_id=0)
+            communities, _timings, _counters = \
+                replay.result(timeout=POLL_SECONDS)
+            assert len(communities) == 1
+        finally:
+            pool.shutdown()
+
+    def test_unleased_pool_never_times_out(self, snapshot_path):
+        pool = WorkerPool(snapshot_path, workers=1,
+                          lease_seconds=None).start()
+        try:
+            assert pool._expired_workers() == []
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            communities, _, _ = pool.request("query", spec,
+                                             timeout=POLL_SECONDS)
+            assert len(communities) == 1
+            assert pool.timeouts == 0
+        finally:
+            pool.shutdown()
+
+    def test_nonpositive_lease_rejected(self, snapshot_path):
+        with pytest.raises(ValueError):
+            WorkerPool(snapshot_path, lease_seconds=0.0)
+
+
+class TestServiceMapping:
+    def test_worker_timeout_maps_to_503_with_retry_after(
+            self, snapshot_path):
+        """The HTTP boundary renders a watchdog kill as transient
+        unavailability (503), not an internal error (500)."""
+        engine = QueryEngine.from_snapshot(snapshot_path)
+
+        def hang(spec, context=None):
+            raise WorkerTimeoutError(
+                "worker 0 exceeded its 1s request lease and was "
+                "killed")
+
+        engine.execute = hang
+        with CommunityService(engine, port=0) as service:
+            status, _template, body, _ctype = service.handle(
+                "POST", "/query",
+                json.dumps({"keywords": list(FIG4_QUERY),
+                            "rmax": FIG4_RMAX, "k": 1}
+                           ).encode("utf-8"))
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["status"] == 503
+            assert "lease" in payload["error"]

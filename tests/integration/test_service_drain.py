@@ -1,0 +1,169 @@
+"""SIGTERM drain over a real process boundary (satellite).
+
+A ``python -m repro serve --snapshot --workers 2`` process is given a
+deterministically slow first query (``worker.exec=nth(1):sleep`` via
+``REPRO_FAILPOINTS``), SIGTERMed mid-flight, and must:
+
+* finish the in-flight request normally when it fits the drain budget
+  (or fail it with a 503-family/connection error when it does not);
+* exit cleanly either way;
+* leave **zero** orphaned worker processes behind.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.service import ServiceClient, ServiceError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _pid_gone(pid):
+    """Whether ``pid`` no longer exists (or is a reaped zombie)."""
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return True
+    # Still signalable: either alive or an unreaped zombie. A zombie
+    # is not an orphan doing work, so check the state when /proc is
+    # around (Linux); otherwise report it as live.
+    try:
+        with open(f"/proc/{pid}/stat") as handle:
+            return handle.read().split()[2] == "Z"
+    except OSError:
+        return False
+
+
+def _worker_pids(metrics_text):
+    """Worker pids scraped from ``repro_worker_info`` rows."""
+    return [int(pid) for pid in
+            re.findall(r'repro_worker_info\{[^}]*pid="(\d+)"',
+                       metrics_text)]
+
+
+def _serve(store_root, port_file, extra_args, failpoints):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["REPRO_FAILPOINTS"] = failpoints
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--snapshot", str(store_root), "--port", "0",
+         "--port-file", str(port_file), "--workers", "2",
+         *extra_args],
+        env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, cwd=str(REPO_ROOT))
+
+
+def _client_for(port_file, timeout=30.0):
+    deadline = time.time() + 30
+    while not port_file.exists() and time.time() < deadline:
+        time.sleep(0.1)
+    assert port_file.exists(), "server never bound"
+    host, port = port_file.read_text().split()
+    return ServiceClient(f"http://{host}:{port}", timeout=timeout)
+
+
+def _query_in_background(client, outcome):
+    """Fire one slow query; stash ('ok', response) or ('err', exc)."""
+    def run():
+        try:
+            outcome.append(
+                ("ok", client.query(list(FIG4_QUERY), FIG4_RMAX,
+                                    k=1)))
+        except Exception as error:  # noqa: BLE001 — recorded for
+            # the main thread to assert on.
+            outcome.append(("err", error))
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+@pytest.fixture()
+def store_root(tmp_path):
+    root = tmp_path / "store"
+    assert main(["snapshot", "build", "--dataset", "fig4",
+                 "--store", str(root),
+                 "--radius", str(FIG4_RMAX)]) == 0
+    return root
+
+
+class TestSigtermDrain:
+    def test_in_flight_request_survives_sigterm(self, store_root,
+                                                tmp_path):
+        """SIGTERM lands while a 2s query runs; the 10s drain budget
+        covers it, so the client still gets its 200."""
+        port_file = tmp_path / "port"
+        proc = _serve(store_root, port_file,
+                      ["--drain-seconds", "10"],
+                      "worker.exec=nth(1):sleep(2)")
+        try:
+            client = _client_for(port_file)
+            assert client.health()["status"] == "ok"
+            pids = _worker_pids(client.metrics())
+            assert len(pids) == 2
+
+            outcome = []
+            thread = _query_in_background(client, outcome)
+            time.sleep(0.6)          # the query is inside its 2s sleep
+            proc.send_signal(signal.SIGTERM)
+
+            thread.join(timeout=30.0)
+            assert outcome, "query thread never finished"
+            kind, value = outcome[0]
+            assert kind == "ok", f"drained query failed: {value!r}"
+            assert value["count"] == 1
+
+            assert proc.wait(timeout=30) == 0
+            for pid in pids:
+                assert _pid_gone(pid), f"worker {pid} orphaned"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_drain_deadline_fails_request_but_kills_workers(
+            self, store_root, tmp_path):
+        """The in-flight query (5s) cannot fit the 0.5s drain budget:
+        the request fails with a transient error (or a torn
+        connection), but the process still exits and no worker
+        survives it."""
+        port_file = tmp_path / "port"
+        proc = _serve(store_root, port_file,
+                      ["--drain-seconds", "0.5"],
+                      "worker.exec=nth(1):sleep(30)")
+        try:
+            client = _client_for(port_file, timeout=30.0)
+            pids = _worker_pids(client.metrics())
+            assert len(pids) == 2
+
+            outcome = []
+            thread = _query_in_background(client, outcome)
+            time.sleep(0.6)
+            proc.send_signal(signal.SIGTERM)
+
+            thread.join(timeout=30.0)
+            assert outcome, "query thread never finished"
+            kind, value = outcome[0]
+            # Past the drain deadline the request must NOT succeed;
+            # it surfaces as a 503-family error or a torn connection.
+            assert kind == "err", f"expected failure, got {value!r}"
+            assert isinstance(value, ServiceError)
+
+            assert proc.wait(timeout=30) == 0
+            for pid in pids:
+                assert _pid_gone(pid), f"worker {pid} orphaned"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
