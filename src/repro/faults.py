@@ -72,7 +72,9 @@ from repro.exceptions import FaultInjectedError, ReproError
 ENV_VAR = "REPRO_FAILPOINTS"
 
 #: Fast-path flag: ``hit``/``corrupt`` return immediately when False.
-#: Only :func:`_rearm` mutates it, under :data:`_LOCK`.
+#: Recomputed by :func:`activate`/:func:`clear` in the same
+#: :data:`_LOCK` block as their registry mutation, so it can never go
+#: stale relative to :data:`_SITES`.
 _ACTIVE = False
 
 _LOCK = threading.Lock()
@@ -268,8 +270,13 @@ def _flip_bytes(data: bytes) -> bytes:
 # ----------------------------------------------------------------------
 # arming / disarming
 # ----------------------------------------------------------------------
-def _rearm() -> None:
-    """Recompute the fast-path flag after a registry change."""
+def _rearm_locked() -> None:
+    """Recompute the fast-path flag; caller must hold :data:`_LOCK`.
+
+    Mutation and recomputation happen in one locked block so a
+    concurrent arm/disarm can neither iterate a registry mid-change
+    nor leave :data:`_ACTIVE` stale relative to it.
+    """
     global _ACTIVE
     _ACTIVE = any(fp.trigger != "off" for fp in _SITES.values())
 
@@ -279,7 +286,7 @@ def activate(name: str, spec: str) -> None:
     failpoint = Failpoint(name, spec)
     with _LOCK:
         _SITES[name] = failpoint
-    _rearm()
+        _rearm_locked()
 
 
 def clear(name: Optional[str] = None) -> None:
@@ -289,7 +296,7 @@ def clear(name: Optional[str] = None) -> None:
             _SITES.clear()
         else:
             _SITES.pop(name, None)
-    _rearm()
+        _rearm_locked()
 
 
 def configure(text: str) -> None:

@@ -222,10 +222,18 @@ class ParallelQueryEngine:
         re-pointed at it, and :class:`~repro.exceptions.SnapshotError`
         is raised — the pool never serves two generations at once,
         and a failed ``POST /admin/reload`` keeps answering from the
-        old graph.
+        old graph. The pool's ``snapshot_path`` tracks every swap and
+        rollback, so a worker the monitor respawns (crash, watchdog
+        kill) always loads the currently adopted artifact too.
         """
         previous = self._active
         changed = self.local.swap_snapshot(snapshot)
+        # Re-point respawns *before* the broadcast: a worker the
+        # monitor replaces from here on must load the artifact being
+        # adopted, never the one the pool was constructed with —
+        # otherwise a single respawn would put two generations in
+        # service at once.
+        self.pool.snapshot_path = str(snapshot.path)
         failures: Dict[int, Exception] = {}
         for worker_id, future in self.pool.broadcast(
                 "reload", str(snapshot.path)).items():
@@ -235,6 +243,7 @@ class ParallelQueryEngine:
                 # the swap is rolled back below.
                 failures[worker_id] = error
         if failures:
+            self.pool.snapshot_path = str(previous.path)
             self.local.swap_snapshot(previous)
             for future in self.pool.broadcast(
                     "reload", str(previous.path)).values():

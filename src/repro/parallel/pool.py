@@ -15,13 +15,20 @@ snapshot. The plumbing is deliberately simple and lock-light:
   :class:`~repro.exceptions.WorkerCrashedError`, then a replacement
   process is spawned from the same snapshot with a fresh task queue —
   callers see one errored request, never a hung one;
-* **watchdog** — every request carries a lease deadline
-  (``lease_seconds`` past dispatch). A worker still holding an
+* **watchdog** — a worker reports ``started`` when it picks a
+  request off its queue; from that moment the request carries a
+  lease deadline (``lease_seconds`` past *start of execution*, so
+  queue wait never counts against it — back-to-back long queries on
+  one worker each get a full lease). A worker still holding an
   expired lease is declared *hung* — stuck enumeration, deadlock,
   swap storm — and the monitor escalates ``terminate()`` →
   ``kill()``, respawns the slot, and fails the leased futures with
   :class:`~repro.exceptions.WorkerTimeoutError` (HTTP 503 at the
-  service), so a caller waits at most one lease, never forever;
+  service), so a caller waits at most one lease past start, never
+  forever. A worker incarnation that has never answered anything
+  (hung while loading its snapshot) is covered by a dispatch-age
+  bound instead: a request queued to it for a whole lease without a
+  ``started`` marker counts as expired;
 * **circuit breaker** — each respawn is stamped; more than
   ``max_respawns`` inside ``respawn_window`` seconds is a crash
   storm (bad snapshot, poison query, OOM loop). The breaker opens:
@@ -45,6 +52,7 @@ from __future__ import annotations
 import collections
 import itertools
 import multiprocessing
+import sys
 import threading
 import time
 import uuid
@@ -71,9 +79,11 @@ JOIN_TIMEOUT = 5.0
 #: Seconds a terminated process gets before the SIGKILL escalation.
 KILL_GRACE = 1.0
 
-#: Default per-request lease before the watchdog declares the worker
-#: hung. Generous: COMM-all on the bench datasets answers in
-#: milliseconds; anything holding a core for minutes is wedged.
+#: Default per-request lease (counted from when the worker *starts*
+#: executing the request, not from dispatch) before the watchdog
+#: declares the worker hung. Generous: COMM-all on the bench datasets
+#: answers in milliseconds; anything holding a core for minutes is
+#: wedged.
 DEFAULT_LEASE_SECONDS = 120.0
 
 #: Default crash-storm circuit breaker: more than this many respawns
@@ -87,13 +97,18 @@ DEFAULT_RESPAWN_WINDOW = 30.0
 class _WorkerHandle:
     """One worker slot: the live process and its private task queue."""
 
-    __slots__ = ("worker_id", "process", "queue")
+    __slots__ = ("worker_id", "process", "queue", "proved")
 
     def __init__(self, worker_id: int, process: Any,
                  queue: Any) -> None:
         self.worker_id = worker_id
         self.process = process
         self.queue = queue
+        #: True once this incarnation sent anything back on the result
+        #: queue — proof it loaded its snapshot and reads its queue.
+        #: Until then the watchdog bounds *queue wait* too (a worker
+        #: hung during startup never emits ``started`` markers).
+        self.proved = False
 
 
 class WorkerPool:
@@ -124,9 +139,14 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(mp_method)
         self._handles: Dict[int, _WorkerHandle] = {}
         self._pending: Dict[str, Tuple[Future, int]] = {}
-        #: request_id -> monotonic lease deadline (kept apart from
-        #: ``_pending`` so its 2-tuple shape stays stable for callers).
+        #: request_id -> monotonic lease deadline, set by the router
+        #: when the worker reports it *started* the request (kept
+        #: apart from ``_pending`` so its 2-tuple shape stays stable
+        #: for callers).
         self._leases: Dict[str, float] = {}
+        #: request_id -> monotonic dispatch time; bounds queue wait
+        #: only on worker incarnations that never proved themselves.
+        self._dispatched: Dict[str, float] = {}
         self._respawn_times: Deque[float] = collections.deque()
         self._lock = threading.Lock()
         self._rr = itertools.count()
@@ -244,6 +264,7 @@ class WorkerPool:
             pending = list(self._pending.values())
             self._pending.clear()
             self._leases.clear()
+            self._dispatched.clear()
         for future, _ in pending:
             if not future.done():
                 future.set_exception(
@@ -279,6 +300,11 @@ class WorkerPool:
         """
         if self._result_queue is None:
             raise WorkerError("pool is not started")
+        if self._router is not None and not self._router.is_alive() \
+                and not self._stop.is_set():
+            raise WorkerError(
+                "pool result router is not running; results would "
+                "never be delivered")
         faults.hit("pool.dispatch")
         if worker_id is None:
             worker_id = self._pick_worker()
@@ -288,14 +314,17 @@ class WorkerPool:
         with self._lock:
             self._pending[request_id] = (future, worker_id)
             if self.lease_seconds is not None:
-                self._leases[request_id] = (
-                    time.monotonic() + self.lease_seconds)
+                # The execution lease starts only when the worker
+                # reports ``started``; until then the dispatch stamp
+                # bounds queue wait on unproven incarnations.
+                self._dispatched[request_id] = time.monotonic()
         try:
             handle.queue.put((request_id, op, payload))
         except Exception as error:  # noqa: BLE001 — queue failure
             with self._lock:
                 self._pending.pop(request_id, None)
                 self._leases.pop(request_id, None)
+                self._dispatched.pop(request_id, None)
             future.set_exception(WorkerError(str(error)))
         return future
 
@@ -332,28 +361,71 @@ class WorkerPool:
     # router / monitor threads
     # ------------------------------------------------------------------
     def _route_results(self) -> None:
-        """Drain the shared result queue, resolving futures."""
+        """Drain the shared result queue, resolving futures.
+
+        The loop survives anything a single message can throw at it:
+        a worker SIGKILLed mid-``put`` (watchdog, crash) can leave a
+        torn or partial pickle in the shared queue, and a router that
+        died on the resulting unpickling error would silently hang
+        every pending and future request. Such messages are logged
+        and dropped instead.
+        """
         while True:
-            item = self._result_queue.get()
-            if item is None:
+            try:
+                item = self._result_queue.get()
+                if item is None:
+                    return
+                request_id, worker_id, status, payload = item
+                if status == "started":
+                    self._mark_started(request_id, worker_id)
+                    continue
+                with self._lock:
+                    entry = self._pending.pop(request_id, None)
+                    self._leases.pop(request_id, None)
+                    self._dispatched.pop(request_id, None)
+                    if entry is not None and entry[1] == worker_id:
+                        handle = self._handles.get(worker_id)
+                        if handle is not None:
+                            handle.proved = True
+                if entry is None:
+                    continue          # crashed-and-failed, late reply
+                future, _ = entry
+                if future.done():
+                    continue
+                if status == "ok":
+                    future.set_result(payload)
+                elif status == "query_error":
+                    # Bad query, healthy worker: surface the same
+                    # exception type in-process execution raises.
+                    future.set_exception(QueryError(payload))
+                else:
+                    future.set_exception(WorkerError(payload))
+            except Exception as error:  # noqa: BLE001 — a corrupt
+                # message must not kill the router.
+                if self._stop.is_set():
+                    return
+                print(f"repro-pool-router: dropped undecodable "
+                      f"result ({type(error).__name__}: {error})",
+                      file=sys.stderr)
+                time.sleep(0.05)      # never spin on a broken queue
+
+    def _mark_started(self, request_id: str, worker_id: int) -> None:
+        """A worker began executing ``request_id``: start its lease.
+
+        Stale markers — from a killed incarnation, or for a request
+        already failed by the monitor — no longer map to a pending
+        entry on that worker and are ignored.
+        """
+        with self._lock:
+            entry = self._pending.get(request_id)
+            if entry is None or entry[1] != worker_id:
                 return
-            request_id, _worker_id, status, payload = item
-            with self._lock:
-                entry = self._pending.pop(request_id, None)
-                self._leases.pop(request_id, None)
-            if entry is None:
-                continue              # crashed-and-failed, late reply
-            future, _ = entry
-            if future.done():
-                continue
-            if status == "ok":
-                future.set_result(payload)
-            elif status == "query_error":
-                # Bad query, healthy worker: surface the same
-                # exception type in-process execution raises.
-                future.set_exception(QueryError(payload))
-            else:
-                future.set_exception(WorkerError(payload))
+            handle = self._handles.get(worker_id)
+            if handle is not None:
+                handle.proved = True
+            if self.lease_seconds is not None:
+                self._leases[request_id] = (
+                    time.monotonic() + self.lease_seconds)
 
     def _watch_workers(self) -> None:
         """Fail futures of dead workers, kill hung ones, respawn.
@@ -393,16 +465,37 @@ class WorkerPool:
                 self._respawn(worker_id)
 
     def _expired_workers(self) -> List[int]:
-        """Worker ids currently holding an expired request lease."""
+        """Worker ids currently holding an expired request lease.
+
+        Two cases count as expired:
+
+        * a request the worker *started* more than ``lease_seconds``
+          ago (the normal hung-mid-request case). Requests still
+          queued behind it carry no lease — queue wait on a proven
+          worker never triggers the watchdog;
+        * a request dispatched more than ``lease_seconds`` ago to an
+          incarnation that has never answered anything — a worker
+          hung while loading its snapshot would otherwise sit on its
+          queue forever without ever emitting a ``started`` marker.
+        """
         if self.lease_seconds is None:
             return []
         now = time.monotonic()
+        expired = set()
         with self._lock:
-            return sorted({
-                worker_id
-                for request_id, (_, worker_id) in self._pending.items()
-                if self._leases.get(request_id, now + 1.0) <= now
-                and worker_id in self._handles})
+            for request_id, (_, worker_id) in self._pending.items():
+                handle = self._handles.get(worker_id)
+                if handle is None:
+                    continue
+                deadline = self._leases.get(request_id)
+                if deadline is not None:
+                    if deadline <= now:
+                        expired.add(worker_id)
+                elif not handle.proved:
+                    dispatched = self._dispatched.get(request_id, now)
+                    if now - dispatched > self.lease_seconds:
+                        expired.add(worker_id)
+        return sorted(expired)
 
     def _respawn(self, worker_id: int) -> None:
         """Refill a dead slot — unless this is a crash storm.
@@ -441,6 +534,7 @@ class WorkerPool:
             futures = [self._pending.pop(rid)[0] for rid in doomed]
             for rid in doomed:
                 self._leases.pop(rid, None)
+                self._dispatched.pop(rid, None)
         for future in futures:
             if not future.done():
                 future.set_exception(exc_type(message))

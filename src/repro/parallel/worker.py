@@ -13,7 +13,10 @@ Task protocol (all tuples, all picklable):
 
 * in:  ``(request_id, op, payload)`` where ``op`` is one of
   ``query`` / ``reload`` / ``stats`` / ``ping``;
-* out: ``(request_id, worker_id, "ok", result)``,
+* out: ``(request_id, worker_id, "started", None)`` the moment the
+  task is picked off the queue — the pool's watchdog starts the
+  request lease here, so queue wait behind earlier tasks never
+  counts against it — then ``(request_id, worker_id, "ok", result)``,
   ``(request_id, worker_id, "query_error", message)`` for a
   :class:`~repro.exceptions.QueryError` (a bad query, not a broken
   worker — the parent re-raises it as ``QueryError`` so the service
@@ -96,6 +99,7 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
         if task is None:
             break
         request_id, op, payload = task
+        result_queue.put((request_id, worker_id, "started", None))
         try:
             if op == "query":
                 faults.hit("worker.exec")

@@ -29,6 +29,16 @@ deterministic jitter stream (the chaos tests do). Every raised
 :class:`~repro.exceptions.ServiceError` carries ``status`` (the class
 attribute) and ``retry_after`` (the parsed header, or ``None``), so
 callers can build their own policies too.
+
+Connection-level failures are ambiguous — the first attempt may have
+executed server-side before the connection tore — so they are only
+retried for *idempotent* exchanges: non-``POST`` methods by default,
+plus the ``POST`` endpoints that are safe to re-send (``/query`` and
+``/batch``, which are stateless reads). Session creation,
+``/sessions/{id}/next`` (advances the cursor) and ``/admin/reload``
+are never replayed on a torn connection; a definitive 429/503
+*response* proves the request was rejected, so those retry
+regardless.
 """
 
 from __future__ import annotations
@@ -99,7 +109,8 @@ class ServiceClient:
     # plumbing
     # ------------------------------------------------------------------
     def request(self, method: str, path: str,
-                payload: Optional[Dict[str, Any]] = None) -> Any:
+                payload: Optional[Dict[str, Any]] = None,
+                idempotent: Optional[bool] = None) -> Any:
         """One logical HTTP exchange; JSON in, JSON (or text) out.
 
         Non-2xx responses raise the matching
@@ -111,15 +122,30 @@ class ServiceClient:
         the final error escapes; anything else (400/404/410/500)
         fails immediately — retrying a malformed request or a dead
         session cannot succeed.
+
+        ``idempotent`` gates connection-error retries: a torn
+        connection (:class:`ServiceUnreachable`) may hide a request
+        the server already executed, so it is only retried when the
+        exchange is safe to replay. ``None`` (the default) means
+        "every method except POST"; pass ``True`` for POSTs that are
+        stateless reads (``query``/``batch`` do) or ``False`` to
+        forbid replays outright. Definitive 429/503 *responses* are
+        retried regardless — the server rejected the request, so it
+        did not execute.
         """
+        if idempotent is None:
+            idempotent = method.upper() != "POST"
         attempt = 0
         while True:
             try:
                 return self._attempt(method, path, payload)
             except ServiceError as error:
                 status = getattr(error, "status", 500)
-                if attempt >= self.retries \
-                        or status not in RETRYABLE_STATUSES:
+                retryable = status in RETRYABLE_STATUSES
+                if isinstance(error, ServiceUnreachable) \
+                        and not idempotent:
+                    retryable = False
+                if attempt >= self.retries or not retryable:
                     raise
                 time.sleep(self._backoff(
                     attempt, getattr(error, "retry_after", None)))
@@ -231,7 +257,10 @@ class ServiceClient:
             payload["deadline_seconds"] = deadline_seconds
         if labels:
             payload["labels"] = True
-        return self.request("POST", "/query", payload)
+        # A query is a stateless read: safe to replay on a torn
+        # connection even though it is a POST.
+        return self.request("POST", "/query", payload,
+                            idempotent=True)
 
     def query_communities(self, keywords: Sequence[str], rmax: float,
                           **options: Any) -> List[Community]:
@@ -255,7 +284,8 @@ class ServiceClient:
             payload["deadline_seconds"] = deadline_seconds
         if labels:
             payload["labels"] = True
-        return self.request("POST", "/batch", payload)
+        return self.request("POST", "/batch", payload,
+                            idempotent=True)
 
     def open_session(self, keywords: Sequence[str], rmax: float,
                      aggregate: str = "sum",

@@ -84,6 +84,45 @@ class TestRetryLoop:
         assert excinfo.value.status == 503
         assert excinfo.value.retry_after is None
 
+    def test_connection_errors_never_replay_non_idempotent_posts(
+            self):
+        """A torn connection may hide a POST the server already
+        executed — replaying session creation would leak
+        max_sessions slots, so non-idempotent POSTs must fail fast
+        even with retries enabled."""
+        client = ServiceClient("http://127.0.0.1:9",
+                               timeout=0.5, retries=3,
+                               backoff_base=0.01, retry_seed=7)
+        for path in ("/sessions", "/admin/reload"):
+            with pytest.raises(ServiceUnreachable):
+                client.request("POST", path, {})
+        assert client.retries_performed == 0
+
+    def test_stateless_post_reads_opt_into_connection_retries(self):
+        """``/query`` and ``/batch`` are safe to re-send; the
+        idempotent flag they pass re-enables connection-error
+        retries for them."""
+        client = ServiceClient("http://127.0.0.1:9",
+                               timeout=0.5, retries=2,
+                               backoff_base=0.01, retry_seed=7)
+        with pytest.raises(ServiceUnreachable):
+            client.query(["kate"], 6.0, k=1)
+        assert client.retries_performed == 2
+
+    def test_http_503_responses_retry_even_on_posts(self,
+                                                    live_service):
+        """A definitive 429/503 *response* proves the server rejected
+        the request, so even a non-idempotent POST retries on it."""
+        faults.activate("service.request", "once:raise(Overloaded)")
+        client = ServiceClient(live_service.url, retries=2,
+                               backoff_base=0.01, retry_seed=7)
+        opened = client.request(
+            "POST", "/sessions",
+            {"keywords": list(FIG4_QUERY), "rmax": FIG4_RMAX})
+        assert "session" in opened
+        assert client.retries_performed == 1
+        client.request("DELETE", f"/sessions/{opened['session']}")
+
 
 class TestErrorEnrichment:
     def test_raised_errors_carry_status_and_retry_after(

@@ -6,6 +6,7 @@ produces, and byte corruption against its fixed offsets.
 """
 
 import random
+import threading
 import time
 
 import pytest
@@ -165,6 +166,38 @@ class TestConfiguration:
         monkeypatch.delenv(faults.ENV_VAR)
         faults.reload_env()
         assert faults.active_sites() == {}
+
+
+class TestConcurrency:
+    def test_concurrent_arm_disarm_never_corrupts_the_registry(self):
+        """Arming and disarming from several threads at once must
+        neither raise (registry mutated during the fast-path flag
+        recomputation) nor leave the flag stale relative to the
+        registry."""
+        errors = []
+
+        def hammer(lane):
+            try:
+                for n in range(200):
+                    site = f"hammer.{lane}.{n % 5}"
+                    # Armed but effectively inert: nth far beyond any
+                    # call count this test makes.
+                    faults.activate(site, "nth(1000000):sleep(0)")
+                    faults.hit(site)
+                    faults.clear(site)
+            except Exception as error:  # noqa: BLE001 — collected
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(lane,))
+                   for lane in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        faults.clear()
+        assert faults.active_sites() == {}
+        assert not faults.is_armed()
 
 
 class TestSnapshotSites:

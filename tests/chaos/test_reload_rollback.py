@@ -12,6 +12,8 @@ Two failure planes:
 """
 
 import json
+import os
+import signal
 
 import pytest
 
@@ -22,7 +24,7 @@ from repro.parallel import ParallelQueryEngine
 from repro.service import CommunityService
 from repro.snapshot import SnapshotStore
 
-from chaos_helpers import publish_fig4
+from chaos_helpers import publish_fig4, wait_until
 
 
 def post(service, path, payload):
@@ -68,6 +70,42 @@ class TestWorkerReloadRollback:
                 assert body["snapshot"] == new_id
                 assert all(s["snapshot_id"] == new_id
                            for s in engine.worker_stats())
+
+    def test_respawn_after_swap_loads_the_adopted_snapshot(
+            self, fig4_store):
+        """A worker respawned *after* a successful hot swap must load
+        the newly adopted artifact, not the one the pool was
+        constructed with — one respawn must never put two snapshot
+        generations in service at once."""
+        old_id = SnapshotStore(fig4_store).latest_id()
+        with ParallelQueryEngine(fig4_store, workers=2) as engine:
+            new = publish_fig4(fig4_store, radius=4.0)
+            assert new.id != old_id
+            engine.load_snapshot(SnapshotStore(fig4_store).resolve())
+            assert engine.pool.snapshot_path == str(new.path)
+
+            victim = engine.pool.pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(
+                lambda: engine.pool.alive == 2
+                and engine.pool.pids().get(0) not in (None, victim))
+            assert wait_until(lambda: all(
+                row.get("snapshot_id") == new.id
+                for row in engine.worker_stats()))
+
+    def test_rollback_re_points_respawns_at_the_old_snapshot(
+            self, fig4_store, monkeypatch):
+        """After a failed swap rolls back, a respawned worker must
+        load the *previous* (still-serving) artifact."""
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.reload=once:raise")
+        with ParallelQueryEngine(fig4_store, workers=2) as engine:
+            active = engine._active
+            publish_fig4(fig4_store, radius=4.0)
+            with pytest.raises(SnapshotError):
+                engine.load_snapshot(
+                    SnapshotStore(fig4_store).resolve())
+            assert engine.pool.snapshot_path == str(active.path)
 
     def test_engine_swap_raises_and_rolls_back(self, fig4_store,
                                                monkeypatch):

@@ -7,6 +7,8 @@ the watchdog's replacement forks with a clean registry).
 """
 
 import json
+import os
+import signal
 
 import pytest
 
@@ -71,6 +73,76 @@ class TestWatchdog:
     def test_nonpositive_lease_rejected(self, snapshot_path):
         with pytest.raises(ValueError):
             WorkerPool(snapshot_path, lease_seconds=0.0)
+
+    def test_queue_wait_does_not_count_against_the_lease(
+            self, snapshot_path, monkeypatch):
+        """Three back-to-back 1 s queries on one worker, 1.8 s lease:
+        each gets a full lease from the moment it *starts*, so the
+        last one — which waits ~2 s in the queue — must not be
+        declared hung while the worker makes normal progress."""
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.exec=always:sleep(1.0)")
+        pool = WorkerPool(snapshot_path, workers=1,
+                          lease_seconds=1.8).start()
+        try:
+            monkeypatch.delenv("REPRO_FAILPOINTS")
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            futures = [pool.submit("query", spec, worker_id=0)
+                       for _ in range(3)]
+            for future in futures:
+                communities, _timings, _counters = \
+                    future.result(timeout=POLL_SECONDS)
+                assert len(communities) == 1
+            assert pool.timeouts == 0
+            assert pool.respawns == 0
+        finally:
+            pool.shutdown()
+
+    def test_respawn_hung_at_startup_is_still_bounded(
+            self, snapshot_path, monkeypatch):
+        """A replacement worker that wedges while loading its
+        snapshot never emits ``started`` markers; requests queued to
+        it must still fail within ~one lease (via dispatch age), not
+        hang forever."""
+        pool = WorkerPool(snapshot_path, workers=1,
+                          lease_seconds=1.0).start()
+        try:
+            victim = pool.pids()[0]
+            monkeypatch.setenv("REPRO_FAILPOINTS",
+                               "worker.start=always:sleep(60)")
+            os.kill(victim, signal.SIGKILL)
+            assert wait_until(
+                lambda: pool.pids().get(0) not in (None, victim))
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            future = pool.submit("query", spec, worker_id=0)
+            with pytest.raises(WorkerTimeoutError) as excinfo:
+                future.result(timeout=POLL_SECONDS)
+            assert "lease" in str(excinfo.value)
+            assert pool.timeouts >= 1
+            monkeypatch.delenv("REPRO_FAILPOINTS")
+        finally:
+            pool.shutdown()
+
+
+class TestRouterResilience:
+    def test_router_survives_garbage_on_the_result_queue(
+            self, snapshot_path):
+        """A worker SIGKILLed mid-put can leave a torn message in the
+        shared result queue; the router must drop it and keep
+        resolving futures instead of dying (which would hang every
+        later request)."""
+        pool = WorkerPool(snapshot_path, workers=1).start()
+        try:
+            pool._result_queue.put(("garbage",))       # wrong arity
+            pool._result_queue.put(
+                ("rid", 0, "ok"))                      # also torn
+            spec = QuerySpec.comm_k(list(FIG4_QUERY), 1, FIG4_RMAX)
+            communities, _timings, _counters = pool.request(
+                "query", spec, timeout=POLL_SECONDS)
+            assert len(communities) == 1
+            assert pool._router.is_alive()
+        finally:
+            pool.shutdown()
 
 
 class TestServiceMapping:
