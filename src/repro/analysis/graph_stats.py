@@ -63,9 +63,9 @@ def degree_statistics(dbg: DatabaseGraph) -> Dict[str, float]:
         "max_in_degree": float(
             max((graph.in_degree(u) for u in range(graph.n)),
                 default=0)),
-        "avg_edge_weight": (sum(weights) / len(weights)) if weights
-        else 0.0,
-        "max_edge_weight": max(weights, default=0.0),
+        "avg_edge_weight": (float(sum(weights)) / len(weights))
+        if len(weights) else 0.0,
+        "max_edge_weight": float(max(weights, default=0.0)),
     }
 
 

@@ -166,6 +166,7 @@ def cmd_serve(args) -> int:
     from repro.service import CommunityService
 
     engine_close = None
+    snapshot_mode = getattr(args, "snapshot_mode", "auto")
     if getattr(args, "snapshot", None):
         from repro.snapshot.store import locate_snapshot
 
@@ -179,17 +180,25 @@ def cmd_serve(args) -> int:
 
             engine = ParallelQueryEngine(
                 path, workers=args.workers,
-                lease_seconds=args.worker_lease).start()
+                lease_seconds=args.worker_lease,
+                snapshot_mode=snapshot_mode).start()
             engine_close = engine.close
             print(f"started {args.workers} worker processes",
                   file=sys.stderr)
         else:
             from repro.engine.engine import QueryEngine
 
-            engine = QueryEngine.from_snapshot(path)
+            engine = QueryEngine.from_snapshot(path,
+                                               mode=snapshot_mode)
         dbg = engine.dbg
-        print(f"loaded snapshot {engine.snapshot_id} from {path}",
-              file=sys.stderr)
+        resolved = engine.snapshot_mode or "copy"
+        print(f"loaded snapshot {engine.snapshot_id} from {path} "
+              f"({resolved} mode)", file=sys.stderr)
+        if snapshot_mode != "copy" and resolved == "copy":
+            print("warning: snapshot has gzip-compressed sections; "
+                  "falling back to copy mode (workers cannot share "
+                  "pages). Rebuild without --compress to enable "
+                  "mmap.", file=sys.stderr)
     else:
         dbg, search = _resolve_search(args)
         if search.index is None:
@@ -203,7 +212,8 @@ def cmd_serve(args) -> int:
         session_ttl=args.session_ttl, max_sessions=args.max_sessions,
         default_deadline=args.deadline,
         snapshot_source=getattr(args, "snapshot", None),
-        drain_seconds=args.drain_seconds)
+        drain_seconds=args.drain_seconds,
+        snapshot_mode=snapshot_mode)
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{service.host} {service.port}\n")
@@ -269,12 +279,15 @@ def cmd_snapshot_inspect(args) -> int:
     """``snapshot inspect``: print a snapshot's manifest summary."""
     import json as _json
 
-    from repro.snapshot.snapshot import read_manifest
+    from repro.snapshot.snapshot import (read_manifest,
+                                         snapshot_is_mappable)
     from repro.snapshot.store import locate_snapshot
 
     manifest = read_manifest(locate_snapshot(args.path))
     if args.json:
-        print(_json.dumps(manifest, indent=2, sort_keys=True))
+        payload = dict(manifest)
+        payload["mmap"] = snapshot_is_mappable(manifest)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
         return 0
     counts = manifest["counts"]
     print(f"snapshot   {manifest['id']}")
@@ -284,12 +297,21 @@ def cmd_snapshot_inspect(args) -> int:
           f"edges, {counts['vocab']} keywords, "
           f"{counts['node_postings']}/{counts['edge_postings']} "
           f"node/edge postings")
+    total = 0
     for name in sorted(manifest["sections"]):
         section = manifest["sections"][name]
+        total += section["bytes"]
         gz = " (gzip)" if section.get("gzip") else ""
         print(f"section    {name}: {section['file']} "
               f"{section['bytes']} bytes "
               f"sha256={section['sha256'][:12]}...{gz}")
+    if snapshot_is_mappable(manifest):
+        print(f"mmap       yes ({total} bytes shareable across "
+              f"workers)")
+    else:
+        print("mmap       no (gzip-compressed sections; rebuild "
+              "without --compress to serve with --snapshot-mode "
+              "mmap)")
     return 0
 
 
@@ -392,6 +414,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "directory or a store root, whose "
                              "'latest' is used); enables POST "
                              "/admin/reload")
+    serve.add_argument("--snapshot-mode", dest="snapshot_mode",
+                       choices=("auto", "mmap", "copy"),
+                       default="auto",
+                       help="how to materialize the snapshot: 'mmap' "
+                            "maps the uncompressed sections as "
+                            "read-only views shared by all workers "
+                            "through the page cache, 'copy' "
+                            "deserializes private objects, 'auto' "
+                            "(default) maps when the artifact allows "
+                            "it and warns on fallback")
     serve.add_argument("--index", help="a saved index file")
     serve.add_argument("--radius", type=float, default=8.0,
                        help="index radius R when building in-process "

@@ -71,11 +71,11 @@ class _Frontier:
             targets = self._adjacency.targets
             weights = self._adjacency.weights
             for idx in range(indptr[u], indptr[u + 1]):
-                v = targets[idx]
+                v = int(targets[idx])
                 if v not in self.dist:
                     heapq.heappush(
                         self._heap,
-                        (d + weights[idx], v, origin, u))
+                        (d + float(weights[idx]), v, origin, u))
             return u
         return None
 

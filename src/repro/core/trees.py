@@ -89,12 +89,12 @@ def _simple_paths(dbg: DatabaseGraph, source: int, targets: FrozenSet[int],
                     f"tree enumeration exceeded {max_paths} paths; "
                     f"tighten max_weight or raise max_paths")
         for idx in range(indptr[node], indptr[node + 1]):
-            succ = succs[idx]
+            succ = int(succs[idx])
             if succ in path:
                 continue
-            if weight + succ_weights[idx] <= max_weight:
-                stack.append((succ, path + (succ,),
-                              weight + succ_weights[idx]))
+            step = float(succ_weights[idx])
+            if weight + step <= max_weight:
+                stack.append((succ, path + (succ,), weight + step))
     return found
 
 

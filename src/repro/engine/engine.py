@@ -99,6 +99,8 @@ class QueryEngine:
         self._index = index
         self._snapshot_id: Optional[str] = None
         self._snapshot_loaded_at: Optional[float] = None
+        self._snapshot_mode: Optional[str] = None
+        self._mode_request: str = "copy"
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
@@ -107,22 +109,44 @@ class QueryEngine:
     def from_snapshot(cls, source: Union[str, Path, Snapshot],
                       verify: bool = True,
                       registry: Optional[AlgorithmRegistry] = None,
-                      cache_capacity: int = DEFAULT_CAPACITY
-                      ) -> "QueryEngine":
-        """An engine serving a snapshot, generation = snapshot id."""
-        snapshot = (source if isinstance(source, Snapshot)
-                    else _load_snapshot(source, verify=verify))
+                      cache_capacity: int = DEFAULT_CAPACITY,
+                      mode: str = "copy") -> "QueryEngine":
+        """An engine serving a snapshot, generation = snapshot id.
+
+        ``mode`` (``"copy"`` / ``"mmap"`` / ``"auto"``) selects how a
+        *path* source is materialized — see
+        :func:`repro.snapshot.load_snapshot`; it also becomes the
+        engine's default for later :meth:`load_snapshot` calls. An
+        already-loaded :class:`Snapshot` source is adopted as-is.
+        """
+        if isinstance(source, Snapshot):
+            snapshot = source
+            request = getattr(snapshot, "mode", "copy")
+        else:
+            snapshot = _load_snapshot(source, verify=verify,
+                                      mode=mode)
+            request = mode
         engine = cls(snapshot.dbg, snapshot.index, registry=registry,
                      cache_capacity=cache_capacity)
         engine._generation = snapshot.id
         engine._snapshot_id = snapshot.id
         engine._snapshot_loaded_at = time.time()
+        engine._snapshot_mode = getattr(snapshot, "mode", "copy")
+        engine._mode_request = request
         return engine
 
     def load_snapshot(self, path: Union[str, Path],
-                      verify: bool = True) -> Snapshot:
-        """Load the snapshot at ``path`` and swap the engine onto it."""
-        snapshot = _load_snapshot(path, verify=verify)
+                      verify: bool = True,
+                      mode: Optional[str] = None) -> Snapshot:
+        """Load the snapshot at ``path`` and swap the engine onto it.
+
+        ``mode=None`` re-uses the mode this engine was created with,
+        so a reload broadcast keeps every worker in its configured
+        materialization.
+        """
+        if mode is None:
+            mode = self._mode_request
+        snapshot = _load_snapshot(path, verify=verify, mode=mode)
         self.swap_snapshot(snapshot)
         return snapshot
 
@@ -149,6 +173,7 @@ class QueryEngine:
             self._generation = snapshot.id
             self._snapshot_id = snapshot.id
             self._snapshot_loaded_at = time.time()
+            self._snapshot_mode = getattr(snapshot, "mode", "copy")
         self.cache.invalidate()
         return True
 
@@ -167,6 +192,13 @@ class QueryEngine:
         """Epoch seconds of the last snapshot load/swap, if any."""
         return self._snapshot_loaded_at
 
+    @property
+    def snapshot_mode(self) -> Optional[str]:
+        """Resolved materialization of the served snapshot
+        (``"copy"`` or ``"mmap"``); ``None`` when the engine never
+        loaded one."""
+        return self._snapshot_mode
+
     # ------------------------------------------------------------------
     # index lifecycle — every change advances the generation
     # ------------------------------------------------------------------
@@ -183,6 +215,7 @@ class QueryEngine:
             self._epoch += 1
             self._generation = f"g{self._epoch}"
             self._snapshot_id = None
+            self._snapshot_mode = None
         self.cache.invalidate()
 
     @property

@@ -5,15 +5,25 @@ edge directions (``Neighbor()`` walks edges backwards, ``GetCommunity()``
 walks both ways), so the compiled form keeps two CSR adjacencies — one
 for out-edges and one for in-edges — built once from the same edge set.
 
-The adjacency arrays are plain Python lists rather than numpy arrays:
-the hot loop (heap-based Dijkstra) indexes single elements, where list
-indexing is several times faster than numpy scalar extraction. numpy is
-used only transiently for the ``O(m log m)`` sort during construction.
+The adjacency arrays are plain Python lists in the default (copy-mode)
+build: the hot loop (heap-based Dijkstra) indexes single elements,
+where list indexing is several times faster than numpy scalar
+extraction. numpy is used only transiently for the ``O(m log m)`` sort
+during construction.
+
+The mmap snapshot path is the exception: :meth:`CompiledGraph.from_csr_arrays`
+wraps *read-only numpy views* over a memory-mapped section directly —
+no ``tolist()``, no re-packing — so every worker process shares one
+physical copy of the adjacency through the page cache. The two
+representations are interchangeable behind the same indexing protocol;
+code that hands values out of the arrays converts them to Python
+scalars at the boundary (``int()``/``float()``), so downstream results
+are byte-identical whichever backing store produced them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,12 +37,15 @@ class CSRAdjacency:
 
     For node ``u``, its neighbors are
     ``targets[indptr[u]:indptr[u + 1]]`` with matching ``weights``.
+    The three columns are either plain Python lists (copy mode) or
+    read-only int64/float64 numpy views (mmap mode); both support the
+    same single-element indexing the Dijkstra kernels rely on.
     """
 
     __slots__ = ("indptr", "targets", "weights")
 
-    def __init__(self, indptr: List[int], targets: List[int],
-                 weights: List[float]) -> None:
+    def __init__(self, indptr: Sequence[int], targets: Sequence[int],
+                 weights: Sequence[float]) -> None:
         self.indptr = indptr
         self.targets = targets
         self.weights = weights
@@ -42,22 +55,39 @@ class CSRAdjacency:
         start, stop = self.indptr[u], self.indptr[u + 1]
         targets, weights = self.targets, self.weights
         for idx in range(start, stop):
-            yield targets[idx], weights[idx]
+            yield int(targets[idx]), float(weights[idx])
 
     def degree(self, u: int) -> int:
         """Number of edges leaving ``u`` in this direction."""
-        return self.indptr[u + 1] - self.indptr[u]
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+
+def _sorted_csr_columns(n: int, src: np.ndarray, dst: np.ndarray,
+                        wgt: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort edges by (source, target) and derive the indptr column."""
+    order = np.lexsort((dst, src))
+    dst, wgt = dst[order], wgt[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst, wgt
 
 
 def _build_adjacency(n: int, src: np.ndarray, dst: np.ndarray,
                      wgt: np.ndarray) -> CSRAdjacency:
     """Sort edges by source and pack them into CSR lists."""
-    order = np.lexsort((dst, src))
-    src, dst, wgt = src[order], dst[order], wgt[order]
-    counts = np.bincount(src, minlength=n)
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=indptr[1:])
+    indptr, dst, wgt = _sorted_csr_columns(n, src, dst, wgt)
     return CSRAdjacency(indptr.tolist(), dst.tolist(), wgt.tolist())
+
+
+def _build_adjacency_arrays(n: int, src: np.ndarray, dst: np.ndarray,
+                            wgt: np.ndarray) -> CSRAdjacency:
+    """Like :func:`_build_adjacency`, but keep (read-only) arrays."""
+    indptr, dst, wgt = _sorted_csr_columns(n, src, dst, wgt)
+    for arr in (indptr, dst, wgt):
+        arr.setflags(write=False)
+    return CSRAdjacency(indptr, dst, wgt)
 
 
 class CompiledGraph:
@@ -76,9 +106,10 @@ class CompiledGraph:
         self.m = m
         self.forward = forward
         self.reverse = reverse
-        self._in_degree: List[int] = [
-            reverse.indptr[u + 1] - reverse.indptr[u] for u in range(n)
-        ]
+        # Derived lazily on first in_degree() call: snapshot loads (the
+        # worker-spawn path) never need it, and BANKS node scoring —
+        # the one consumer — touches every node anyway.
+        self._in_degree: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -118,20 +149,10 @@ class CompiledGraph:
         reverse = _build_adjacency(n, dst, src, wgt)
         return cls(n, len(src), forward, reverse)
 
-    @classmethod
-    def from_csr(cls, n: int, indptr: Sequence[int],
-                 targets: Sequence[int],
-                 weights: Sequence[float]) -> "CompiledGraph":
-        """Rebuild from a forward-CSR dump (already sorted, deduped).
-
-        This is the snapshot load path: the stored arrays *are* the
-        compiled forward adjacency, so only the reverse adjacency is
-        recomputed (one vectorized pass) — no per-edge Python tuples,
-        no re-sorting, no parallel-edge collapsing.
-        """
-        indptr_arr = np.asarray(indptr, dtype=np.int64)
-        dst = np.asarray(targets, dtype=np.int64)
-        wgt = np.asarray(weights, dtype=np.float64)
+    @staticmethod
+    def _validate_csr(n: int, indptr_arr: np.ndarray, dst: np.ndarray,
+                      wgt: np.ndarray) -> int:
+        """Shared forward-CSR validation; returns the edge count."""
         if n < 0:
             raise EdgeError(f"node count must be non-negative, got {n}")
         if len(indptr_arr) != n + 1 or indptr_arr[0] != 0:
@@ -147,13 +168,54 @@ class CompiledGraph:
         if m and (dst.min() < 0 or dst.max() >= n):
             bad = int(dst.min() if dst.min() < 0 else dst.max())
             raise NodeNotFoundError(bad, n)
-        if m and wgt.min() < 0:
-            raise EdgeError("negative edge weight in CSR arrays")
+        if m and not wgt.min() >= 0:  # catches negatives *and* NaN
+            raise EdgeError("negative or NaN edge weight in CSR arrays")
+        return m
+
+    @classmethod
+    def from_csr(cls, n: int, indptr: Sequence[int],
+                 targets: Sequence[int],
+                 weights: Sequence[float]) -> "CompiledGraph":
+        """Rebuild from a forward-CSR dump (already sorted, deduped).
+
+        This is the copy-mode snapshot load path: the stored arrays
+        *are* the compiled forward adjacency, so only the reverse
+        adjacency is recomputed (one vectorized pass) — no per-edge
+        Python tuples, no re-sorting, no parallel-edge collapsing.
+        """
+        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        wgt = np.asarray(weights, dtype=np.float64)
+        m = cls._validate_csr(n, indptr_arr, dst, wgt)
         forward = CSRAdjacency(indptr_arr.tolist(), dst.tolist(),
                                wgt.tolist())
         src = np.repeat(np.arange(n, dtype=np.int64),
                         np.diff(indptr_arr))
         reverse = _build_adjacency(n, dst, src, wgt)
+        return cls(n, m, forward, reverse)
+
+    @classmethod
+    def from_csr_arrays(cls, n: int, indptr: np.ndarray,
+                        targets: np.ndarray,
+                        weights: np.ndarray) -> "CompiledGraph":
+        """Wrap forward-CSR *array views* without copying them.
+
+        The mmap snapshot load path: ``indptr``/``targets``/``weights``
+        are read-only little-endian views over the mapped ``graph.bin``
+        section and become the forward adjacency as-is, so the hot
+        arrays stay backed by the shared page cache. Only the reverse
+        adjacency is derived (one vectorized pass into private,
+        read-only arrays — it has a different sort order, so it cannot
+        be a view of the section).
+        """
+        indptr_arr = np.asarray(indptr, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        wgt = np.asarray(weights, dtype=np.float64)
+        m = cls._validate_csr(n, indptr_arr, dst, wgt)
+        forward = CSRAdjacency(indptr_arr, dst, wgt)
+        src = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(indptr_arr))
+        reverse = _build_adjacency_arrays(n, dst, src, wgt)
         return cls(n, m, forward, reverse)
 
     # ------------------------------------------------------------------
@@ -167,7 +229,11 @@ class CompiledGraph:
     def in_degree(self, u: int) -> int:
         """In-degree of ``u`` (``N_in`` in the BANKS weight formula)."""
         self._check_node(u)
-        return self._in_degree[u]
+        degrees = self._in_degree
+        if degrees is None:
+            indptr = np.asarray(self.reverse.indptr, dtype=np.int64)
+            degrees = self._in_degree = np.diff(indptr).tolist()
+        return degrees[u]
 
     def out_edges(self, u: int) -> Iterator[Tuple[int, float]]:
         """Yield ``(v, w)`` for each edge ``u -> v``."""
@@ -186,7 +252,7 @@ class CompiledGraph:
         weights = self.forward.weights
         for u in range(self.n):
             for idx in range(indptr[u], indptr[u + 1]):
-                yield u, targets[idx], weights[idx]
+                yield u, int(targets[idx]), float(weights[idx])
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of edge ``u -> v``; raises :class:`EdgeError` if absent."""
@@ -196,7 +262,7 @@ class CompiledGraph:
         targets = forward.targets
         for idx in range(forward.indptr[u], forward.indptr[u + 1]):
             if targets[idx] == v:
-                return forward.weights[idx]
+                return float(forward.weights[idx])
         raise EdgeError(f"no edge ({u}, {v})")
 
     def has_edge(self, u: int, v: int) -> bool:
@@ -220,9 +286,9 @@ class CompiledGraph:
         for u in node_set:
             self._check_node(u)
             for idx in range(indptr[u], indptr[u + 1]):
-                v = targets[idx]
+                v = int(targets[idx])
                 if v in node_set:
-                    result.append((u, v, weights[idx]))
+                    result.append((u, v, float(weights[idx])))
         result.sort()
         return result
 

@@ -206,8 +206,11 @@ def flat_bounded_dijkstra(adjacency: CSRAdjacency,
         if done[u] == epoch:
             continue  # stale heap entry
         done[u] = epoch
-        dist[u] = d
-        src[u] = origin
+        # Settled entries become the result dicts — coerce to Python
+        # scalars so numpy types from mmap-backed adjacencies never
+        # leak into downstream node sets / costs / JSON payloads.
+        dist[int(u)] = float(d)
+        src[int(u)] = int(origin)
         for idx in range(indptr[u], indptr[u + 1]):
             v = targets[idx]
             if done[v] == epoch:
@@ -256,8 +259,8 @@ def heap_bounded_dijkstra(adjacency: CSRAdjacency,
         d, u, origin = heappop(heap)
         if u in dist:
             continue  # stale heap entry
-        dist[u] = d
-        src[u] = origin
+        dist[int(u)] = float(d)
+        src[int(u)] = int(origin)
         start, stop = indptr[u], indptr[u + 1]
         for idx in range(start, stop):
             v = targets[idx]

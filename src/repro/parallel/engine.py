@@ -63,18 +63,24 @@ class ParallelQueryEngine:
                  mp_method: Optional[str] = None,
                  lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
-                 respawn_window: float = DEFAULT_RESPAWN_WINDOW
+                 respawn_window: float = DEFAULT_RESPAWN_WINDOW,
+                 snapshot_mode: str = "copy"
                  ) -> None:
         self.path = locate_snapshot(source)
+        #: Requested materialization for parent and workers alike
+        #: (``"copy"`` / ``"mmap"`` / ``"auto"``). In mmap mode all
+        #: N+1 processes share one page-cache copy of the sections.
+        self._mode_request = snapshot_mode
         #: The snapshot everyone (parent + workers) currently serves;
         #: kept so a failed swap can roll back to it.
-        self._active = load_snapshot(self.path)
+        self._active = load_snapshot(self.path, mode=snapshot_mode)
         self.local = QueryEngine.from_snapshot(self._active)
         self.pool = WorkerPool(self.path, workers=workers,
                                mp_method=mp_method,
                                lease_seconds=lease_seconds,
                                max_respawns=max_respawns,
-                               respawn_window=respawn_window)
+                               respawn_window=respawn_window,
+                               snapshot_mode=snapshot_mode)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -126,6 +132,13 @@ class ParallelQueryEngine:
     def snapshot_loaded_at(self) -> Optional[float]:
         """Epoch seconds of the last snapshot load/swap."""
         return self.local.snapshot_loaded_at
+
+    @property
+    def snapshot_mode(self) -> Optional[str]:
+        """Materialization actually in effect (``"copy"``/``"mmap"``)
+        — an ``"auto"`` request resolves against the artifact. Same
+        surface as :attr:`QueryEngine.snapshot_mode`."""
+        return self.local.snapshot_mode
 
     @property
     def index(self):
@@ -265,8 +278,10 @@ class ParallelQueryEngine:
 
     def load_snapshot(self, path: Union[str, Path],
                       verify: bool = True) -> Snapshot:
-        """Load ``path`` and swap everyone onto it."""
-        snapshot = load_snapshot(path, verify=verify)
+        """Load ``path`` (in the configured mode) and swap everyone
+        onto it."""
+        snapshot = load_snapshot(path, verify=verify,
+                                 mode=self._mode_request)
         self.swap_snapshot(snapshot)
         return snapshot
 

@@ -119,7 +119,8 @@ class WorkerPool:
                  mp_method: Optional[str] = None,
                  lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
-                 respawn_window: float = DEFAULT_RESPAWN_WINDOW
+                 respawn_window: float = DEFAULT_RESPAWN_WINDOW,
+                 snapshot_mode: str = "copy"
                  ) -> None:
         if workers <= 0:
             raise ValueError(
@@ -128,6 +129,10 @@ class WorkerPool:
             raise ValueError(
                 f"lease_seconds must be positive, got {lease_seconds}")
         self.snapshot_path = str(snapshot_path)
+        #: How each worker materializes the snapshot (``"copy"`` /
+        #: ``"mmap"`` / ``"auto"``); mmap-mode workers share one
+        #: page-cache copy and (re)spawn without deserializing.
+        self.snapshot_mode = snapshot_mode
         self.workers = workers
         #: Per-request watchdog lease; ``None`` disables the watchdog.
         self.lease_seconds = lease_seconds
@@ -197,7 +202,7 @@ class WorkerPool:
         process = self._ctx.Process(
             target=worker_main,
             args=(worker_id, self.snapshot_path, queue,
-                  self._result_queue),
+                  self._result_queue, self.snapshot_mode),
             daemon=True, name=f"repro-worker-{worker_id}")
         process.start()
         self._handles[worker_id] = _WorkerHandle(

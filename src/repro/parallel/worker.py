@@ -67,6 +67,7 @@ def _stats(worker_id: int, engine: QueryEngine) -> Dict[str, Any]:
         "worker": worker_id,
         "pid": os.getpid(),
         "snapshot_id": engine.snapshot_id,
+        "snapshot_mode": engine.snapshot_mode,
         "generation": engine.generation,
         "dijkstra_memo_hits": memo.hits,
         "dijkstra_memo_misses": memo.misses,
@@ -86,14 +87,23 @@ def _reload(worker_id: int, engine: QueryEngine,
 
 
 def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
-                result_queue: Any) -> None:
-    """Process target: load the snapshot, serve tasks until sentinel."""
+                result_queue: Any,
+                snapshot_mode: str = "copy") -> None:
+    """Process target: load the snapshot, serve tasks until sentinel.
+
+    ``snapshot_mode`` is how this worker materializes the artifact —
+    ``"mmap"``/``"auto"`` let every worker share one page-cache copy
+    of the uncompressed sections, making spawn (and watchdog respawn,
+    and reload) skip the full deserialization. The engine remembers
+    the mode, so ``reload`` tasks stay in it.
+    """
     # A spawned (not forked) worker starts with a fresh interpreter:
     # re-read REPRO_FAILPOINTS so chaos scenarios reach it too.
     faults.reload_env()
     faults.hit("worker.start")
     faults.hit(f"worker.{worker_id}.start")
-    engine = QueryEngine.from_snapshot(snapshot_path)
+    engine = QueryEngine.from_snapshot(snapshot_path,
+                                       mode=snapshot_mode)
     while True:
         task = task_queue.get()
         if task is None:

@@ -238,7 +238,8 @@ class CommunityService:
                  max_sessions: int = DEFAULT_MAX_SESSIONS,
                  default_deadline: Optional[float] = None,
                  snapshot_source: Optional[Union[str, Path]] = None,
-                 drain_seconds: float = DEFAULT_DRAIN_SECONDS
+                 drain_seconds: float = DEFAULT_DRAIN_SECONDS,
+                 snapshot_mode: str = "copy"
                  ) -> None:
         self.engine = engine
         self.default_deadline = default_deadline
@@ -248,6 +249,11 @@ class CommunityService:
         #: Where ``POST /admin/reload`` looks for the newest published
         #: snapshot: a snapshot directory or a store root.
         self.snapshot_source = snapshot_source
+        #: Materialization requested for admin reload loads
+        #: (``"copy"`` / ``"mmap"`` / ``"auto"``) — should match how
+        #: the engine itself was loaded, so a reload never silently
+        #: changes the serving mode.
+        self.snapshot_mode = snapshot_mode
         self.admission = AdmissionController(
             workers=workers, queue_depth=queue_depth,
             default_deadline=default_deadline)
@@ -443,6 +449,8 @@ class CommunityService:
             "status": "ok",
             "generation": self.engine.generation,
             "snapshot": self.engine.snapshot_id,
+            "snapshot_mode": getattr(self.engine, "snapshot_mode",
+                                     None),
             "sessions": self.sessions.count,
             "queued": self.admission.queued,
             "in_flight": self.admission.in_flight,
@@ -475,7 +483,8 @@ class CommunityService:
                 "no snapshot source configured; serve with a "
                 "--snapshot source or supply 'path' in the body")
         try:
-            snapshot = load_snapshot(locate_snapshot(source))
+            snapshot = load_snapshot(locate_snapshot(source),
+                                     mode=self.snapshot_mode)
         except SnapshotNotFoundError as error:
             raise NotFound(str(error))
         except SnapshotError as error:
@@ -682,10 +691,14 @@ class CommunityService:
         })
         infos: Dict[str, Any] = {}
         if self.engine.snapshot_id is not None:
+            mode = getattr(self.engine, "snapshot_mode", None)
             infos["repro_snapshot_info"] = {
-                "snapshot_id": self.engine.snapshot_id}
+                "snapshot_id": self.engine.snapshot_id,
+                "mode": mode or "unknown"}
             gauges["repro_snapshot_loaded_timestamp_seconds"] = \
                 float(self.engine.snapshot_loaded_at or 0.0)
+            gauges["repro_snapshot_mmap"] = (
+                1.0 if mode == "mmap" else 0.0)
         self._worker_metrics(counters, gauges, infos)
         return self.metrics.render(counters=counters, gauges=gauges,
                                    infos=infos)

@@ -117,21 +117,39 @@ def index_from_payload(payload: Dict[str, Any],
 
     A cheap sanity check rejects node postings outside the graph's
     node range — the symptom of pairing an index file with the wrong
-    graph.
+    graph — plus NaN and negative edge weights, which no valid build
+    can produce but a hand-edited or damaged file can. Each posting
+    is validated in the same pass that converts it, rather than
+    re-scanning every list with ``min``/``max`` afterwards.
     """
-    node_postings = {
-        kw: [int(u) for u in nodes]
-        for kw, nodes in payload["node_postings"].items()
-    }
-    for kw, nodes in node_postings.items():
-        if nodes and (min(nodes) < 0 or max(nodes) >= dbg.n):
-            raise QueryError(
-                f"index posting for {kw!r} references node outside "
-                f"the supplied graph (n={dbg.n}); wrong graph?")
-    edge_postings = {
-        kw: [(int(u), int(v), float(w)) for u, v, w in edges]
-        for kw, edges in payload["edge_postings"].items()
-    }
+    n = dbg.n
+    node_postings: Dict[str, List[int]] = {}
+    for kw, nodes in payload["node_postings"].items():
+        converted = []
+        for u in nodes:
+            u = int(u)
+            if not 0 <= u < n:
+                raise QueryError(
+                    f"index posting for {kw!r} references node {u} "
+                    f"outside the supplied graph (n={n}); wrong "
+                    f"graph?")
+            converted.append(u)
+        node_postings[kw] = converted
+    edge_postings: Dict[str, List] = {}
+    for kw, edges in payload["edge_postings"].items():
+        converted_edges = []
+        for u, v, w in edges:
+            w = float(w)
+            if w != w:  # NaN
+                raise QueryError(
+                    f"index edge posting for {kw!r} carries a NaN "
+                    f"weight")
+            if w < 0:
+                raise QueryError(
+                    f"index edge posting for {kw!r} carries a "
+                    f"negative weight ({w})")
+            converted_edges.append((int(u), int(v), w))
+        edge_postings[kw] = converted_edges
     radius = float(payload["radius"])
     return CommunityIndex(
         dbg,

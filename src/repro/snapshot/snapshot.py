@@ -44,8 +44,9 @@ import datetime
 import gzip
 import hashlib
 import json
+import mmap as _mmap
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -58,9 +59,11 @@ from repro.exceptions import (
     SnapshotVersionError,
 )
 from repro.graph.csr import CompiledGraph
-from repro.graph.database_graph import DatabaseGraph
+from repro.graph.database_graph import DatabaseGraph, LazyDatabaseGraph
 from repro.snapshot.codec import decode_provenance, encode_provenance
 from repro.text.inverted_index import (
+    ArrayEdgeInvertedIndex,
+    ArrayNodeInvertedIndex,
     CommunityIndex,
     EdgeInvertedIndex,
     NodeInvertedIndex,
@@ -106,11 +109,18 @@ class Snapshot:
 
     def __init__(self, path: Path, manifest: Dict[str, Any],
                  dbg: DatabaseGraph,
-                 index: Optional[CommunityIndex]) -> None:
+                 index: Optional[CommunityIndex],
+                 mode: str = "copy") -> None:
         self.path = Path(path)
         self.manifest = manifest
         self.dbg = dbg
         self.index = index
+        #: How the artifact was materialized: ``"copy"`` (private
+        #: Python objects, the legacy path) or ``"mmap"`` (read-only
+        #: array views over the mapped section files). A just-written
+        #: snapshot wraps the in-memory objects it was built from and
+        #: reports ``"copy"``.
+        self.mode = mode
 
     @property
     def id(self) -> str:
@@ -142,7 +152,8 @@ class Snapshot:
     def __repr__(self) -> str:
         return (f"Snapshot(id={self.id!r}, nodes="
                 f"{self.counts['nodes']}, edges={self.counts['edges']}"
-                f", index={self.index is not None})")
+                f", index={self.index is not None}, "
+                f"mode={self.mode!r})")
 
 
 # ----------------------------------------------------------------------
@@ -475,17 +486,208 @@ def _decode_index(dbg: DatabaseGraph, vocab: List[str],
         build_seconds)
 
 
-def load_snapshot(path: PathLike, verify: bool = True) -> Snapshot:
+def snapshot_is_mappable(manifest: Dict[str, Any]) -> bool:
+    """True when every section can be memory-mapped (no gzip)."""
+    return not any(entry.get("gzip")
+                   for entry in manifest["sections"].values())
+
+
+def _map_section(path: Path, manifest: Dict[str, Any], name: str,
+                 verify: bool):
+    """One section as a read-only mapped buffer, checksum-checked.
+
+    Returns an ``mmap.mmap`` (or ``b""`` for an empty section) whose
+    pages every process mapping the same file shares through the page
+    cache. The same failpoints as :func:`_read_section` apply: with
+    fault injection armed, the buffer content is copied through
+    :func:`repro.faults.corrupt` so chaos tests exercise the identical
+    detection path (checksum mismatch -> typed integrity error), at
+    the cost of the copy — production runs never take that branch.
+    """
+    entry = manifest["sections"].get(name)
+    if entry is None:
+        raise SnapshotFormatError(
+            f"snapshot {manifest.get('id')} has no {name!r} section")
+    if entry.get("gzip"):
+        raise SnapshotFormatError(
+            f"snapshot section {name!r} is gzip-compressed and "
+            f"cannot be memory-mapped")
+    section_path = path / entry["file"]
+    if not section_path.is_file():
+        raise SnapshotIntegrityError(
+            f"snapshot section {section_path} is missing")
+    if section_path.stat().st_size == 0:
+        data = b""
+    else:
+        with open(section_path, "rb") as handle:
+            data = _mmap.mmap(handle.fileno(), 0,
+                              access=_mmap.ACCESS_READ)
+    if faults.is_armed():
+        data = faults.corrupt(f"snapshot.section.{name}",
+                              faults.corrupt("snapshot.section",
+                                             bytes(data)))
+    if len(data) != entry["bytes"]:
+        raise SnapshotIntegrityError(
+            f"snapshot section {section_path} is truncated: "
+            f"{len(data)} bytes, manifest says {entry['bytes']}")
+    if verify:
+        sha = hashlib.sha256(data).hexdigest()
+        if sha != entry["sha256"]:
+            raise SnapshotIntegrityError(
+                f"snapshot section {section_path} failed its "
+                f"checksum (sha256 {sha[:12]}..., manifest "
+                f"{entry['sha256'][:12]}...)")
+    return data
+
+
+def _load_mmap(path: Path, manifest: Dict[str, Any], verify: bool
+               ) -> Tuple[DatabaseGraph, Optional[CommunityIndex]]:
+    """Open the snapshot as read-only views over mapped sections.
+
+    The graph's forward CSR and both posting columns become
+    ``np.frombuffer`` views of the mapped files — zero copies, shared
+    page-cache pages across workers. ``nodes.json`` is *not* parsed
+    here: its decode (plus per-node keyword/provenance
+    materialization) happens lazily on first metadata access, which is
+    what makes worker spawn O(ms). Checksums are still verified
+    eagerly over the mapped bytes, so integrity detection is identical
+    to copy mode.
+    """
+    graph_buf = _map_section(path, manifest, "graph", verify)
+    nodes_buf = _map_section(path, manifest, "nodes", verify)
+    n = manifest["counts"]["nodes"]
+    m = manifest["counts"]["edges"]
+    indptr, targets, weights = _split(
+        graph_buf, (_INT, n + 1), (_INT, m), (_FLOAT, m))
+    try:
+        graph = CompiledGraph.from_csr_arrays(n, indptr, targets,
+                                              weights)
+    except GraphError as exc:
+        raise SnapshotIntegrityError(
+            f"snapshot graph section is inconsistent: {exc}") from exc
+
+    payload_box: List[tuple] = []
+
+    def nodes_payload() -> tuple:
+        """Parse ``nodes.json`` once, shared by graph and indexes."""
+        if not payload_box:
+            try:
+                nodes = json.loads(bytes(nodes_buf).decode("utf-8"))
+                vocab = nodes["vocab"]
+                node_kws = nodes["node_keywords"]
+                labels = nodes["labels"]
+                provenance = nodes["provenance"]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise SnapshotIntegrityError(
+                    f"snapshot nodes section is undecodable: "
+                    f"{exc}") from exc
+            if len(node_kws) != n or len(labels) != n \
+                    or len(provenance) != n:
+                raise SnapshotIntegrityError(
+                    f"snapshot node sections disagree with the "
+                    f"graph: {len(labels)} labels / {len(node_kws)} "
+                    f"keyword lists / {len(provenance)} provenance "
+                    f"entries for {n} nodes")
+            vocab_size = len(vocab)
+            if any(i < 0 or i >= vocab_size
+                   for ids in node_kws for i in ids):
+                raise SnapshotIntegrityError(
+                    "snapshot nodes section references a keyword id "
+                    "outside its vocabulary")
+            payload_box.append((vocab, node_kws, labels, provenance))
+        return payload_box[0]
+
+    dbg: DatabaseGraph = LazyDatabaseGraph(graph, nodes_payload,
+                                           decode_provenance)
+    index: Optional[CommunityIndex] = None
+    if manifest.get("has_index"):
+        index_buf = _map_section(path, manifest, "index", verify)
+        postings_buf = _map_section(path, manifest, "postings",
+                                    verify)
+        try:
+            directory = json.loads(bytes(index_buf).decode("utf-8"))
+            node_kw_ids = [int(i) for i in directory["node_keywords"]]
+            edge_kw_ids = [int(i) for i in directory["edge_keywords"]]
+            node_counts = [int(c) for c in directory["node_counts"]]
+            edge_counts = [int(c) for c in directory["edge_counts"]]
+            radius = float(directory["radius"])
+            build_seconds = float(directory.get("build_seconds", 0.0))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SnapshotIntegrityError(
+                f"snapshot index section is undecodable: "
+                f"{exc}") from exc
+        if len(node_counts) != len(node_kw_ids) \
+                or len(edge_counts) != len(edge_kw_ids):
+            raise SnapshotIntegrityError(
+                "snapshot index directory counts do not align with "
+                "its keyword lists")
+        total_nodes = sum(node_counts)
+        total_edges = sum(edge_counts)
+        node_flat, edge_u, edge_v, edge_w = _split(
+            postings_buf, (_INT, total_nodes), (_INT, total_edges),
+            (_INT, total_edges), (_FLOAT, total_edges))
+        if total_nodes and (node_flat.min() < 0
+                            or node_flat.max() >= n):
+            raise SnapshotIntegrityError(
+                f"snapshot posting references node outside the "
+                f"bundled graph (n={n})")
+
+        def resolve_vocab() -> List[str]:
+            return nodes_payload()[0]
+
+        index = CommunityIndex(
+            dbg,
+            ArrayNodeInvertedIndex(node_kw_ids, node_counts,
+                                   node_flat, resolve_vocab),
+            ArrayEdgeInvertedIndex(edge_kw_ids, edge_counts, edge_u,
+                                   edge_v, edge_w, radius,
+                                   resolve_vocab),
+            radius, build_seconds)
+    return dbg, index
+
+
+#: Accepted ``load_snapshot`` modes. ``"auto"`` maps when the
+#: artifact allows it and silently falls back to copy otherwise.
+SNAPSHOT_MODES = ("copy", "mmap", "auto")
+
+
+def load_snapshot(path: PathLike, verify: bool = True,
+                  mode: str = "copy") -> Snapshot:
     """Load the snapshot directory at ``path``.
 
     With ``verify`` (the default, and what every production path
     uses) each section's SHA-256 is recomputed against the manifest
     before decoding; a flipped byte anywhere raises
     :class:`~repro.exceptions.SnapshotIntegrityError`.
+
+    ``mode`` selects the materialization: ``"copy"`` (default)
+    deserializes every section into private Python objects, exactly
+    as before; ``"mmap"`` maps the uncompressed section files and
+    wraps read-only array views (raising
+    :class:`~repro.exceptions.SnapshotFormatError` when a section is
+    gzip-compressed); ``"auto"`` picks mmap when possible and falls
+    back to copy. Query results are identical across modes.
     """
+    if mode not in SNAPSHOT_MODES:
+        raise ValueError(
+            f"unknown snapshot mode {mode!r}; "
+            f"expected one of {SNAPSHOT_MODES}")
     path = Path(path)
     faults.hit("snapshot.load")
     manifest = read_manifest(path)
+    use_mmap = False
+    if mode == "mmap":
+        if not snapshot_is_mappable(manifest):
+            raise SnapshotFormatError(
+                f"snapshot {manifest['id']} has gzip-compressed "
+                f"sections and cannot be memory-mapped; rebuild it "
+                f"without --compress or load with mode='copy'")
+        use_mmap = True
+    elif mode == "auto":
+        use_mmap = snapshot_is_mappable(manifest)
+    if use_mmap:
+        dbg, index = _load_mmap(path, manifest, verify)
+        return Snapshot(path, manifest, dbg, index, mode="mmap")
     graph_data = _read_section(path, manifest, "graph", verify)
     nodes_data = _read_section(path, manifest, "nodes", verify)
     dbg = _decode_graph(manifest, graph_data, nodes_data)
@@ -496,7 +698,7 @@ def load_snapshot(path: PathLike, verify: bool = True) -> Snapshot:
         postings_data = _read_section(path, manifest, "postings",
                                       verify)
         index = _decode_index(dbg, vocab, index_data, postings_data)
-    return Snapshot(path, manifest, dbg, index)
+    return Snapshot(path, manifest, dbg, index, mode="copy")
 
 
 def verify_snapshot(path: PathLike) -> Dict[str, Any]:

@@ -114,9 +114,9 @@ class EdgeInvertedIndex:
             edges: List[Edge] = []
             for u in reached:
                 for idx in range(indptr[u], indptr[u + 1]):
-                    v = targets[idx]
+                    v = int(targets[idx])
                     if v in reached:
-                        edges.append((u, v, weights[idx]))
+                        edges.append((u, v, float(weights[idx])))
             edges.sort()
             postings[kw] = edges
         return cls(postings, radius)
@@ -137,6 +137,145 @@ class EdgeInvertedIndex:
     def entry_count(self) -> int:
         """Total edge postings across all keywords."""
         return sum(len(v) for v in self._postings.values())
+
+
+class ArrayNodeInvertedIndex(NodeInvertedIndex):
+    """``invertedN`` served out of flat posting arrays, on demand.
+
+    The mmap snapshot path: instead of materializing every posting
+    list at load, this variant keeps the snapshot's flat node-posting
+    column (a read-only int64 view over the mapped ``postings.bin``)
+    plus the per-keyword ``(id, count)`` directory, and slices a
+    keyword's postings out of the column on first request — decoded to
+    a plain Python list (so callers see the exact types the dict-backed
+    index returns) and memoized.
+
+    Keyword *names* resolve lazily through ``resolve_vocab`` (the
+    snapshot's sorted vocabulary, usually behind the same parse-once
+    payload as the lazy graph metadata), so opening the index costs no
+    JSON parse at all. Vocab ids are assigned in sorted-name order,
+    hence an id-sorted directory is also name-sorted and
+    :meth:`keywords` needs no re-sort.
+    """
+
+    def __init__(self, keyword_ids: List[int], counts: List[int],
+                 flat, resolve_vocab) -> None:
+        # No super().__init__: the dict the base class wraps is
+        # replaced by the (directory, flat column) pair; every method
+        # touching ``_postings`` is overridden.
+        self._ids = keyword_ids
+        self._counts = counts
+        self._starts: List[int] = []
+        total = 0
+        for count in counts:
+            self._starts.append(total)
+            total += count
+        self._total = total
+        self._flat = flat
+        self._resolve_vocab = resolve_vocab
+        self._names: Optional[List[str]] = None
+        self._pos: Optional[Dict[str, int]] = None
+        self._memo: Dict[str, List[int]] = {}
+
+    def _positions(self) -> Dict[str, int]:
+        pos = self._pos
+        if pos is None:
+            vocab = self._resolve_vocab()
+            self._names = [vocab[i] for i in self._ids]
+            pos = self._pos = {
+                name: j for j, name in enumerate(self._names)}
+        return pos
+
+    def nodes(self, keyword: str) -> List[int]:
+        """Posting list for ``keyword``, sliced/decoded on demand."""
+        got = self._memo.get(keyword)
+        if got is None:
+            slot = self._positions().get(keyword)
+            if slot is None:
+                return []
+            start = self._starts[slot]
+            got = self._memo[keyword] = \
+                self._flat[start:start + self._counts[slot]].tolist()
+        return got
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._positions()
+
+    def keywords(self) -> List[str]:
+        """All indexed keywords (already name-sorted; see above)."""
+        self._positions()
+        return list(self._names)
+
+    def entry_count(self) -> int:
+        """Total postings across all keywords (from the directory)."""
+        return self._total
+
+
+class ArrayEdgeInvertedIndex(EdgeInvertedIndex):
+    """``invertedE`` served out of flat ``u``/``v``/``w`` columns.
+
+    Mirror of :class:`ArrayNodeInvertedIndex` for the edge postings:
+    three parallel read-only views (sources, targets, weights) sliced
+    per keyword on first request and decoded to the same
+    ``(int, int, float)`` tuples the dict-backed index stores.
+    """
+
+    def __init__(self, keyword_ids: List[int], counts: List[int],
+                 flat_u, flat_v, flat_w, radius: float,
+                 resolve_vocab) -> None:
+        self.radius = radius
+        self._ids = keyword_ids
+        self._counts = counts
+        self._starts: List[int] = []
+        total = 0
+        for count in counts:
+            self._starts.append(total)
+            total += count
+        self._total = total
+        self._flat_u = flat_u
+        self._flat_v = flat_v
+        self._flat_w = flat_w
+        self._resolve_vocab = resolve_vocab
+        self._names: Optional[List[str]] = None
+        self._pos: Optional[Dict[str, int]] = None
+        self._memo: Dict[str, List[Edge]] = {}
+
+    def _positions(self) -> Dict[str, int]:
+        pos = self._pos
+        if pos is None:
+            vocab = self._resolve_vocab()
+            self._names = [vocab[i] for i in self._ids]
+            pos = self._pos = {
+                name: j for j, name in enumerate(self._names)}
+        return pos
+
+    def edges(self, keyword: str) -> List[Edge]:
+        """Edge posting list for ``keyword``, sliced/decoded on
+        demand."""
+        got = self._memo.get(keyword)
+        if got is None:
+            slot = self._positions().get(keyword)
+            if slot is None:
+                return []
+            start = self._starts[slot]
+            stop = start + self._counts[slot]
+            got = self._memo[keyword] = list(zip(
+                self._flat_u[start:stop].tolist(),
+                self._flat_v[start:stop].tolist(),
+                self._flat_w[start:stop].tolist()))
+        return got
+
+    def __contains__(self, keyword: str) -> bool:
+        return keyword in self._positions()
+
+    def keywords(self) -> List[str]:
+        """All indexed keywords (already name-sorted; see above)."""
+        self._positions()
+        return list(self._names)
+
+    def entry_count(self) -> int:
+        """Total edge postings across all keywords."""
+        return self._total
 
 
 class CommunityIndex:

@@ -186,9 +186,9 @@ def update_index(index: CommunityIndex, new_dbg: DatabaseGraph,
         edges: List[Edge] = []
         for u in reached:
             for idx in range(indptr[u], indptr[u + 1]):
-                v = targets[idx]
+                v = int(targets[idx])
                 if v in reached:
-                    edges.append((u, v, weights[idx]))
+                    edges.append((u, v, float(weights[idx])))
         edges.sort()
         edge_postings[kw] = edges
 

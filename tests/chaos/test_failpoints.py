@@ -236,3 +236,47 @@ class TestSnapshotSites:
         with pytest.raises(FaultInjectedError):
             load_snapshot(path)
         load_snapshot(path)                         # next load is clean
+
+
+class TestMmapSnapshotSites:
+    """The mmap load path hits the same failpoints as the copy path
+    and fails with the same *typed* errors — never a bare numpy or
+    struct error escaping from the view layer."""
+
+    def test_corrupted_section_is_a_typed_error_in_mmap_mode(
+            self, fig4_store):
+        from repro.exceptions import SnapshotError
+        from repro.snapshot import SnapshotStore
+        from repro.snapshot.snapshot import load_snapshot
+
+        path = SnapshotStore(fig4_store).resolve()
+        assert load_snapshot(path, mode="mmap").mode == "mmap"
+        faults.activate("snapshot.section", "always:corrupt")
+        with pytest.raises(SnapshotIntegrityError) as excinfo:
+            load_snapshot(path, mode="mmap")
+        assert isinstance(excinfo.value, SnapshotError)
+        faults.clear()
+        load_snapshot(path, mode="mmap")            # clean again
+
+    @pytest.mark.parametrize("section",
+                             ("graph", "nodes", "index", "postings"))
+    def test_each_mapped_section_is_checksummed(self, fig4_store,
+                                                section):
+        from repro.snapshot import SnapshotStore
+        from repro.snapshot.snapshot import load_snapshot
+
+        path = SnapshotStore(fig4_store).resolve()
+        faults.activate(f"snapshot.section.{section}",
+                        "always:corrupt")
+        with pytest.raises(SnapshotIntegrityError):
+            load_snapshot(path, mode="mmap")
+
+    def test_load_site_fires_before_any_mapping(self, fig4_store):
+        from repro.snapshot import SnapshotStore
+        from repro.snapshot.snapshot import load_snapshot
+
+        path = SnapshotStore(fig4_store).resolve()
+        faults.activate("snapshot.load", "once:raise")
+        with pytest.raises(FaultInjectedError):
+            load_snapshot(path, mode="mmap")
+        load_snapshot(path, mode="mmap")
