@@ -234,6 +234,46 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_serve_router(args) -> int:
+    """``serve-router``: front a shard fleet with the scatter-gather
+    router.
+
+    Loads the routing manifest from ``--manifest`` (a partition root
+    or the ``routing.json`` file) and fans queries out to the
+    ``--shard-url`` backends — one URL per shard, in shard order; each
+    backend is an ordinary ``serve --snapshot`` server on that shard's
+    store. The router itself is stateless: run as many replicas as
+    needed over the same manifest.
+    """
+    from repro.shard import RoutingManifest, RouterService
+
+    from pathlib import Path
+
+    manifest = RoutingManifest.load(args.manifest)
+    root = Path(args.manifest)
+    if root.is_file():
+        root = root.parent
+    router = RouterService(
+        manifest, list(args.shard_url), root=root,
+        host=args.host, port=args.port,
+        shard_timeout=args.shard_timeout,
+        shard_retries=args.retries)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{router.host} {router.port}\n")
+    print(f"routing {len(manifest.shards)} shards "
+          f"({manifest.total_nodes} nodes, generation "
+          f"{manifest.generation}) on {router.url}")
+    signal.signal(signal.SIGTERM, _raise_sigterm)
+    try:
+        router.serve_forever()
+    except (KeyboardInterrupt, SystemExit):
+        print("shutting down", file=sys.stderr)
+    finally:
+        router.shutdown()
+    return 0
+
+
 def cmd_snapshot_build(args) -> int:
     """``snapshot build``: build a dataset's index and publish it.
 
@@ -275,14 +315,79 @@ def cmd_snapshot_build(args) -> int:
     return 0
 
 
-def cmd_snapshot_inspect(args) -> int:
-    """``snapshot inspect``: print a snapshot's manifest summary."""
+def cmd_snapshot_partition(args) -> int:
+    """``snapshot partition``: split a snapshot into a shard fleet.
+
+    Reads the source snapshot (a snapshot directory or a store root),
+    partitions it into ``--shards`` owned regions plus halos, publishes
+    each shard snapshot under ``<out>/shards/NN`` and writes the
+    routing manifest ``<out>/routing.json`` (see :mod:`repro.shard`).
+    """
+    from repro.shard import partition_snapshot
+
+    start = time.perf_counter()
+    manifest, path = partition_snapshot(
+        args.snapshot, args.out, args.shards,
+        halo_radius=args.halo_radius, compress=args.compress)
+    elapsed = time.perf_counter() - start
+    print(f"partitioned {manifest.source_snapshot} into "
+          f"{len(manifest.shards)} shards "
+          f"(generation {manifest.generation}, {elapsed:.1f}s)")
+    print(f"routing manifest -> {path}")
+    for entry in manifest.shards:
+        counts = entry.counts
+        print(f"  shard {entry.shard_id:02d}: {entry.snapshot_id}  "
+              f"{entry.owned_nodes} owned / "
+              f"{len(entry.node_map)} total nodes, "
+              f"{counts.get('vocab', 0)} keywords -> {entry.store}")
+    return 0
+
+
+def _inspect_routing(path, as_json: bool) -> int:
+    """Render a routing manifest (the shard table) for ``snapshot
+    inspect`` pointed at a partition root."""
     import json as _json
 
+    from repro.shard import RoutingManifest
+
+    manifest = RoutingManifest.load(path)
+    if as_json:
+        print(_json.dumps(manifest.to_dict(), indent=2,
+                          sort_keys=True))
+        return 0
+    print(f"routing    {manifest.generation} "
+          f"({len(manifest.shards)} shards)")
+    print(f"created    {manifest.created_at or '-'}")
+    print(f"source     {manifest.source_snapshot or '-'}")
+    print(f"radius     R={manifest.index_radius:g}, "
+          f"halo={manifest.halo_radius:g}")
+    print(f"nodes      {manifest.total_nodes} global")
+    for entry in manifest.shards:
+        counts = entry.counts
+        mmap = "mmap" if entry.mappable else "copy"
+        print(f"shard {entry.shard_id:02d}   {entry.snapshot_id}  "
+              f"{entry.owned_nodes} owned / "
+              f"{len(entry.node_map)} nodes, "
+              f"{counts.get('vocab', 0)} keywords, {mmap}  "
+              f"-> {entry.store}")
+    return 0
+
+
+def cmd_snapshot_inspect(args) -> int:
+    """``snapshot inspect``: print a snapshot's manifest summary.
+
+    Pointed at a partition root (or ``routing.json`` itself), prints
+    the shard table instead of a single snapshot's sections.
+    """
+    import json as _json
+
+    from repro.shard import is_routing_root
     from repro.snapshot.snapshot import (read_manifest,
                                          snapshot_is_mappable)
     from repro.snapshot.store import locate_snapshot
 
+    if is_routing_root(args.path):
+        return _inspect_routing(args.path, args.json)
     manifest = read_manifest(locate_snapshot(args.path))
     if args.json:
         payload = dict(manifest)
@@ -466,6 +571,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 120)")
     serve.set_defaults(func=cmd_serve)
 
+    router = sub.add_parser(
+        "serve-router",
+        help="front a partitioned shard fleet with the stateless "
+             "scatter-gather router")
+    router.add_argument("--manifest", required=True,
+                        help="partition root (or routing.json) "
+                             "written by 'snapshot partition'")
+    router.add_argument("--shard-url", action="append", required=True,
+                        dest="shard_url",
+                        help="one shard backend URL per shard, in "
+                             "shard order (repeat the flag)")
+    router.add_argument("--host", default="127.0.0.1")
+    router.add_argument("--port", type=int, default=8421,
+                        help="port to bind (0 = ephemeral; "
+                             "default 8421)")
+    router.add_argument("--port-file", default=None,
+                        help="write 'host port' here after binding")
+    router.add_argument("--shard-timeout", type=float, default=10.0,
+                        dest="shard_timeout",
+                        help="per-shard fan-out socket timeout in "
+                             "seconds (default 10); a slower shard "
+                             "degrades the answer to partial")
+    router.add_argument("--retries", type=int, default=2,
+                        help="idempotent retry budget per shard leg "
+                             "(default 2)")
+    router.set_defaults(func=cmd_serve_router)
+
     snapshot = sub.add_parser(
         "snapshot", help="build / inspect / verify / list / prune "
                          "immutable snapshot artifacts")
@@ -491,8 +623,32 @@ def build_parser() -> argparse.ArgumentParser:
                             help="gzip the section payloads")
     snap_build.set_defaults(func=cmd_snapshot_build)
 
+    snap_partition = snapshot_sub.add_parser(
+        "partition", help="split a published snapshot into K shard "
+                          "snapshots + a routing manifest")
+    snap_partition.add_argument("--snapshot", required=True,
+                                help="source snapshot directory or "
+                                     "store root")
+    snap_partition.add_argument("--out", required=True,
+                                help="partition root to write "
+                                     "(shards/NN stores + "
+                                     "routing.json)")
+    snap_partition.add_argument("--shards", type=int, required=True,
+                                help="number of shards K")
+    snap_partition.add_argument("--halo-radius", type=float,
+                                default=None, dest="halo_radius",
+                                help="undirected halo distance "
+                                     "(default 3R, the proven exact "
+                                     "bound; smaller risks wrong "
+                                     "answers)")
+    snap_partition.add_argument("--compress", action="store_true",
+                                help="gzip the shard section "
+                                     "payloads")
+    snap_partition.set_defaults(func=cmd_snapshot_partition)
+
     snap_inspect = snapshot_sub.add_parser(
-        "inspect", help="print a snapshot's manifest")
+        "inspect", help="print a snapshot's manifest (or, pointed at "
+                        "a partition root, the shard routing table)")
     snap_inspect.add_argument("path", help="snapshot directory or "
                                            "store root")
     snap_inspect.add_argument("--json", action="store_true",

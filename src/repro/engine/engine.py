@@ -412,7 +412,7 @@ class QueryEngine:
         graph, node_lists, projection, origin = \
             self._query_graph(spec, ctx)
         with ctx.stage("enumerate"):
-            inner = TopKStream(graph, list(keywords), rmax,
+            inner = TopKStream(graph, list(spec.keywords), rmax,
                                node_lists=node_lists,
                                aggregate=aggregate)
         if projection is None:

@@ -48,8 +48,18 @@ class QuerySpec:
     budget_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
-        """Normalize the keyword sequence and validate every field."""
-        object.__setattr__(self, "keywords", tuple(self.keywords))
+        """Normalize the keyword sequence and validate every field.
+
+        Keywords are case-folded (the tokenizer lowercases the
+        vocabulary, so ``"XML"`` and ``"xml"`` name the same posting
+        list) and sorted, so ``{a, b}`` and ``{b, a}`` build *equal*
+        specs: they share one projection-cache entry, one engine
+        code path, and one routing decision. Core tuples in answers
+        are therefore always ordered by the sorted keyword list.
+        """
+        object.__setattr__(
+            self, "keywords",
+            tuple(sorted(kw.casefold() for kw in self.keywords)))
         if not self.keywords:
             raise QueryError("a query needs at least one keyword")
         if self.rmax < 0:

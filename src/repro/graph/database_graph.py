@@ -45,8 +45,12 @@ class DatabaseGraph:
                 f"provenance list has {len(provenance)} entries for "
                 f"{graph.n} nodes")
         self.graph = graph
+        # Keywords are case-folded at the boundary: the tokenizer
+        # lowercases all extracted text, and QuerySpec case-folds all
+        # query keywords, so the canonical vocabulary is folded — a
+        # graph built with "XML" must answer a query for "xml".
         self._keywords: List[FrozenSet[str]] = [
-            frozenset(kw) for kw in keywords]
+            frozenset(k.casefold() for k in kw) for kw in keywords]
         self._labels: List[str] = (
             list(labels) if labels is not None
             else [f"v{u}" for u in range(graph.n)])

@@ -49,7 +49,11 @@ class NodeInvertedIndex:
         when the benchmark vocabulary is known up front); otherwise the
         full vocabulary is indexed.
         """
-        wanted = None if keywords is None else set(keywords)
+        # Explicit vocabularies are case-folded like everything else
+        # (graph keywords and query keywords already are), so a
+        # benchmark passing "XML" indexes the folded postings.
+        wanted = None if keywords is None \
+            else {kw.casefold() for kw in keywords}
         postings: Dict[str, List[int]] = {}
         for node in range(dbg.n):
             for kw in dbg.keywords_of(node):
@@ -97,8 +101,8 @@ class EdgeInvertedIndex:
         """One bounded reverse Dijkstra per keyword, then induced edges."""
         if radius < 0:
             raise QueryError(f"index radius must be >= 0, got {radius}")
-        vocab = list(keywords) if keywords is not None \
-            else node_index.keywords()
+        vocab = sorted({kw.casefold() for kw in keywords}) \
+            if keywords is not None else node_index.keywords()
         postings: Dict[str, List[Edge]] = {}
         graph = dbg.graph
         indptr = graph.forward.indptr

@@ -1,0 +1,132 @@
+"""Sharded answers equal unsharded answers, on adversarial graphs.
+
+The central exactness claim of :mod:`repro.shard`: partition any
+graph into 2-4 shards (owned regions + 3R halos), answer per shard,
+ownership-filter, merge — and the result is indistinguishable from
+querying the whole graph. Driven entirely in-process (partition_graph
++ one QueryEngine per shard + the merge library), so Hypothesis can
+afford real graph diversity.
+
+Comparison semantics mirror the serving contract: PDall set-equal
+with exact costs; PDk cost-sequence equal with per-cost-level core
+multisets (within one cost level PDk's emission order is not
+specified, sharded or not).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.community import community_sort_key
+from repro.engine.engine import QueryEngine
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError
+from repro.graph.generators import random_database_graph
+from repro.shard import (
+    FetchResult,
+    fetch_many_from,
+    filter_owned,
+    globalize,
+    merge_all,
+    merge_top_k,
+)
+
+KEYWORDS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def shard_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.sampled_from([0.08, 0.15, 0.25, 0.4]))
+    l = draw(st.integers(min_value=1, max_value=3))
+    rmax = float(draw(st.sampled_from([0, 2, 4, 6])))
+    bidirected = draw(st.booleans())
+    shards = draw(st.integers(min_value=2, max_value=4))
+    dbg = random_database_graph(n, p, KEYWORDS[:l], seed=seed,
+                                bidirected=bidirected)
+    return dbg, KEYWORDS[:l], rmax, min(shards, dbg.n)
+
+
+def _fleet(dbg, rmax, shards):
+    """partition + one engine per shard (index radius R = rmax)."""
+    from repro.shard import partition_graph
+
+    result = partition_graph(dbg, rmax, shards)
+    engines = [QueryEngine(b.dbg) for b in result.bundles]
+    return result, engines
+
+
+def _shard_all(result, engines, keywords, rmax):
+    """Ownership-filtered COMM-all union across the fleet."""
+    per_shard = []
+    for bundle, engine in zip(result.bundles, engines):
+        try:
+            answers = engine.run_all(
+                QuerySpec.comm_all(keywords, rmax))
+        except QueryError:
+            answers = []         # keyword absent from this shard
+        per_shard.append(filter_owned(
+            globalize(answers, bundle.node_map),
+            result.owners, bundle.shard_id))
+    return merge_all(per_shard)
+
+
+def _level_keys(communities):
+    """(cost, sorted core multiset per cost level) — the PDk
+    comparison that tolerates unspecified equal-cost order."""
+    levels = {}
+    for c in communities:
+        levels.setdefault(round(c.cost, 9), []).append(c.core)
+    return {cost: sorted(cores) for cost, cores in levels.items()}
+
+
+@settings(max_examples=40, deadline=None)
+@given(shard_cases())
+def test_sharded_comm_all_equals_unsharded(case):
+    dbg, keywords, rmax, shards = case
+    try:
+        ref = QueryEngine(dbg).run_all(
+            QuerySpec.comm_all(keywords, rmax))
+    except QueryError:
+        return                   # keyword absent from the graph
+    ref = sorted(ref, key=community_sort_key)
+    result, engines = _fleet(dbg, rmax, shards)
+    merged = _shard_all(result, engines, keywords, rmax)
+    # Exact: same cores, same costs, same membership, same ordering.
+    assert [(c.core, c.cost) for c in merged] \
+        == [(c.core, c.cost) for c in ref]
+    assert sorted(c.nodes for c in merged) \
+        == sorted(c.nodes for c in ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shard_cases(), st.integers(min_value=1, max_value=6))
+def test_sharded_top_k_equals_unsharded(case, k):
+    dbg, keywords, rmax, shards = case
+    engine = QueryEngine(dbg)
+    try:
+        ref = engine.execute(QuerySpec.comm_k(keywords, k, rmax))
+    except QueryError:
+        return
+    result, engines = _fleet(dbg, rmax, shards)
+
+    def fetch(shard_id, want):
+        bundle = result.bundles[shard_id]
+        try:
+            raw = engines[shard_id].execute(
+                QuerySpec.comm_k(keywords, want, rmax))
+        except QueryError:
+            return FetchResult(kept=[], raw_count=0, exhausted=True)
+        exhausted = len(raw) < want
+        frontier = raw[-1].cost if raw and not exhausted else None
+        return FetchResult(
+            kept=filter_owned(globalize(raw, bundle.node_map),
+                              result.owners, shard_id),
+            raw_count=len(raw), exhausted=exhausted,
+            frontier=frontier)
+
+    outcome = merge_top_k(fetch_many_from(fetch),
+                          list(range(len(engines))), k)
+    assert not outcome.truncated
+    assert [round(c.cost, 9) for c in outcome.communities] \
+        == [round(c.cost, 9) for c in ref]
+    assert _level_keys(outcome.communities) == _level_keys(ref)

@@ -1,0 +1,63 @@
+"""QuerySpec keyword normalization: sorted, case-folded, cached once.
+
+The projection cache keys on ``(frozenset(keywords), rmax)`` and the
+spec normalizes the keyword tuple itself, so every ordering and casing
+of the same keyword set is one query: one cache entry, one projection,
+one routing decision.
+"""
+
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.engine.spec import QuerySpec
+from repro.exceptions import QueryError
+from repro.text.inverted_index import CommunityIndex
+
+
+def test_keywords_sorted_and_casefolded():
+    spec = QuerySpec(("b", "A", "c"), 4.0)
+    assert spec.keywords == ("a", "b", "c")
+
+
+def test_orderings_build_equal_specs():
+    assert QuerySpec(("a", "b"), 4.0) == QuerySpec(("b", "a"), 4.0)
+    assert QuerySpec(("XML", "db"), 4.0) == QuerySpec(("db", "xml"), 4.0)
+    assert hash(QuerySpec(("a", "b"), 4.0)) \
+        == hash(QuerySpec(("b", "a"), 4.0))
+
+
+def test_cache_key_is_order_and_case_insensitive():
+    keys = {QuerySpec(kws, 4.0).cache_key
+            for kws in [("a", "b"), ("b", "a"), ("B", "A"), ("A", "b")]}
+    assert len(keys) == 1
+
+
+def test_empty_keywords_still_rejected():
+    with pytest.raises(QueryError):
+        QuerySpec((), 4.0)
+
+
+def test_describe_uses_normalized_keywords():
+    assert "a, b" in QuerySpec(("B", "a"), 4.0).describe()
+
+
+def test_reordered_query_hits_projection_cache(fig4):
+    """{a,b} then {b,a} is one projection: the second run is a hit."""
+    engine = QueryEngine(fig4, index=CommunityIndex.build(fig4, 8.0))
+    first = engine.run_all(QuerySpec(("a", "b"), 6.0))
+    assert engine.cache.stats.misses == 1
+    second = engine.run_all(QuerySpec(("b", "A"), 6.0))
+    assert engine.cache.stats.hits == 1
+    assert engine.cache.stats.misses == 1
+    assert [(c.core, c.cost) for c in first] \
+        == [(c.core, c.cost) for c in second]
+
+
+def test_casefolded_query_matches_uppercase_data(fig4):
+    """Graph keywords fold at construction, queries fold in the spec:
+    'A' finds what 'a' finds."""
+    engine = QueryEngine(fig4)
+    lower = engine.run_all(QuerySpec(("a", "b"), 6.0))
+    upper = engine.run_all(QuerySpec(("A", "B"), 6.0))
+    assert [(c.core, c.cost) for c in lower] \
+        == [(c.core, c.cost) for c in upper]
