@@ -240,33 +240,59 @@ def cmd_serve_router(args) -> int:
 
     Loads the routing manifest from ``--manifest`` (a partition root
     or the ``routing.json`` file) and fans queries out to the
-    ``--shard-url`` backends — one URL per shard, in shard order; each
-    backend is an ordinary ``serve --snapshot`` server on that shard's
-    store. The router itself is stateless: run as many replicas as
-    needed over the same manifest.
+    ``--shard-url`` backends — one flag per shard, in shard order,
+    each value a single URL or a comma-separated replica set
+    (``http://a:8420,http://b:8420``) of siblings serving that
+    shard's snapshot; each backend is an ordinary ``serve
+    --snapshot`` server. ``--async`` serves the event-loop front end
+    instead of the thread-per-request one — identical answers,
+    different concurrency model. The router itself is stateless:
+    run as many replicas as needed over the same manifest.
     """
-    from repro.shard import RoutingManifest, RouterService
+    from repro.shard import RoutingManifest, RouterService, \
+        parse_shard_urls
+    from repro.shard.aio import AsyncRouterService
 
     from pathlib import Path
 
     manifest = RoutingManifest.load(args.manifest)
+    groups = parse_shard_urls(list(args.shard_url))
+    if len(groups) != len(manifest.shards):
+        print(f"error: the routing manifest names "
+              f"{len(manifest.shards)} shards but {len(groups)} "
+              f"--shard-url values were supplied; pass exactly one "
+              f"--shard-url per shard, in shard order "
+              f"(comma-separate replica URLs within one flag)",
+              file=sys.stderr)
+        return 2
     root = Path(args.manifest)
     if root.is_file():
         root = root.parent
-    router = RouterService(
+    front_end = (AsyncRouterService if args.use_async
+                 else RouterService)
+    router = front_end(
         manifest, list(args.shard_url), root=root,
         host=args.host, port=args.port,
         shard_timeout=args.shard_timeout,
         shard_retries=args.retries)
+    if args.use_async:
+        # The asyncio front end binds inside its own loop; start it
+        # on the background thread so the port is known, then block.
+        router.start()
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{router.host} {router.port}\n")
-    print(f"routing {len(manifest.shards)} shards "
-          f"({manifest.total_nodes} nodes, generation "
-          f"{manifest.generation}) on {router.url}")
+    replicas = sum(len(urls) for urls in groups)
+    print(f"routing {len(manifest.shards)} shards / {replicas} "
+          f"replicas ({manifest.total_nodes} nodes, generation "
+          f"{manifest.generation}) on {router.url} "
+          f"[{'async' if args.use_async else 'threaded'}]")
     signal.signal(signal.SIGTERM, _raise_sigterm)
     try:
-        router.serve_forever()
+        if args.use_async:
+            signal.pause()
+        else:
+            router.serve_forever()
     except (KeyboardInterrupt, SystemExit):
         print("shutting down", file=sys.stderr)
     finally:
@@ -461,6 +487,38 @@ def cmd_snapshot_prune(args) -> int:
     return 0
 
 
+def cmd_snapshot_push(args) -> int:
+    """``snapshot push``: ship a snapshot to a remote box over HTTP.
+
+    Drives the cross-box transfer protocol (begin → checksum-verified
+    section PUTs → atomic commit) against a service started with a
+    snapshot store; re-pushing content the remote already holds is
+    detected by the content-addressed id and costs one round trip.
+    With ``--reload`` the remote service is then swapped onto the
+    pushed snapshot by id — deploy to a box that shares no
+    filesystem with the build host.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.http import push_snapshot
+    from repro.snapshot.store import locate_snapshot
+
+    snapshot_dir = locate_snapshot(args.snapshot)
+    with ServiceClient(args.url, timeout=args.timeout) as client:
+        reply = push_snapshot(client, snapshot_dir)
+        snapshot_id = reply["snapshot"]
+        if reply.get("complete"):
+            print(f"{snapshot_id} already on {args.url} "
+                  f"(content match; nothing sent)")
+        else:
+            print(f"pushed {snapshot_id} -> {args.url}")
+        if args.reload_after:
+            adopted = client.admin_reload(snapshot=snapshot_id)
+            print(f"reloaded {args.url} onto "
+                  f"{adopted.get('snapshot')} "
+                  f"(generation {adopted.get('generation')})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -580,8 +638,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "written by 'snapshot partition'")
     router.add_argument("--shard-url", action="append", required=True,
                         dest="shard_url",
-                        help="one shard backend URL per shard, in "
-                             "shard order (repeat the flag)")
+                        help="one value per shard, in shard order "
+                             "(repeat the flag); each value is a "
+                             "backend URL or a comma-separated "
+                             "replica set of sibling URLs serving "
+                             "the same shard snapshot, e.g. "
+                             "http://a:8420,http://b:8420")
+    router.add_argument("--async", action="store_true",
+                        dest="use_async",
+                        help="serve the asyncio event-loop front "
+                             "end instead of the threaded one "
+                             "(identical answers)")
     router.add_argument("--host", default="127.0.0.1")
     router.add_argument("--port", type=int, default=8421,
                         help="port to bind (0 = ephemeral; "
@@ -673,6 +740,24 @@ def build_parser() -> argparse.ArgumentParser:
     snap_prune.add_argument("--keep", type=int, default=2,
                             help="snapshots to retain (default 2)")
     snap_prune.set_defaults(func=cmd_snapshot_prune)
+
+    snap_push = snapshot_sub.add_parser(
+        "push", help="ship a local snapshot to a remote service's "
+                     "store over HTTP (no shared filesystem)")
+    snap_push.add_argument("--snapshot", required=True,
+                           help="local snapshot directory or store "
+                                "root (LATEST is pushed)")
+    snap_push.add_argument("--url", required=True,
+                           help="base URL of the receiving service "
+                                "(serve --snapshot <store>)")
+    snap_push.add_argument("--reload", action="store_true",
+                           dest="reload_after",
+                           help="after the push commits, reload the "
+                                "service onto the pushed snapshot")
+    snap_push.add_argument("--timeout", type=float, default=60.0,
+                           help="per-request socket timeout in "
+                                "seconds (default 60)")
+    snap_push.set_defaults(func=cmd_snapshot_push)
     return parser
 
 

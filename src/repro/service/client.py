@@ -1,8 +1,9 @@
 """Python client for the community-query service.
 
 :class:`ServiceClient` speaks the JSON protocol of
-:mod:`repro.service.server` over plain ``urllib`` (no dependencies),
-re-raising the server's error taxonomy client-side: a ``410`` becomes
+:mod:`repro.service.server` over stdlib ``http.client`` (no
+dependencies), re-raising the server's error taxonomy client-side: a
+``410`` becomes
 :class:`~repro.service.errors.SessionGone`, a ``429``
 :class:`~repro.service.errors.Overloaded`, a ``503``
 :class:`~repro.service.errors.DeadlineExceeded` — so retry logic is
@@ -39,6 +40,18 @@ plus the ``POST`` endpoints that are safe to re-send (``/query`` and
 are never replayed on a torn connection; a definitive 429/503
 *response* proves the request was rejected, so those retry
 regardless.
+
+**Keep-alive.** Each client owns a small pool of persistent
+``http.client.HTTPConnection`` objects, so repeated calls (router
+fan-out legs, closed-loop benchmark clients) stop paying TCP setup
+per request. A server may close an idle kept-alive connection at any
+time — the classic keep-alive race — so an exchange that dies on a
+*reused* connection before any response bytes arrive is replayed once
+on a fresh connection, regardless of idempotency: the server
+provably never started processing it. Failures on a *fresh*
+connection keep their usual ambiguous :class:`ServiceUnreachable`
+semantics. :attr:`ServiceClient.connections_opened` counts physical
+connects (observability for the reuse property).
 """
 
 from __future__ import annotations
@@ -46,10 +59,11 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import socket
+import threading
 import time
-import urllib.error
-import urllib.request
-from typing import Any, Dict, List, Optional, Sequence
+import urllib.parse
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
 from repro.core.community import Community
@@ -70,6 +84,23 @@ DEFAULT_BACKOFF_BASE = 0.05
 
 #: Upper bound on a single backoff delay (seconds).
 DEFAULT_BACKOFF_CAP = 2.0
+
+#: Most idle kept-alive connections retained per client; extras are
+#: closed on check-in. Concurrent callers beyond the cap still work —
+#: they just open (and then drop) additional connections.
+POOL_CAP = 8
+
+#: Connection-level errors that, on a *reused* keep-alive socket with
+#: no response bytes seen, prove the server closed the idle
+#: connection before our request — safe to replay once on a fresh
+#: connection regardless of idempotency.
+_STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+)
 
 
 def _retry_after_of(headers: Any) -> Optional[float]:
@@ -104,6 +135,30 @@ class ServiceClient:
         self._rng = random.Random(retry_seed)
         #: Lifetime count of retry sleeps this client performed.
         self.retries_performed = 0
+        #: Lifetime count of physical TCP connects (reuse telemetry).
+        self.connections_opened = 0
+        split = urllib.parse.urlsplit(self.base_url)
+        self._scheme = split.scheme or "http"
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port
+        self._base_path = split.path.rstrip("/")
+        self._pool: List[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Close every pooled keep-alive connection (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: release pooled connections."""
+        self.close()
 
     # ------------------------------------------------------------------
     # plumbing
@@ -133,12 +188,49 @@ class ServiceClient:
         retried regardless — the server rejected the request, so it
         did not execute.
         """
+        data = None
+        content_type = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+        status, headers, body = self._with_retries(
+            method, path, data, content_type, idempotent)
+        text = body.decode("utf-8")
+        if headers.get("Content-Type", "").startswith(
+                "application/json"):
+            return json.loads(text)
+        return text
+
+    def request_raw(self, method: str, path: str,
+                    body: Optional[bytes] = None,
+                    content_type: str = "application/octet-stream",
+                    idempotent: Optional[bool] = None
+                    ) -> Tuple[bytes, Dict[str, str]]:
+        """Like :meth:`request` but bytes in, bytes out.
+
+        The snapshot-transfer endpoints move binary section payloads
+        (gzip frames, packed arrays) that must not round-trip through
+        JSON. Returns ``(body, headers)``; non-2xx responses raise
+        the same :class:`~repro.exceptions.ServiceError` taxonomy as
+        :meth:`request`, and the same retry policy applies.
+        """
+        status, headers, out = self._with_retries(
+            method, path, body, content_type if body is not None
+            else None, idempotent)
+        return out, headers
+
+    def _with_retries(self, method: str, path: str,
+                      data: Optional[bytes],
+                      content_type: Optional[str],
+                      idempotent: Optional[bool]
+                      ) -> Tuple[int, Dict[str, str], bytes]:
+        """The shared retry loop around one logical exchange."""
         if idempotent is None:
             idempotent = method.upper() != "POST"
         attempt = 0
         while True:
             try:
-                return self._attempt(method, path, payload)
+                return self._attempt(method, path, data, content_type)
             except ServiceError as error:
                 status = getattr(error, "status", 500)
                 retryable = status in RETRYABLE_STATUSES
@@ -167,48 +259,109 @@ class ServiceClient:
         return cap * self._rng.random()
 
     def _attempt(self, method: str, path: str,
-                 payload: Optional[Dict[str, Any]] = None) -> Any:
-        """One physical HTTP exchange (no retry logic)."""
+                 data: Optional[bytes],
+                 content_type: Optional[str]
+                 ) -> Tuple[int, Dict[str, str], bytes]:
+        """One logical HTTP exchange on a kept-alive connection.
+
+        A stale-socket failure on a *reused* connection (the server
+        closed it while idle, before any response bytes) is replayed
+        exactly once on a fresh connection; every other
+        connection-level failure maps to
+        :class:`ServiceUnreachable` for the outer retry policy.
+        """
         faults.hit("client.request")
-        data = None
-        headers = {"Accept": "application/json"}
-        if payload is not None:
-            data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers,
-            method=method)
+        conn, reused = self._checkout()
         try:
-            with urllib.request.urlopen(
-                    request, timeout=self.timeout) as response:
-                body = response.read().decode("utf-8")
-                content_type = response.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as error:
-            body = error.read().decode("utf-8", "replace")
+            status, headers, body = self._roundtrip(
+                conn, method, path, data, content_type)
+        except _STALE_SOCKET_ERRORS as error:
+            conn.close()
+            if not reused:
+                raise self._unreachable(error) from None
+            conn, _ = self._checkout(fresh=True)
             try:
-                message = json.loads(body).get("error", body)
-            except ValueError:
-                message = body or error.reason
-            raised = for_status(error.code, message)
-            raised.retry_after = _retry_after_of(error.headers)
-            raise raised from None
-        except urllib.error.URLError as error:
-            raised = ServiceUnreachable(
-                f"cannot reach {self.base_url}: {error.reason}")
-            raised.retry_after = None
-            raise raised from None
+                status, headers, body = self._roundtrip(
+                    conn, method, path, data, content_type)
+            except (OSError, http.client.HTTPException) as err:
+                conn.close()
+                raise self._unreachable(err) from None
         except (OSError, http.client.HTTPException) as error:
+            conn.close()
+            raise self._unreachable(error) from None
+        if headers.get("Connection", "").lower() == "close":
+            conn.close()
+        else:
+            self._checkin(conn)
+        if 200 <= status < 300:
+            return status, headers, body
+        text = body.decode("utf-8", "replace")
+        try:
+            message = json.loads(text).get("error", text)
+        except (ValueError, AttributeError):
+            message = text or f"HTTP {status}"
+        raised = for_status(status, message)
+        raised.retry_after = _retry_after_of(headers)
+        raise raised from None
+
+    def _roundtrip(self, conn: http.client.HTTPConnection,
+                   method: str, path: str, data: Optional[bytes],
+                   content_type: Optional[str]
+                   ) -> Tuple[int, Dict[str, str], bytes]:
+        """One physical request/response on ``conn``.
+
+        The body is always fully read so the connection is clean for
+        the next exchange.
+        """
+        headers = {"Accept": "application/json",
+                   "Connection": "keep-alive"}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        conn.request(method, self._base_path + path,
+                     body=data, headers=headers)
+        response = conn.getresponse()
+        body = response.read()
+        return (response.status,
+                {k: v for k, v in response.getheaders()},
+                body)
+
+    def _checkout(self, fresh: bool = False
+                  ) -> Tuple[http.client.HTTPConnection, bool]:
+        """A connection to the base host: pooled (reused) or new."""
+        if not fresh:
+            with self._pool_lock:
+                if self._pool:
+                    return self._pool.pop(), True
+        factory = (http.client.HTTPSConnection
+                   if self._scheme == "https"
+                   else http.client.HTTPConnection)
+        self.connections_opened += 1
+        return factory(self._host, self._port,
+                       timeout=self.timeout), False
+
+    def _checkin(self, conn: http.client.HTTPConnection) -> None:
+        """Return a clean connection to the idle pool (cap-bounded)."""
+        with self._pool_lock:
+            if len(self._pool) < POOL_CAP:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def _unreachable(self, error: Exception) -> ServiceUnreachable:
+        """Map a connection-level failure onto the error taxonomy."""
+        if isinstance(error, (ConnectionRefusedError,
+                              socket.gaierror)):
+            raised = ServiceUnreachable(
+                f"cannot reach {self.base_url}: {error}")
+        else:
             # The connection tore mid-exchange (reset, truncated
             # response, timeout during read) — same retryable class
             # as never reaching the server at all.
             raised = ServiceUnreachable(
                 f"connection to {self.base_url} failed "
                 f"mid-request: {error}")
-            raised.retry_after = None
-            raise raised from None
-        if content_type.startswith("application/json"):
-            return json.loads(body)
-        return body
+        raised.retry_after = None
+        return raised
 
     # ------------------------------------------------------------------
     # endpoints
@@ -221,16 +374,23 @@ class ServiceClient:
         """``GET /metrics`` — the raw Prometheus text."""
         return self.request("GET", "/metrics")
 
-    def admin_reload(self, path: Optional[str] = None
+    def admin_reload(self, path: Optional[str] = None,
+                     snapshot: Optional[str] = None
                      ) -> Dict[str, Any]:
         """``POST /admin/reload``: swap onto the newest snapshot.
 
         With ``path`` given, the server reloads from that snapshot
         directory or store root instead of its configured source.
-        Returns the server's ``{reloaded, snapshot, generation, ...}``
-        payload.
+        With ``snapshot`` given, the server resolves that snapshot id
+        against its own configured store — the cross-box form, which
+        needs no caller-visible filesystem paths. Returns the
+        server's ``{reloaded, snapshot, generation, ...}`` payload.
         """
-        payload = {"path": path} if path is not None else {}
+        payload: Dict[str, Any] = {}
+        if path is not None:
+            payload["path"] = path
+        if snapshot is not None:
+            payload["snapshot"] = snapshot
         return self.request("POST", "/admin/reload", payload)
 
     def query(self, keywords: Sequence[str], rmax: float,

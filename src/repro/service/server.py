@@ -71,6 +71,11 @@ from repro.service.admission import (
     AdmissionController,
 )
 from repro.service.errors import BadRequest, NotFound, ShuttingDown
+from repro.service.http import (
+    SnapshotTransfer,
+    route_snapshot_transfer,
+    snapshot_store_of,
+)
 from repro.service.metrics import ServiceMetrics, prefixed, split_rates
 from repro.service.serialize import (
     community_to_dict,
@@ -96,9 +101,9 @@ RETRY_AFTER_SECONDS = 1
 
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
-#: One JSON-or-text response: status, metric path template, body,
-#: content type.
-Response = Tuple[int, str, str, str]
+#: One response: status, metric path template, body (text for
+#: JSON/metrics, raw bytes for snapshot sections), content type.
+Response = Tuple[int, str, Union[str, bytes], str]
 
 
 def _parse_body(body: bytes) -> Dict[str, Any]:
@@ -197,6 +202,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
         """Route DELETE requests."""
         self._dispatch("DELETE")
 
+    def do_PUT(self) -> None:            # noqa: N802
+        """Route PUT requests (snapshot section uploads)."""
+        self._dispatch("PUT")
+
     def log_message(self, format: str, *args: Any) -> None:
         """Silence the default stderr access log (metrics cover it)."""
 
@@ -207,7 +216,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         body = self.rfile.read(length) if length else b""
         status, template, payload, content_type = service.handle(
             method, self.path, body)
-        data = payload.encode("utf-8")
+        data = (payload if isinstance(payload, bytes)
+                else payload.encode("utf-8"))
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
@@ -254,6 +264,12 @@ class CommunityService:
         #: the engine itself was loaded, so a reload never silently
         #: changes the serving mode.
         self.snapshot_mode = snapshot_mode
+        #: Cross-box transfer state (``/admin/snapshot...`` routes);
+        #: ``None`` when no snapshot store is derivable, in which
+        #: case those routes answer 400.
+        store_root = snapshot_store_of(snapshot_source)
+        self.snapshot_transfer = (SnapshotTransfer(store_root)
+                                  if store_root is not None else None)
         self.admission = AdmissionController(
             workers=workers, queue_depth=queue_depth,
             default_deadline=default_deadline)
@@ -400,6 +416,9 @@ class CommunityService:
             return "/admin/reload", \
                 json.dumps(self._admin_reload(body)), \
                 JSON_CONTENT_TYPE
+        if parts[:2] == ("admin", "snapshot"):
+            return route_snapshot_transfer(
+                self.snapshot_transfer, method, parts, body)
         if method == "POST" and parts == ("query",):
             return "/query", json.dumps(self._query(body)), \
                 JSON_CONTENT_TYPE
@@ -429,6 +448,14 @@ class CommunityService:
             return template          # routing already templated it
         if parts == ("admin", "reload"):
             return "/admin/reload"
+        if parts[:2] == ("admin", "snapshot"):
+            if len(parts) == 4:
+                return ("/admin/snapshot/{id}/commit"
+                        if parts[3] == "commit"
+                        else "/admin/snapshot/{id}/{section}")
+            if len(parts) == 3:
+                return "/admin/snapshot/{id}"
+            return "/admin/snapshot"
         if parts[:1] == ("sessions",) and len(parts) == 3:
             return "/sessions/{id}/next"
         if parts[:1] == ("sessions",) and len(parts) == 2:
@@ -471,13 +498,29 @@ class CommunityService:
         supplied in the body) — a snapshot directory or a store root,
         in which case the store's ``latest`` wins — loads it with
         checksum verification, and atomically swaps the engine onto
-        it. In-flight queries finish on the artifact they started
-        with; a reload to a content-identical snapshot is a no-op that
-        keeps the cache warm and open sessions valid.
+        it. A ``snapshot`` id in the body resolves against the
+        service's own snapshot store instead: the cross-box form,
+        used after a :func:`~repro.service.http.push_snapshot`, so no
+        filesystem path crosses a box boundary. In-flight queries
+        finish on the artifact they started with; a reload to a
+        content-identical snapshot is a no-op that keeps the cache
+        warm and open sessions valid.
         """
         faults.hit("service.reload")
         payload = _parse_body(body)
-        source = payload.get("path") or self.snapshot_source
+        snapshot_id = payload.get("snapshot")
+        if snapshot_id is not None:
+            if self.snapshot_transfer is None:
+                raise BadRequest(
+                    "cannot reload by snapshot id: the service has "
+                    "no snapshot store (serve with --snapshot)")
+            try:
+                source: Any = self.snapshot_transfer.store.resolve(
+                    str(snapshot_id))
+            except SnapshotNotFoundError as error:
+                raise NotFound(str(error))
+        else:
+            source = payload.get("path") or self.snapshot_source
         if source is None:
             raise BadRequest(
                 "no snapshot source configured; serve with a "

@@ -33,6 +33,7 @@ from repro.shard.manifest import (
 from repro.shard.merge import (
     FetchResult,
     MergeOutcome,
+    TopKMerge,
     fetch_many_from,
     filter_owned,
     globalize,
@@ -45,7 +46,9 @@ from repro.shard.partition import (
     partition_graph,
     partition_snapshot,
 )
-from repro.shard.router import RouterService, ShardBackend
+from repro.shard.router import RouterService
+from repro.shard.routing import RouterCore, reload_fleet
+from repro.shard.transport import ReplicaSet, parse_shard_urls
 
 __all__ = [
     "ROUTING_NAME",
@@ -55,6 +58,7 @@ __all__ = [
     "is_routing_root",
     "FetchResult",
     "MergeOutcome",
+    "TopKMerge",
     "fetch_many_from",
     "filter_owned",
     "globalize",
@@ -65,5 +69,8 @@ __all__ = [
     "partition_graph",
     "partition_snapshot",
     "RouterService",
-    "ShardBackend",
+    "RouterCore",
+    "reload_fleet",
+    "ReplicaSet",
+    "parse_shard_urls",
 ]

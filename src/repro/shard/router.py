@@ -1,31 +1,40 @@
-"""The stateless scatter-gather router over a shard fleet.
+"""The threaded scatter-gather router front end.
 
-:class:`RouterService` is the front end of a sharded deployment: it
-holds a :class:`~repro.shard.manifest.RoutingManifest` plus one
-:class:`~repro.service.client.ServiceClient` per shard backend (each
-an ordinary ``serve --snapshot`` server), and reassembles exact
-global answers with the merge algebra of :mod:`repro.shard.merge`.
+:class:`RouterService` is the thread-per-request front end of a
+sharded deployment. All routing *policy* — spec validation against
+the manifest's keyword Blooms, the exact overfetching k-way merge,
+ownership filtering, the partial-result contract, fleet health
+roll-up, verify-then-rollback reloads, metrics — lives in
+:class:`~repro.shard.routing.RouterCore`, shared verbatim with the
+asyncio front end (:mod:`repro.shard.aio`). This module owns only
+the threaded transport: a :class:`~repro.shard.transport.ReplicaSet`
+of keep-alive clients per shard (failing legs over to sibling boxes
+before giving a shard up), a :class:`~repro.shard.transport.
+ThreadedFanout` pool for concurrent rounds, and the
+``ThreadingHTTPServer`` socket plumbing.
+
 Endpoints mirror the single-box service where they overlap:
 
 * ``POST /query`` — fanned to the shards whose Bloom admits every
   keyword; PDk answers come from the exact overfetching k-way merge,
   PDall from the ownership-filtered union in canonical ``(cost,
   core)`` order. The response envelope adds ``shards_answered`` /
-  ``shards_total`` / ``partial``: a shard that times out, sheds, or
-  crashes mid-fan-out costs *coverage*, not availability — the
-  router answers ``200`` with what the live shards proved.
+  ``shards_total`` / ``partial``: a shard whose whole replica set
+  times out, sheds, or crashes mid-fan-out costs *coverage*, not
+  availability — the router answers ``200`` with what the live
+  shards proved.
 * ``POST /batch`` — shard-aware batching: one ``/batch`` per shard
   carrying exactly the entries that shard is eligible for, answers
   reassembled per entry (each entry gets its own partiality fields).
-* ``GET /healthz`` — aggregated fleet health (per-shard rows plus a
-  rolled-up status).
-* ``GET /metrics`` — ``repro_router_*`` counters/gauges plus
-  per-shard fan-out latency histograms.
+* ``GET /healthz`` — aggregated fleet health (per-shard rows with
+  per-replica detail plus a rolled-up status).
+* ``GET /metrics`` — ``repro_router_*`` counters/gauges (including
+  ``repro_router_failover_total``) plus per-shard fan-out latency
+  histograms.
 * ``POST /admin/reload`` — re-reads the routing manifest and
-  broadcasts per-shard reloads with rollback: if any shard fails to
-  adopt its new snapshot, every already-reloaded shard is rolled
-  back to the snapshot it served before, and the router keeps the
-  old manifest (mirroring the PR 5 single-box reload semantics).
+  broadcasts per-replica reloads with rollback; with
+  ``{"transfer": true}`` each shard snapshot is pushed over the wire
+  first (see :func:`~repro.shard.routing.reload_fleet`).
 
 The router holds no query state between requests — overfetch rounds
 re-ask shards with larger ``k`` (queries are idempotent stateless
@@ -38,75 +47,45 @@ from __future__ import annotations
 import json
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from http.server import ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.core.community import Community
-from repro.engine.spec import QuerySpec
 from repro.exceptions import QueryError, ServiceError, WorkerError
 from repro.service.client import ServiceClient
-from repro.service.errors import BadRequest, NotFound
-from repro.service.metrics import ServiceMetrics
-from repro.service.serialize import (
-    communities_from_dicts,
-    community_to_dict,
-    spec_to_dict,
-)
+from repro.service.errors import NotFound
 from repro.service.server import (
     JSON_CONTENT_TYPE,
     METRICS_CONTENT_TYPE,
     Response,
     ServiceHandler,
-    _float_of,
-    _int_of,
-    _keywords_of,
-    _parse_body,
 )
 from repro.shard.manifest import RoutingManifest
-from repro.shard.merge import (
-    FetchResult,
-    MergeOutcome,
-    filter_owned,
-    globalize,
-    merge_all,
-    merge_top_k,
+from repro.shard.merge import FetchResult, MergeOutcome, merge_top_k
+from repro.shard.routing import (
+    DEFAULT_SHARD_RETRIES,
+    DEFAULT_SHARD_TIMEOUT,
+    QueryPlan,
+    RouterCore,
+    build_replica_sets,
+    reload_fleet,
 )
+from repro.shard.transport import ThreadedFanout
 
 PathLike = Union[str, Path]
-
-#: Default per-leg socket timeout (seconds). Shorter than the client
-#: default: a hung shard should cost one partial result, not a stuck
-#: router thread.
-DEFAULT_SHARD_TIMEOUT = 10.0
-
-#: Default idempotent-retry budget per shard leg (PR 5 semantics).
-DEFAULT_SHARD_RETRIES = 2
-
-
-class ShardBackend:
-    """One shard's client plus its manifest row."""
-
-    def __init__(self, shard_id: int, url: str,
-                 client: ServiceClient) -> None:
-        self.shard_id = shard_id
-        self.url = url
-        self.client = client
-
-    def __repr__(self) -> str:
-        return f"ShardBackend({self.shard_id}, {self.url!r})"
 
 
 class RouterService:
     """Scatter-gather front end over per-shard community services.
 
-    ``shard_urls`` must align with the manifest's shard table (index
-    ``i`` serves shard ``i``). ``root`` is the partition root the
-    manifest was loaded from; ``/admin/reload`` re-reads it and
-    resolves per-shard stores against it. The service is socketless
-    until :meth:`start`, and :meth:`handle` is directly testable —
-    the same contract as :class:`~repro.service.CommunityService`.
+    Each ``shard_urls`` entry names one shard's replica set — a
+    single URL, or comma-separated sibling URLs that serve the same
+    shard snapshot (``"http://a:8420,http://b:8420"``); entry ``i``
+    serves shard ``i``. ``root`` is the partition root the manifest
+    was loaded from; ``/admin/reload`` re-reads it and resolves
+    per-shard stores against it. The service is socketless until
+    :meth:`start`, and :meth:`handle` is directly testable — the
+    same contract as :class:`~repro.service.CommunityService`.
     """
 
     def __init__(self, manifest: RoutingManifest,
@@ -116,30 +95,34 @@ class RouterService:
                  shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
                  shard_retries: int = DEFAULT_SHARD_RETRIES,
                  retry_seed: Optional[int] = None) -> None:
-        if len(shard_urls) != len(manifest.shards):
-            raise ServiceError(
-                f"manifest names {len(manifest.shards)} shards but "
-                f"{len(shard_urls)} shard URLs were supplied")
-        self.manifest = manifest
-        self.root = Path(root) if root is not None else None
-        self.backends = [
-            ShardBackend(entry.shard_id, url.rstrip("/"),
-                         ServiceClient(url, timeout=shard_timeout,
-                                       retries=shard_retries,
-                                       retry_seed=retry_seed))
-            for entry, url in zip(manifest.shards, shard_urls)]
-        self.metrics = ServiceMetrics()
-        self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
-        self._lock = threading.Lock()
-        self._pool = ThreadPoolExecutor(
-            max_workers=max(4, 2 * len(self.backends)),
-            thread_name_prefix="repro-router-fanout")
+        self.core = RouterCore(manifest, root=root)
+        self.replica_sets = build_replica_sets(
+            manifest, shard_urls, self.core,
+            lambda url: ServiceClient(url, timeout=shard_timeout,
+                                      retries=shard_retries,
+                                      retry_seed=retry_seed))
+        self._fanout = ThreadedFanout(
+            2 * sum(len(r.urls) for r in self.replica_sets))
         self._httpd = ThreadingHTTPServer((host, port), ServiceHandler)
         self._httpd.daemon_threads = True                 # type: ignore[attr-defined]
         self._httpd.service = self                        # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._serving = False
+
+    @property
+    def manifest(self) -> RoutingManifest:
+        """The live routing manifest (current generation)."""
+        return self.core.capture()
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The partition root reloads resolve against."""
+        return self.core.root
+
+    @property
+    def metrics(self):
+        """The request-latency metrics registry (shared with core)."""
+        return self.core.metrics
 
     # ------------------------------------------------------------------
     # lifecycle (same surface as CommunityService)
@@ -183,7 +166,9 @@ class RouterService:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
-        self._pool.shutdown(wait=False)
+        self._fanout.shutdown()
+        for replicas in self.replica_sets:
+            replicas.close()
 
     def __enter__(self) -> "RouterService":
         """Context-manager entry (the server need not be started)."""
@@ -220,8 +205,8 @@ class RouterService:
             status = 500
             payload = json.dumps({"error": str(error), "status": 500})
             content_type = JSON_CONTENT_TYPE
-        self.metrics.observe_request(template, status,
-                                     time.perf_counter() - start)
+        self.core.metrics.observe_request(template, status,
+                                          time.perf_counter() - start)
         return status, template, payload, content_type
 
     def _route(self, method: str, parts: Tuple[str, ...],
@@ -241,268 +226,87 @@ class RouterService:
                 JSON_CONTENT_TYPE
         if method == "POST" and parts == ("admin", "reload"):
             return "/admin/reload", \
-                json.dumps(self._admin_reload(body)), \
+                json.dumps(reload_fleet(self.core, self.replica_sets,
+                                        body)), \
                 JSON_CONTENT_TYPE
         raise NotFound(f"no route {method} /{'/'.join(parts)}")
 
     # ------------------------------------------------------------------
-    # bookkeeping
+    # fan-out plumbing (the transport half the async front end swaps)
     # ------------------------------------------------------------------
-    def _count(self, name: str, value: float = 1.0) -> None:
-        """Bump a router counter (rendered with a ``_total`` suffix)."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0.0) \
-                + value
-
-    def _gauge(self, name: str, value: float) -> None:
-        """Set a router gauge."""
-        with self._lock:
-            self._gauges[name] = value
-
-    def _observe_leg(self, shard_id: int, status: int,
-                     seconds: float) -> None:
-        """Record one fan-out leg's latency under a per-shard label."""
-        self.metrics.observe_request(f"shard:{shard_id:02d}", status,
-                                     seconds)
-
-    # ------------------------------------------------------------------
-    # fan-out plumbing
-    # ------------------------------------------------------------------
-    def _fan(self, calls: Dict[int, Callable[[], Any]]
-             ) -> Dict[int, Any]:
-        """Run per-shard thunks concurrently; exceptions propagate
-        per entry as the stored value."""
-        if not calls:
-            return {}
-        futures = {shard_id: self._pool.submit(thunk)
-                   for shard_id, thunk in calls.items()}
-        results: Dict[int, Any] = {}
-        for shard_id, future in futures.items():
-            try:
-                results[shard_id] = future.result()
-            except Exception as error:  # noqa: BLE001 — leg failure
-                # is data (partial result), not a router crash.
-                results[shard_id] = error
-        return results
-
     def _leg_query(self, shard_id: int,
                    payload: Dict[str, Any]) -> Any:
         """One ``POST /query`` leg; returns the response dict, or the
-        error that killed the leg (after client-side retries)."""
-        backend = self.backends[shard_id]
-        self._count("fanout_legs")
+        error that killed the leg (after client retries and replica
+        failover)."""
+        replicas = self.replica_sets[shard_id]
+        self.core.count("fanout_legs")
         start = time.perf_counter()
         try:
-            response = backend.client.request(
-                "POST", "/query", payload, idempotent=True)
-            self._observe_leg(shard_id, 200,
-                              time.perf_counter() - start)
+            response = replicas.call(
+                lambda client: client.request(
+                    "POST", "/query", payload, idempotent=True))
+            self.core.observe_leg(shard_id, 200,
+                                  time.perf_counter() - start)
             return response
         except ServiceError as error:
-            self._observe_leg(shard_id,
-                              getattr(error, "status", 500),
-                              time.perf_counter() - start)
+            self.core.observe_leg(shard_id,
+                                  getattr(error, "status", 500),
+                                  time.perf_counter() - start)
             return error
 
-    @staticmethod
-    def _leg_empty(result: Any) -> bool:
-        """Whether a failed leg actually means "no answers here".
+    def _fetch_many(self, plan: QueryPlan
+                    ) -> Any:
+        """A merge-driver ``fetch_many`` bound to one query plan."""
+        def fetch_one(shard_id: int,
+                      want: int) -> Optional[FetchResult]:
+            """Fetch + filter one shard's first ``want`` answers."""
+            payload = self.core.shard_payload(
+                plan.spec, want, plan.deadline, plan.want_labels)
+            return self.core.fetch_result(
+                plan, shard_id, self._leg_query(shard_id, payload),
+                want)
 
-        A shard 400s an unknown keyword (Bloom false positive routed
-        a query the shard cannot resolve); for the fleet that is an
-        empty contribution, not an outage.
-        """
-        return isinstance(result, BadRequest)
+        def fetch_many(wants: Dict[int, int]
+                       ) -> Dict[int, Optional[FetchResult]]:
+            """One concurrent overfetch round."""
+            return self._fanout.fan({
+                shard_id: (lambda s=shard_id, w=want:
+                           fetch_one(s, w))
+                for shard_id, want in wants.items()})
 
-    def _spec_of(self, payload: Dict[str, Any]) -> QuerySpec:
-        """A validated :class:`QuerySpec` from one query payload."""
-        keywords = _keywords_of(payload)
-        rmax = _float_of(payload, "rmax")
-        k = _int_of(payload, "k")
-        mode = payload.get("mode") or ("topk" if k is not None
-                                       else "all")
-        spec = QuerySpec(
-            tuple(keywords), rmax, mode=mode, k=k,
-            algorithm=payload.get("algorithm", "pd"),
-            aggregate=payload.get("aggregate", "sum"),
-            budget_seconds=_float_of(payload, "budget_seconds",
-                                     required=False))
-        for keyword in spec.keywords:
-            if not self.manifest.keyword_known(keyword):
-                raise QueryError(
-                    f"keyword {keyword!r} does not occur in the "
-                    f"database")
-        return spec
-
-    @staticmethod
-    def _shard_payload(spec: QuerySpec, k: Optional[int],
-                       deadline: Optional[float],
-                       labels: bool) -> Dict[str, Any]:
-        """The ``/query`` body one shard leg carries."""
-        payload: Dict[str, Any] = {
-            "keywords": list(spec.keywords),
-            "rmax": spec.rmax,
-            "mode": spec.mode,
-            "algorithm": spec.algorithm,
-            "aggregate": spec.aggregate,
-        }
-        if k is not None:
-            payload["k"] = k
-        if deadline is not None:
-            payload["deadline_seconds"] = deadline
-        if labels:
-            payload["labels"] = True
-        return payload
-
-    def _absorb(self, shard_id: int, response: Dict[str, Any],
-                labels_out: Optional[Dict[str, str]]
-                ) -> List[Community]:
-        """Globalize + ownership-filter one leg's communities.
-
-        Collects relabeled node labels into ``labels_out`` when the
-        caller asked shards for them.
-        """
-        entry = self.manifest.shards[shard_id]
-        raw = response.get("communities", [])
-        if labels_out is not None:
-            for community in raw:
-                for local, label in community.get("labels",
-                                                 {}).items():
-                    labels_out[str(entry.node_map[int(local)])] = label
-        return filter_owned(
-            globalize(communities_from_dicts(raw), entry.node_map),
-            self.manifest.owners, shard_id)
+        return fetch_many
 
     # ------------------------------------------------------------------
     # handlers
     # ------------------------------------------------------------------
     def _query(self, body: bytes) -> Dict[str, Any]:
         """``POST /query``: scatter, filter, merge, gather."""
-        payload = _parse_body(body)
-        spec = self._spec_of(payload)
-        deadline = _float_of(payload, "deadline_seconds",
-                             required=False)
-        want_labels = bool(payload.get("labels", False))
+        plan = self.core.parse_query(body)
         start = time.perf_counter()
-        eligible = self.manifest.shards_for(spec.keywords)
-        self._count("queries")
-        labels: Optional[Dict[str, str]] = {} if want_labels else None
-
-        if spec.mode == "topk":
-            outcome = self._merged_top_k(spec, eligible, deadline,
-                                         want_labels, labels)
+        if plan.spec.mode == "topk":
+            outcome = merge_top_k(self._fetch_many(plan),
+                                  plan.eligible, plan.spec.k or 0)
             communities = outcome.communities
             answered, failed = outcome.answered, outcome.failed
-            self._count("merge_rounds", outcome.rounds)
-            self._count("merge_candidates", outcome.candidates)
-            self._gauge("last_merge_depth", float(outcome.candidates))
+            self.core.note_topk(outcome)
         else:
-            communities, answered, failed = self._merged_all(
-                spec, eligible, deadline, want_labels, labels)
-        partial = bool(failed)
-        if partial:
-            self._count("partial_results")
-        self._count("shard_failures", len(failed))
-        envelope = self._envelope(
-            communities, spec, labels,
-            answered=len(answered), total=len(eligible),
+            communities, answered, failed = self._merged_all(plan)
+        self.core.note_partial(failed)
+        return self.core.envelope(
+            plan, communities, answered=len(answered),
             elapsed=time.perf_counter() - start)
-        return envelope
 
-    def _merged_all(self, spec: QuerySpec, eligible: List[int],
-                    deadline: Optional[float], want_labels: bool,
-                    labels: Optional[Dict[str, str]]
-                    ) -> Tuple[List[Community], List[int], List[int]]:
+    def _merged_all(self, plan: QueryPlan
+                    ) -> Tuple[List[Any], List[int], List[int]]:
         """One COMM-all fan-out: union of filtered shard answers."""
-        payload = self._shard_payload(spec, None, deadline,
-                                      want_labels)
-        responses = self._fan({
+        payload = self.core.shard_payload(
+            plan.spec, None, plan.deadline, plan.want_labels)
+        responses = self._fanout.fan({
             shard_id: (lambda s=shard_id:
                        self._leg_query(s, payload))
-            for shard_id in eligible})
-        answered: List[int] = []
-        failed: List[int] = []
-        per_shard: List[List[Community]] = []
-        for shard_id in eligible:
-            result = responses[shard_id]
-            if isinstance(result, dict):
-                answered.append(shard_id)
-                per_shard.append(self._absorb(shard_id, result,
-                                              labels))
-            elif self._leg_empty(result):
-                answered.append(shard_id)
-            else:
-                failed.append(shard_id)
-        return merge_all(per_shard), answered, failed
-
-    def _merged_top_k(self, spec: QuerySpec, eligible: List[int],
-                      deadline: Optional[float], want_labels: bool,
-                      labels: Optional[Dict[str, str]]
-                      ) -> MergeOutcome:
-        """One COMM-k merge drive over concurrent shard fetches."""
-        def fetch_one(shard_id: int,
-                      want: int) -> Optional[FetchResult]:
-            """Fetch + filter one shard's first ``want`` answers."""
-            payload = self._shard_payload(spec, want, deadline,
-                                          want_labels)
-            result = self._leg_query(shard_id, payload)
-            if self._leg_empty(result):
-                return FetchResult(kept=[], raw_count=0,
-                                   exhausted=True)
-            if not isinstance(result, dict):
-                return None
-            raw = result.get("communities", [])
-            exhausted = len(raw) < want
-            frontier = (float(raw[-1]["cost"])
-                        if raw and not exhausted else None)
-            return FetchResult(
-                kept=self._absorb(shard_id, result, labels),
-                raw_count=len(raw), exhausted=exhausted,
-                frontier=frontier)
-
-        def fetch_many(wants: Dict[int, int]
-                       ) -> Dict[int, Optional[FetchResult]]:
-            """One concurrent overfetch round."""
-            return self._fan({
-                shard_id: (lambda s=shard_id, w=want:
-                           fetch_one(s, w))
-                for shard_id, want in wants.items()})
-
-        return merge_top_k(fetch_many, eligible, spec.k or 0)
-
-    def _envelope(self, communities: List[Community],
-                  spec: QuerySpec,
-                  labels: Optional[Dict[str, str]],
-                  answered: int, total: int,
-                  elapsed: Optional[float] = None) -> Dict[str, Any]:
-        """The router's ``/query`` response envelope.
-
-        Single-box fields (``count``/``communities``/``query``) plus
-        the partial-result contract: ``shards_total`` is how many
-        shards the query needed, ``shards_answered`` how many
-        delivered; ``partial`` flags any gap. Clients that cannot
-        tolerate partial answers must check it — the status stays
-        200.
-        """
-        rendered = []
-        for community in communities:
-            entry = community_to_dict(community)
-            if labels is not None:
-                entry["labels"] = {
-                    str(u): labels[str(u)] for u in community.nodes
-                    if str(u) in labels}
-            rendered.append(entry)
-        envelope: Dict[str, Any] = {
-            "count": len(rendered),
-            "communities": rendered,
-            "query": spec_to_dict(spec),
-            "shards_answered": answered,
-            "shards_total": total,
-            "partial": answered < total,
-        }
-        if elapsed is not None:
-            envelope["elapsed_seconds"] = float(elapsed)
-        return envelope
+            for shard_id in plan.eligible})
+        return self.core.reduce_all(plan, responses)
 
     def _batch(self, body: bytes) -> Dict[str, Any]:
         """``POST /batch``: shard-aware batched scatter-gather.
@@ -514,54 +318,43 @@ class RouterService:
         (a shard's filtered prefix ran short) refetch individually
         with doubled ``k`` — rare, and still stateless.
         """
-        payload = _parse_body(body)
-        queries = payload.get("queries")
-        if not isinstance(queries, list) or not queries:
-            raise BadRequest(
-                "'queries' must be a non-empty list of query objects")
-        if not all(isinstance(q, dict) for q in queries):
-            raise BadRequest("every batch entry must be an object")
-        specs = [self._spec_of(query) for query in queries]
-        deadline = _float_of(payload, "deadline_seconds",
-                             required=False)
-        want_labels = bool(payload.get("labels", False))
+        manifest, plans, deadline, want_labels = \
+            self.core.parse_batch(body)
         start = time.perf_counter()
-        plans = [self.manifest.shards_for(spec.keywords)
-                 for spec in specs]
-        self._count("queries", len(specs))
-        self._count("batches")
 
         # Round 1: one /batch per shard with its eligible entries.
         by_shard: Dict[int, List[int]] = {}
-        for entry_index, eligible in enumerate(plans):
-            for shard_id in eligible:
+        for entry_index, plan in enumerate(plans):
+            for shard_id in plan.eligible:
                 by_shard.setdefault(shard_id, []).append(entry_index)
 
         def leg_batch(shard_id: int, indexes: List[int]) -> Any:
             """One shard's round-1 /batch leg."""
-            bodies = [self._shard_payload(
-                specs[i], specs[i].k, deadline, want_labels)
-                for i in indexes]
-            self._count("fanout_legs")
+            bodies = [self.core.shard_payload(
+                plans[i].spec, plans[i].spec.k, deadline,
+                want_labels) for i in indexes]
+            self.core.count("fanout_legs")
             leg_start = time.perf_counter()
             try:
-                response = self.backends[shard_id].client.request(
-                    "POST", "/batch",
-                    {"queries": bodies,
-                     **({"deadline_seconds": deadline}
-                        if deadline is not None else {}),
-                     **({"labels": True} if want_labels else {})},
-                    idempotent=True)
-                self._observe_leg(shard_id, 200,
-                                  time.perf_counter() - leg_start)
+                response = self.replica_sets[shard_id].call(
+                    lambda client: client.request(
+                        "POST", "/batch",
+                        {"queries": bodies,
+                         **({"deadline_seconds": deadline}
+                            if deadline is not None else {}),
+                         **({"labels": True} if want_labels
+                            else {})},
+                        idempotent=True))
+                self.core.observe_leg(
+                    shard_id, 200, time.perf_counter() - leg_start)
                 return response
             except ServiceError as error:
-                self._observe_leg(shard_id,
-                                  getattr(error, "status", 500),
-                                  time.perf_counter() - leg_start)
+                self.core.observe_leg(
+                    shard_id, getattr(error, "status", 500),
+                    time.perf_counter() - leg_start)
                 return error
 
-        round_one = self._fan({
+        round_one = self._fanout.fan({
             shard_id: (lambda s=shard_id, idx=indexes:
                        leg_batch(s, idx))
             for shard_id, indexes in by_shard.items()})
@@ -569,263 +362,82 @@ class RouterService:
         # Reassemble: per entry, serve round 1 from the shard batch
         # responses; top-k refetches fall back to single /query legs.
         envelopes = []
-        for entry_index, (spec, eligible) in enumerate(
-                zip(specs, plans)):
-            labels: Optional[Dict[str, str]] = \
-                {} if want_labels else None
+        for entry_index, plan in enumerate(plans):
             first: Dict[int, Any] = {}
-            for shard_id in eligible:
+            for shard_id in plan.eligible:
                 result = round_one.get(shard_id)
                 if isinstance(result, dict):
                     position = by_shard[shard_id].index(entry_index)
-                    first[shard_id] = \
-                        result["results"][position]
+                    first[shard_id] = result["results"][position]
                 else:
                     first[shard_id] = result
-            if spec.mode == "topk":
-                outcome = self._batch_top_k(spec, eligible, first,
-                                            deadline, want_labels,
-                                            labels)
+            if plan.spec.mode == "topk":
+                outcome = self._batch_top_k(plan, first)
                 communities = outcome.communities
                 answered, failed = outcome.answered, outcome.failed
-                self._count("merge_rounds", outcome.rounds)
+                self.core.count("merge_rounds", outcome.rounds)
             else:
-                answered, failed = [], []
-                per_shard: List[List[Community]] = []
-                for shard_id in eligible:
-                    result = first[shard_id]
-                    if isinstance(result, dict):
-                        answered.append(shard_id)
-                        per_shard.append(self._absorb(
-                            shard_id, result, labels))
-                    elif self._leg_empty(result):
-                        answered.append(shard_id)
-                    else:
-                        failed.append(shard_id)
-                communities = merge_all(per_shard)
+                communities, answered, failed = \
+                    self.core.reduce_all(plan, first)
             if failed:
-                self._count("partial_results")
-                self._count("shard_failures", len(failed))
-            envelopes.append(self._envelope(
-                communities, spec, labels,
-                answered=len(answered), total=len(eligible)))
+                self.core.count("partial_results")
+                self.core.count("shard_failures", len(failed))
+            envelopes.append(self.core.envelope(
+                plan, communities, answered=len(answered)))
         return {
             "queries": len(envelopes),
             "results": envelopes,
             "elapsed_seconds": time.perf_counter() - start,
         }
 
-    def _batch_top_k(self, spec: QuerySpec, eligible: List[int],
-                     first: Dict[int, Any],
-                     deadline: Optional[float], want_labels: bool,
-                     labels: Optional[Dict[str, str]]
-                     ) -> MergeOutcome:
+    def _batch_top_k(self, plan: QueryPlan,
+                     first: Dict[int, Any]) -> MergeOutcome:
         """Merge one batch entry's top-k, reusing round-1 answers."""
         def fetch_one(shard_id: int,
                       want: int) -> Optional[FetchResult]:
             """Round 1 from the cached batch leg; later rounds via
             fresh single-query legs."""
-            if want == spec.k and shard_id in first:
+            if want == plan.spec.k and shard_id in first:
                 result = first.pop(shard_id)
             else:
                 result = self._leg_query(
-                    shard_id, self._shard_payload(
-                        spec, want, deadline, want_labels))
-            if self._leg_empty(result):
-                return FetchResult(kept=[], raw_count=0,
-                                   exhausted=True)
-            if not isinstance(result, dict):
-                return None
-            raw = result.get("communities", [])
-            exhausted = len(raw) < want
-            frontier = (float(raw[-1]["cost"])
-                        if raw and not exhausted else None)
-            return FetchResult(
-                kept=self._absorb(shard_id, result, labels),
-                raw_count=len(raw), exhausted=exhausted,
-                frontier=frontier)
+                    shard_id, self.core.shard_payload(
+                        plan.spec, want, plan.deadline,
+                        plan.want_labels))
+            return self.core.fetch_result(plan, shard_id, result,
+                                          want)
 
         def fetch_many(wants: Dict[int, int]
                        ) -> Dict[int, Optional[FetchResult]]:
             """One merge round (round 1 is served from cache)."""
-            return self._fan({
+            return self._fanout.fan({
                 shard_id: (lambda s=shard_id, w=want:
                            fetch_one(s, w))
                 for shard_id, want in wants.items()})
 
-        return merge_top_k(fetch_many, eligible, spec.k or 0)
+        return merge_top_k(fetch_many, plan.eligible,
+                           plan.spec.k or 0)
 
     # ------------------------------------------------------------------
-    # health + lifecycle
+    # health + metrics
     # ------------------------------------------------------------------
     def _health(self) -> Dict[str, Any]:
-        """``GET /healthz``: per-shard rows + rolled-up status.
+        """``GET /healthz``: fan health probes to every replica."""
+        manifest = self.core.capture()
+        calls = {}
+        keys = []
+        for replicas in self.replica_sets:
+            for index, client in enumerate(replicas.clients):
+                key = (replicas.shard_id, index)
+                keys.append(key)
+                calls[len(keys) - 1] = \
+                    (lambda c=client: c.health())
+        fanned = self._fanout.fan(calls)
+        responses = {keys[slot]: result
+                     for slot, result in fanned.items()}
+        return self.core.health_payload(manifest, self.replica_sets,
+                                        responses)
 
-        ``ok`` only when every shard answered ``ok``; a degraded or
-        unreachable shard rolls the fleet up to ``degraded`` (the
-        router still answers, partially). Orchestrators alert on the
-        top-level field without parsing rows.
-        """
-        responses = self._fan({
-            backend.shard_id:
-                (lambda b=backend: b.client.health())
-            for backend in self.backends})
-        rows = []
-        status = "ok"
-        reachable = 0
-        for backend in self.backends:
-            result = responses[backend.shard_id]
-            entry = self.manifest.shards[backend.shard_id]
-            row: Dict[str, Any] = {
-                "shard": backend.shard_id,
-                "url": backend.url,
-                "expected_snapshot": entry.snapshot_id,
-            }
-            if isinstance(result, dict):
-                reachable += 1
-                row["status"] = result.get("status", "ok")
-                row["snapshot"] = result.get("snapshot")
-                row["generation"] = result.get("generation")
-                if row["status"] != "ok":
-                    status = "degraded"
-            else:
-                row["status"] = "unreachable"
-                row["error"] = str(result)
-                status = "degraded"
-            rows.append(row)
-        return {
-            "status": status,
-            "generation": self.manifest.generation,
-            "shards_total": len(self.backends),
-            "shards_reachable": reachable,
-            "shards": rows,
-        }
-
-    def _admin_reload(self, body: bytes) -> Dict[str, Any]:
-        """``POST /admin/reload``: broadcast a manifest generation
-        swap with rollback.
-
-        Re-reads ``routing.json`` (from the configured partition root
-        or a ``path`` in the body), then walks the shards in order:
-        record what each serves now, ask it to reload from its store
-        under the new manifest, and verify it adopted the manifest's
-        snapshot id. Any failure rolls every already-switched shard
-        back to its recorded snapshot and leaves the router on the
-        old manifest — the fleet is never left mixed-generation by a
-        failed reload, matching the single-box PR 5 contract.
-        """
-        payload = _parse_body(body)
-        source = payload.get("path") or self.root
-        if source is None:
-            raise BadRequest(
-                "no partition root configured; start the router "
-                "with one or supply 'path' in the body")
-        root = Path(source)
-        new_manifest = RoutingManifest.load(root)
-        if len(new_manifest.shards) != len(self.backends):
-            raise BadRequest(
-                f"new manifest names {len(new_manifest.shards)} "
-                f"shards; this router fronts {len(self.backends)}")
-        if new_manifest.generation == self.manifest.generation:
-            return {"reloaded": False,
-                    "generation": self.manifest.generation,
-                    "shards": len(self.backends)}
-        previous: List[Tuple[int, Optional[str]]] = []
-        try:
-            for backend in self.backends:
-                shard_id = backend.shard_id
-                before = backend.client.health().get("snapshot")
-                # Recorded before the reload is issued: a shard that
-                # adopts the wrong snapshot (and fails verification
-                # below) must still be rolled back.
-                previous.append((shard_id, before))
-                target = str(root /
-                             new_manifest.shards[shard_id].store)
-                reply = backend.client.admin_reload(path=target)
-                adopted = reply.get("snapshot")
-                expected = new_manifest.shards[shard_id].snapshot_id
-                if adopted != expected:
-                    raise ServiceError(
-                        f"shard {shard_id} adopted {adopted!r}, "
-                        f"manifest expects {expected!r}")
-        except Exception as error:  # noqa: BLE001 — any failed leg
-            # triggers the fleet-wide rollback.
-            self._count("reload_rollbacks")
-            self._rollback(previous)
-            raise ServiceError(
-                f"sharded reload failed and was rolled back: "
-                f"{error}")
-        with self._lock:
-            self.manifest = new_manifest
-            if self.root is None:
-                self.root = root
-        self._count("reloads")
-        return {
-            "reloaded": True,
-            "generation": new_manifest.generation,
-            "shards": len(self.backends),
-        }
-
-    def _rollback(self, previous: List[Tuple[int, Optional[str]]]
-                  ) -> None:
-        """Point already-reloaded shards back at their old snapshots.
-
-        Best effort: a shard that cannot be rolled back (crashed
-        mid-reload) is left for its own watchdog; the router still
-        refuses to adopt the new manifest, so /healthz shows the
-        mismatch against the old expectations.
-        """
-        for shard_id, snapshot_id in previous:
-            if snapshot_id is None:
-                continue
-            store = self.manifest.store_path(
-                self.root, shard_id) if self.root is not None \
-                else None
-            if store is None:
-                continue
-            try:
-                self.backends[shard_id].client.admin_reload(
-                    path=str(store / snapshot_id))
-            except ServiceError:
-                continue
-
-    # ------------------------------------------------------------------
-    # metrics
-    # ------------------------------------------------------------------
     def render_metrics(self) -> str:
-        """One Prometheus scrape of the router.
-
-        ``repro_router_*_total`` counters (fan-out legs, merge rounds
-        and candidate depth, partial results, shard failures,
-        reloads/rollbacks), fleet gauges, identity rows per shard,
-        and per-shard fan-out latency histograms under
-        ``path="shard:NN"``.
-        """
-        with self._lock:
-            counters = {
-                f"repro_router_{name}_total": value
-                for name, value in self._counters.items()}
-            gauges = {
-                f"repro_router_{name}": value
-                for name, value in self._gauges.items()}
-        gauges["repro_router_shards"] = float(len(self.backends))
-        gauges["repro_router_manifest_nodes"] = float(
-            self.manifest.total_nodes)
-        infos: Dict[str, Any] = {
-            "repro_router_manifest_info": {
-                "generation": self.manifest.generation,
-                "source_snapshot":
-                    self.manifest.source_snapshot or "",
-            },
-            "repro_router_shard_info": [
-                {
-                    "shard": str(backend.shard_id),
-                    "url": backend.url,
-                    "snapshot_id":
-                        self.manifest.shards[
-                            backend.shard_id].snapshot_id,
-                }
-                for backend in self.backends],
-        }
-        return self.metrics.render(counters=counters, gauges=gauges,
-                                   infos=infos)
+        """One Prometheus scrape of the router."""
+        return self.core.render_metrics(self.replica_sets)

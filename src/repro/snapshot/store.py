@@ -17,19 +17,39 @@ or the new one.
 Because snapshot ids are content-derived, publishing identical content
 twice is idempotent: the second publish sees the id already present
 and only repoints ``LATEST``.
+
+**Cross-box ingest.** :meth:`SnapshotStore.ingest` accepts a snapshot
+manifest produced elsewhere and returns a :class:`SnapshotIngest`
+that receives the section payloads one at a time (the wire form: the
+stored bytes, gzip frames included), verifying each against the
+manifest's length and SHA-256 before it touches the store. The
+transfer stages in a hidden sibling directory and only an explicit
+:meth:`SnapshotIngest.commit` renames it into place — a torn or
+corrupted transfer never becomes visible, which is what lets a router
+push shard snapshots to backends with no shared filesystem.
 """
 
 from __future__ import annotations
 
+import gzip
+import hashlib
+import json
 import os
 import shutil
 import tempfile
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.exceptions import SnapshotNotFoundError
+from repro import faults
+from repro.exceptions import (
+    SnapshotFormatError,
+    SnapshotIntegrityError,
+    SnapshotNotFoundError,
+)
 from repro.graph.database_graph import DatabaseGraph
 from repro.snapshot.snapshot import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
     MANIFEST_NAME,
     Snapshot,
     load_snapshot,
@@ -95,6 +115,21 @@ class SnapshotStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+
+    # ------------------------------------------------------------------
+    # cross-box ingest
+    # ------------------------------------------------------------------
+    def ingest(self, manifest: Dict[str, Any]) -> "SnapshotIngest":
+        """Begin receiving a snapshot built elsewhere.
+
+        ``manifest`` is the remote snapshot's ``manifest.json`` as a
+        dict; its format, version, and content-derived id are
+        validated up front (the id is recomputed from the section
+        checksums, so a tampered manifest is rejected before any
+        bytes move). Returns a :class:`SnapshotIngest` to feed the
+        section payloads into.
+        """
+        return SnapshotIngest(self, manifest)
 
     # ------------------------------------------------------------------
     # resolve / load
@@ -173,6 +208,137 @@ class SnapshotStore:
 
     def __repr__(self) -> str:
         return f"SnapshotStore(root={str(self.root)!r})"
+
+
+class SnapshotIngest:
+    """One in-flight snapshot transfer into a :class:`SnapshotStore`.
+
+    Sections arrive in their *stored* (wire) form — gzip frames when
+    the manifest says so — and are verified section by section:
+    decompress, check the byte length, check the SHA-256 against the
+    manifest. Everything stages under a hidden directory inside the
+    store; :meth:`commit` atomically renames it into place and
+    repoints ``LATEST``, :meth:`abort` discards it. A crashed or
+    failed transfer is invisible to readers either way.
+    """
+
+    def __init__(self, store: SnapshotStore,
+                 manifest: Dict[str, Any]) -> None:
+        if manifest.get("format") != FORMAT_NAME:
+            raise SnapshotFormatError(
+                f"ingest manifest is not a {FORMAT_NAME} manifest")
+        if manifest.get("version") != FORMAT_VERSION:
+            raise SnapshotFormatError(
+                f"ingest manifest has unsupported version "
+                f"{manifest.get('version')!r} "
+                f"(expected {FORMAT_VERSION})")
+        sections = manifest.get("sections") or {}
+        digest = hashlib.sha256()
+        digest.update(f"{FORMAT_NAME}:{FORMAT_VERSION}".encode())
+        for name in sorted(sections):
+            digest.update(name.encode())
+            digest.update(sections[name]["sha256"].encode())
+        derived = f"sn-{digest.hexdigest()[:12]}"
+        if manifest.get("id") != derived:
+            raise SnapshotFormatError(
+                f"ingest manifest id {manifest.get('id')!r} does not "
+                f"match its section checksums ({derived})")
+        self.store = store
+        self.manifest = dict(manifest)
+        self.snapshot_id: str = manifest["id"]
+        self._sections: Dict[str, Dict[str, Any]] = dict(sections)
+        self._received: Dict[str, bool] = {}
+        self._staging: Optional[Path] = Path(tempfile.mkdtemp(
+            prefix=".ingest-", dir=str(store.root)))
+
+    @property
+    def sections_needed(self) -> List[str]:
+        """Manifest sections not yet received, in manifest order."""
+        return [name for name in sorted(self._sections)
+                if name not in self._received]
+
+    def write_section(self, name: str, stored: bytes) -> None:
+        """Receive one section's wire bytes, verify, and stage it.
+
+        ``stored`` is the on-disk form (compressed when the manifest
+        flags it). Verification failures raise
+        :class:`~repro.exceptions.SnapshotIntegrityError` and leave
+        the ingest usable — the caller may re-send the section.
+        """
+        if self._staging is None:
+            raise SnapshotIntegrityError(
+                f"ingest of {self.snapshot_id} is already closed")
+        entry = self._sections.get(name)
+        if entry is None:
+            raise SnapshotFormatError(
+                f"snapshot {self.snapshot_id} has no {name!r} "
+                f"section")
+        # Failpoint: damage the payload in flight (a torn proxy, a
+        # bad NIC) so the checksum below is what catches it — the
+        # exact cross-box detection path.
+        wire = faults.corrupt(f"snapshot.transfer.{name}",
+                              faults.corrupt("snapshot.transfer",
+                                             stored))
+        raw = wire
+        if entry.get("gzip"):
+            try:
+                raw = gzip.decompress(wire)
+            except (OSError, EOFError, ValueError) as exc:
+                raise SnapshotIntegrityError(
+                    f"transferred section {name!r} of "
+                    f"{self.snapshot_id} is corrupt (gzip: {exc})"
+                ) from exc
+        if len(raw) != entry["bytes"]:
+            raise SnapshotIntegrityError(
+                f"transferred section {name!r} of {self.snapshot_id} "
+                f"is truncated: {len(raw)} bytes, manifest says "
+                f"{entry['bytes']}")
+        sha = hashlib.sha256(raw).hexdigest()
+        if sha != entry["sha256"]:
+            raise SnapshotIntegrityError(
+                f"transferred section {name!r} of {self.snapshot_id} "
+                f"failed its checksum (sha256 {sha[:12]}..., "
+                f"manifest {entry['sha256'][:12]}...)")
+        # Stage the stored (wire) form, so the staged file matches
+        # the original artifact byte for byte.
+        (self._staging / entry["file"]).write_bytes(wire)
+        self._received[name] = True
+
+    def commit(self) -> Path:
+        """Publish the fully received snapshot atomically.
+
+        Requires every manifest section; writes ``manifest.json``
+        last (a reader recognizes a snapshot by its manifest, so the
+        staging directory is never mistaken for one), renames into
+        ``<root>/<id>``, and repoints ``LATEST``. Returns the final
+        snapshot directory.
+        """
+        if self._staging is None:
+            raise SnapshotIntegrityError(
+                f"ingest of {self.snapshot_id} is already closed")
+        missing = self.sections_needed
+        if missing:
+            raise SnapshotIntegrityError(
+                f"ingest of {self.snapshot_id} is missing sections: "
+                f"{', '.join(missing)}")
+        (self._staging / MANIFEST_NAME).write_text(
+            json.dumps(self.manifest, indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        final = self.store.root / self.snapshot_id
+        if final.exists():
+            # Content-identical snapshot already in the store.
+            shutil.rmtree(self._staging)
+        else:
+            os.replace(self._staging, final)
+        self._staging = None
+        self.store._point_latest(self.snapshot_id)
+        return final
+
+    def abort(self) -> None:
+        """Discard the staged transfer (idempotent)."""
+        if self._staging is not None:
+            shutil.rmtree(self._staging, ignore_errors=True)
+            self._staging = None
 
 
 def locate_snapshot(path: PathLike) -> Path:

@@ -1,0 +1,108 @@
+"""Cross-box snapshot transfer over a live HTTP service.
+
+The no-shared-filesystem deploy path, end to end: a snapshot
+published on one "box" (a local store) is pushed over the wire into a
+service whose own store never saw it, adopted by id with
+``POST /admin/reload {"snapshot": ...}``, and then answers queries.
+The pull direction (:func:`fetch_snapshot`) mirrors a served snapshot
+into a fresh local store. A failpoint that corrupts bytes in flight
+proves the checksum gate: the PUT answers 400, the push raises, and
+the remote store is left byte-for-byte untouched.
+"""
+
+import pytest
+
+from repro import faults
+from repro.datasets.paper_example import (
+    FIG4_QUERY,
+    FIG4_RMAX,
+    figure4_graph,
+)
+from repro.engine import QueryEngine
+from repro.service import BadRequest, CommunityService, ServiceClient
+from repro.service.http import fetch_snapshot, push_snapshot
+from repro.snapshot import SnapshotStore, load_snapshot
+from repro.text.inverted_index import CommunityIndex
+
+
+@pytest.fixture()
+def source_snapshot(tmp_path):
+    """A published fig4 snapshot on the 'build box'."""
+    dbg = figure4_graph()
+    index = CommunityIndex.build(dbg, FIG4_RMAX)
+    return SnapshotStore(tmp_path / "build-box").publish(
+        dbg, index, provenance={"dataset": "fig4"})
+
+
+@pytest.fixture()
+def serving(tmp_path, fig4):
+    """A live service whose own (empty) store is its snapshot source."""
+    engine = QueryEngine(fig4)
+    engine.build_index(radius=FIG4_RMAX)
+    store_root = tmp_path / "serve-box"
+    with CommunityService(engine, port=0,
+                          snapshot_source=store_root).start() \
+            as service:
+        with ServiceClient(service.url, timeout=30.0) as client:
+            yield service, client, store_root
+
+
+class TestPushReload:
+    def test_push_then_reload_by_id(self, source_snapshot, serving):
+        _, client, store_root = serving
+        reply = push_snapshot(client, source_snapshot.path)
+        assert reply["snapshot"] == source_snapshot.id
+        # The bytes now live in the serving box's own store.
+        local = SnapshotStore(store_root)
+        assert local.latest_id() == source_snapshot.id
+        load_snapshot(local.resolve(source_snapshot.id), verify=True)
+
+        adopted = client.admin_reload(snapshot=source_snapshot.id)
+        assert adopted["snapshot"] == source_snapshot.id
+        assert adopted["generation"] == source_snapshot.id
+        result = client.query(list(FIG4_QUERY), FIG4_RMAX, k=1)
+        assert result["count"] == 1
+
+    def test_repush_is_idempotent(self, source_snapshot, serving):
+        _, client, _ = serving
+        first = push_snapshot(client, source_snapshot.path)
+        assert first["snapshot"] == source_snapshot.id
+        again = push_snapshot(client, source_snapshot.path)
+        assert again["complete"] is True
+        assert again["sections_needed"] == []
+
+
+class TestFetch:
+    def test_fetch_mirrors_served_snapshot(self, source_snapshot,
+                                           tmp_path, fig4):
+        engine = QueryEngine.from_snapshot(source_snapshot.path)
+        with CommunityService(
+                engine, port=0,
+                snapshot_source=source_snapshot.path.parent).start() \
+                as service:
+            with ServiceClient(service.url, timeout=30.0) as client:
+                mirror = SnapshotStore(tmp_path / "mirror")
+                local = fetch_snapshot(client, source_snapshot.id,
+                                       mirror)
+                assert local == mirror.root / source_snapshot.id
+                loaded = load_snapshot(local, verify=True)
+                assert loaded.id == source_snapshot.id
+
+
+class TestCorruptInFlight:
+    def test_checksum_gate_rejects_and_leaves_store_clean(
+            self, source_snapshot, serving):
+        _, client, store_root = serving
+        faults.activate("snapshot.transfer", "once:corrupt")
+        try:
+            with pytest.raises(BadRequest,
+                               match="corrupt|checksum|truncated"):
+                push_snapshot(client, source_snapshot.path)
+        finally:
+            faults.clear()
+        # Nothing became visible: no snapshot, no staging leftovers.
+        store = SnapshotStore(store_root)
+        assert [child for child in store.root.iterdir()] == []
+        # The service is unharmed and a clean retry succeeds.
+        reply = push_snapshot(client, source_snapshot.path)
+        assert reply["snapshot"] == source_snapshot.id
