@@ -11,7 +11,9 @@
   (the distribution behind the paper's "polynomial delay" claim);
 * :mod:`repro.analysis.stage_report` — rendering the execution
   engine's per-stage instrumentation (where a query's time goes,
-  projection-cache effectiveness).
+  projection-cache effectiveness);
+* :mod:`repro.analysis.hot_keys` — offline mining of the service's
+  query log into a result-cache warm list (``python -m repro warm``).
 """
 
 from repro.analysis.delay_profile import DelayProfile, profile_delays
@@ -21,6 +23,7 @@ from repro.analysis.stage_report import (
     stage_table,
 )
 from repro.analysis.dot import community_to_dot, tree_to_dot
+from repro.analysis.hot_keys import hot_keys, warm_payloads
 from repro.analysis.graph_stats import (
     DatasetProfile,
     degree_statistics,
@@ -36,6 +39,7 @@ __all__ = [
     "cache_effectiveness",
     "community_to_dot",
     "degree_statistics",
+    "hot_keys",
     "profile_database",
     "profile_delays",
     "profile_graph",
@@ -43,4 +47,5 @@ __all__ = [
     "stage_breakdown",
     "stage_table",
     "tree_to_dot",
+    "warm_payloads",
 ]

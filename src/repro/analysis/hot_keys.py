@@ -1,0 +1,74 @@
+"""Offline hot-keyword mining over the service's query log.
+
+The service keeps a ring buffer of every admitted ``/query``/``/batch``
+spec, aggregated under the same canonical cache key the result cache
+uses (``GET /admin/querylog``). This module turns that ledger into a
+warm list: the top-N specs worth replaying into a freshly adopted
+generation's (empty) result cache.
+
+Used by ``python -m repro warm`` against a live service, and usable
+directly against saved querylog JSON for capacity planning::
+
+    rows = hot_keys(json.load(open("querylog.json")), top=20)
+    for row in rows:
+        print(row["count"], row["key"])
+
+The functions are tolerant about input shape: the full
+``/admin/querylog`` response, its ``top`` list, or a bare list of
+``{"key", "count", "query"}`` rows all work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+LogLike = Union[Dict[str, Any], Sequence[Dict[str, Any]]]
+
+
+def _rows_of(log: LogLike) -> List[Dict[str, Any]]:
+    """Normalize any accepted input shape to a list of count rows."""
+    if isinstance(log, dict):
+        rows = log.get("top", [])
+    else:
+        rows = list(log)
+    out = []
+    for row in rows:
+        if not isinstance(row, dict) or "query" not in row:
+            continue
+        out.append({
+            "key": str(row.get("key", "")),
+            "count": int(row.get("count", 0)),
+            "query": dict(row["query"]),
+        })
+    return out
+
+
+def hot_keys(log: LogLike,
+             top: Optional[int] = None,
+             min_count: int = 1) -> List[Dict[str, Any]]:
+    """The hottest distinct specs, most-frequent first.
+
+    Rows sharing a canonical key are merged (their counts summed),
+    rows below ``min_count`` dropped, and the remainder sorted by
+    descending count (key as the tiebreak, for stable output). Each
+    returned row's ``query`` is a replayable ``/query`` body.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for row in _rows_of(log):
+        kept = merged.get(row["key"])
+        if kept is None:
+            merged[row["key"]] = dict(row)
+        else:
+            kept["count"] += row["count"]
+    rows = [row for row in merged.values()
+            if row["count"] >= min_count]
+    rows.sort(key=lambda row: (-row["count"], row["key"]))
+    if top is not None:
+        rows = rows[:max(0, int(top))]
+    return rows
+
+
+def warm_payloads(log: LogLike,
+                  top: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Just the replayable ``/query`` bodies, hottest first."""
+    return [row["query"] for row in hot_keys(log, top=top)]

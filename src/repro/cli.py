@@ -167,6 +167,8 @@ def cmd_serve(args) -> int:
 
     engine_close = None
     snapshot_mode = getattr(args, "snapshot_mode", "auto")
+    result_cache_bytes = int(
+        getattr(args, "result_cache_mb", 64) * 1024 * 1024)
     if getattr(args, "snapshot", None):
         from repro.snapshot.store import locate_snapshot
 
@@ -181,15 +183,17 @@ def cmd_serve(args) -> int:
             engine = ParallelQueryEngine(
                 path, workers=args.workers,
                 lease_seconds=args.worker_lease,
-                snapshot_mode=snapshot_mode).start()
+                snapshot_mode=snapshot_mode,
+                result_cache_bytes=result_cache_bytes).start()
             engine_close = engine.close
             print(f"started {args.workers} worker processes",
                   file=sys.stderr)
         else:
             from repro.engine.engine import QueryEngine
 
-            engine = QueryEngine.from_snapshot(path,
-                                               mode=snapshot_mode)
+            engine = QueryEngine.from_snapshot(
+                path, mode=snapshot_mode,
+                result_cache_bytes=result_cache_bytes)
         dbg = engine.dbg
         resolved = engine.snapshot_mode or "copy"
         print(f"loaded snapshot {engine.snapshot_id} from {path} "
@@ -206,6 +210,9 @@ def cmd_serve(args) -> int:
                   file=sys.stderr)
             search.build_index(radius=args.radius)
         engine = search.engine
+        from repro.engine.results import ResultCache
+
+        engine.results = ResultCache(result_cache_bytes)
     service = CommunityService(
         engine, host=args.host, port=args.port,
         workers=args.workers, queue_depth=args.queue_depth,
@@ -213,7 +220,8 @@ def cmd_serve(args) -> int:
         default_deadline=args.deadline,
         snapshot_source=getattr(args, "snapshot", None),
         drain_seconds=args.drain_seconds,
-        snapshot_mode=snapshot_mode)
+        snapshot_mode=snapshot_mode,
+        warm_top=getattr(args, "warm_top", 8))
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{service.host} {service.port}\n")
@@ -297,6 +305,53 @@ def cmd_serve_router(args) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         router.shutdown()
+    return 0
+
+
+def cmd_warm(args) -> int:
+    """``warm``: mine a live service's query log, replay the head.
+
+    Fetches ``GET /admin/querylog``, runs the offline miner
+    (:func:`repro.analysis.hot_keys.hot_keys`) over it, and replays
+    the ``--top`` hottest specs as ordinary ``POST /query`` calls —
+    each one either hits the result cache (already warm; free) or
+    computes the answer into it. Run it after a deploy or reload to
+    pre-pay the workload's head before clients arrive; the service
+    also does this itself after ``/admin/reload`` (``--warm-top``),
+    so this command is for external orchestration (cron, deploy
+    hooks) and for warming beyond the server's own default.
+    """
+    import json as _json
+
+    from repro.analysis.hot_keys import hot_keys
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.url, timeout=args.timeout) as client:
+        log = client.request("GET", "/admin/querylog", None)
+        rows = hot_keys(log, top=args.top)
+        report = []
+        for row in rows:
+            response = client.request("POST", "/query", row["query"])
+            report.append({
+                "key": row["key"],
+                "count": row["count"],
+                "cached": bool(response.get("cached")),
+                "answers": response.get("count", 0),
+            })
+    warmed = sum(1 for row in report if not row["cached"])
+    if args.json:
+        print(_json.dumps({"replayed": len(report),
+                           "computed": warmed,
+                           "already_warm": len(report) - warmed,
+                           "queries": report},
+                          indent=2, sort_keys=True))
+    else:
+        for row in report:
+            state = "warm" if row["cached"] else "computed"
+            print(f"{state:9s} x{row['count']:<5d} {row['key']}")
+        print(f"replayed {len(report)} hot specs "
+              f"({warmed} computed, {len(report) - warmed} already "
+              f"warm)")
     return 0
 
 
@@ -627,7 +682,35 @@ def build_parser() -> argparse.ArgumentParser:
                             "workers in seconds; a worker silent "
                             "past this is killed and respawned "
                             "(default 120)")
+    serve.add_argument("--result-cache-mb", type=float, default=64.0,
+                       dest="result_cache_mb",
+                       help="result-cache budget in MiB per engine "
+                            "(LRU by serialized bytes; 0 disables "
+                            "the cache; default 64)")
+    serve.add_argument("--warm-top", type=int, default=8,
+                       dest="warm_top",
+                       help="after POST /admin/reload adopts a new "
+                            "generation, replay this many of the "
+                            "query log's hottest specs into the "
+                            "fresh result cache (0 disables; "
+                            "default 8)")
     serve.set_defaults(func=cmd_serve)
+
+    warm = sub.add_parser(
+        "warm",
+        help="mine a running service's query log and replay the "
+             "hottest specs to warm its result cache")
+    warm.add_argument("--url", required=True,
+                      help="base URL of the service to warm")
+    warm.add_argument("--top", type=int, default=8,
+                      help="how many of the hottest specs to replay "
+                           "(default 8)")
+    warm.add_argument("--timeout", type=float, default=30.0,
+                      help="per-request timeout in seconds "
+                           "(default 30)")
+    warm.add_argument("--json", action="store_true",
+                      help="emit a machine-readable warming report")
+    warm.set_defaults(func=cmd_warm)
 
     router = sub.add_parser(
         "serve-router",

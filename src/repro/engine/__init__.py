@@ -12,6 +12,9 @@ benchmarks — shares one plan/execute/instrument pipeline:
   uniform backend contract (``pd``/``bu``/``td``/``naive`` built in);
 * :mod:`repro.engine.cache` — :class:`ProjectionCache`, LRU over
   Algorithm 6 results with generation-based invalidation;
+* :mod:`repro.engine.results` — :class:`ResultCache`, the
+  generation-keyed answer cache with ranked-prefix reuse (exact
+  repeats are lookups, larger k resumes the cached frontier);
 * :mod:`repro.engine.engine` — :class:`QueryEngine`, tying the above
   together (and :func:`translate_community`);
 * :mod:`repro.engine.stream` — :class:`ProjectedTopKStream` for
@@ -27,20 +30,36 @@ from repro.engine.registry import (
     AlgorithmSpec,
     default_registry,
 )
+from repro.engine.results import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    CachedStream,
+    ResultCache,
+    ResultCacheStats,
+    ResultEntry,
+    community_nbytes,
+    result_key,
+)
 from repro.engine.spec import QuerySpec
 from repro.engine.stream import ProjectedTopKStream
 
 __all__ = [
+    "DEFAULT_RESULT_CACHE_BYTES",
     "REGISTRY",
     "AlgorithmRegistry",
     "AlgorithmSpec",
     "CacheStats",
+    "CachedStream",
     "ProjectedTopKStream",
     "ProjectionCache",
     "QueryContext",
     "QueryEngine",
     "QuerySpec",
+    "ResultCache",
+    "ResultCacheStats",
+    "ResultEntry",
+    "community_nbytes",
     "default_registry",
     "ensure_context",
+    "result_key",
     "translate_community",
 ]

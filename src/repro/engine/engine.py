@@ -9,6 +9,10 @@ indexes and the paper's algorithms. One engine owns
   sharing one invocation contract;
 * a :class:`~repro.engine.cache.ProjectionCache` so repeated and
   interactive ``(keyword set, Rmax)`` queries skip Algorithm 6;
+* a :class:`~repro.engine.results.ResultCache` so a repeated query
+  skips the enumeration too — exact repeats are pure lookups,
+  smaller-k queries slice the cached ranked prefix, larger-k queries
+  resume the cached frontier and compute only the tail;
 * a **generation** token, changed on every index change
   (``build_index``, ``apply_delta``, assignment, or snapshot swap),
   which stale-checks every cache entry and every open PDk session.
@@ -50,6 +54,13 @@ from repro.core.projection import project as run_projection
 from repro.engine.cache import DEFAULT_CAPACITY, ProjectionCache
 from repro.engine.context import QueryContext, ensure_context
 from repro.engine.registry import REGISTRY, AlgorithmRegistry
+from repro.engine.results import (
+    DEFAULT_RESULT_CACHE_BYTES,
+    CachedStream,
+    ResultCache,
+    ResultEntry,
+    result_key,
+)
 from repro.engine.spec import QuerySpec
 from repro.exceptions import QueryError
 from repro.graph.database_graph import DatabaseGraph
@@ -88,11 +99,18 @@ class QueryEngine:
                  index: Optional[CommunityIndex] = None,
                  registry: Optional[AlgorithmRegistry] = None,
                  cache: Optional[ProjectionCache] = None,
-                 cache_capacity: int = DEFAULT_CAPACITY) -> None:
+                 cache_capacity: int = DEFAULT_CAPACITY,
+                 results: Optional[ResultCache] = None,
+                 result_cache_bytes: Optional[int] = None) -> None:
         self.dbg = dbg
         self.registry = registry if registry is not None else REGISTRY
         self.cache = (cache if cache is not None
                       else ProjectionCache(cache_capacity))
+        self.results = (results if results is not None
+                        else ResultCache(
+                            DEFAULT_RESULT_CACHE_BYTES
+                            if result_cache_bytes is None
+                            else result_cache_bytes))
         self._lock = threading.Lock()
         self._epoch = 0
         self._generation = "g0"
@@ -110,7 +128,9 @@ class QueryEngine:
                       verify: bool = True,
                       registry: Optional[AlgorithmRegistry] = None,
                       cache_capacity: int = DEFAULT_CAPACITY,
-                      mode: str = "copy") -> "QueryEngine":
+                      mode: str = "copy",
+                      result_cache_bytes: Optional[int] = None
+                      ) -> "QueryEngine":
         """An engine serving a snapshot, generation = snapshot id.
 
         ``mode`` (``"copy"`` / ``"mmap"`` / ``"auto"``) selects how a
@@ -127,7 +147,8 @@ class QueryEngine:
                                       mode=mode)
             request = mode
         engine = cls(snapshot.dbg, snapshot.index, registry=registry,
-                     cache_capacity=cache_capacity)
+                     cache_capacity=cache_capacity,
+                     result_cache_bytes=result_cache_bytes)
         engine._generation = snapshot.id
         engine._snapshot_id = snapshot.id
         engine._snapshot_loaded_at = time.time()
@@ -175,6 +196,7 @@ class QueryEngine:
             self._snapshot_loaded_at = time.time()
             self._snapshot_mode = getattr(snapshot, "mode", "copy")
         self.cache.invalidate()
+        self.results.invalidate()
         return True
 
     @property
@@ -217,6 +239,7 @@ class QueryEngine:
             self._snapshot_id = None
             self._snapshot_mode = None
         self.cache.invalidate()
+        self.results.invalidate()
 
     @property
     def generation(self) -> str:
@@ -364,20 +387,66 @@ class QueryEngine:
     def run_all(self, spec: QuerySpec,
                 context: Optional[QueryContext] = None
                 ) -> List[Community]:
-        """Materialized COMM-all."""
-        return list(self.iter_all(spec, context))
+        """Materialized COMM-all, result-cached per generation."""
+        ctx = ensure_context(context)
+        if not self._result_cacheable(spec):
+            return list(self.iter_all(spec, ctx))
+        _, _, generation = self._capture()
+        key = result_key(spec.keywords, spec.rmax, spec.algorithm,
+                         spec.aggregate, "all")
+        served = self.results.fetch(key, generation, None, ctx)
+        if served is not None:
+            return served
+        results = list(self.iter_all(spec, ctx))
+        self.results.install(ResultEntry(
+            key, generation, prefix=results, complete=True))
+        return results
 
     def top_k(self, spec: QuerySpec,
               context: Optional[QueryContext] = None
               ) -> List[Community]:
-        """COMM-k through the registered backend."""
+        """COMM-k through the registered backend.
+
+        Result-cached: an exact repeat of a cached spec is a pure
+        lookup, a smaller ``k`` slices the cached ranked prefix, and a
+        larger ``k`` resumes the retained stream (``pd``) to compute
+        only the tail — see :mod:`repro.engine.results`.
+        """
         if spec.mode != "topk":
             raise QueryError(
                 f"top_k needs a 'topk' spec, got {spec.mode!r}")
         ctx = ensure_context(context)
         backend = self.registry.get(spec.algorithm)
+        captured = self._capture()
+        dbg, index, generation = captured
+        cacheable = self._result_cacheable(spec)
+        key = ""
+        if cacheable:
+            key = result_key(spec.keywords, spec.rmax, spec.algorithm,
+                             spec.aggregate, "topk")
+            served = self.results.fetch(key, generation, spec.k, ctx)
+            if served is not None:
+                return served
         graph, node_lists, projection, origin = \
-            self._query_graph(spec, ctx)
+            self._query_graph(spec, ctx, captured=captured)
+        if cacheable and backend.streams:
+            # Enumerate through a resumable stream so the cache keeps
+            # the frontier: a later, larger k computes only the tail.
+            # Byte-identical to the registry's run_top_k — which is
+            # literally TopKStream(...).take(k).
+            with ctx.stage("enumerate"):
+                inner = TopKStream(graph, list(spec.keywords),
+                                   spec.rmax, node_lists=node_lists,
+                                   aggregate=spec.aggregate)
+            stream = inner
+            if projection is not None:
+                from repro.engine.stream import ProjectedTopKStream
+                stream = ProjectedTopKStream(inner, projection, origin,
+                                             context=None)
+            entry = ResultEntry(key, generation, stream=stream)
+            results = self.results.materialize(entry, spec.k, ctx)
+            self.results.install(entry)
+            return results
         with ctx.stage("enumerate"):
             results = backend.run_top_k(
                 graph, spec.keywords, spec.k, spec.rmax,
@@ -389,6 +458,12 @@ class QueryEngine:
                     translate_community(c, projection, origin)
                     for c in results]
         ctx.count("communities", len(results))
+        if cacheable:
+            # A materialized (non-streaming) answer still serves exact
+            # repeats and smaller-k slices; a short answer is complete.
+            self.results.install(ResultEntry(
+                key, generation, prefix=results,
+                complete=len(results) < spec.k))
         return results
 
     def execute(self, spec: QuerySpec,
@@ -403,35 +478,99 @@ class QueryEngine:
                      use_projection: Optional[bool] = None,
                      aggregate: AggregateSpec = "sum",
                      context: Optional[QueryContext] = None
-                     ) -> Union[TopKStream, "ProjectedTopKStream"]:
-        """A resumable PDk stream (``take(k)`` then ``more(n)``)."""
+                     ) -> Union[TopKStream, "ProjectedTopKStream",
+                                CachedStream]:
+        """A resumable PDk stream (``take(k)`` then ``more(n)``).
+
+        With the result cache enabled the stream is a
+        :class:`~repro.engine.results.CachedStream` view over the
+        shared cache entry for this query: a session opened after a
+        warm ``/query`` (or another session) serves the cached prefix
+        with zero enumeration, and enlargements past the frontier
+        extend the shared entry for everyone.
+        """
         ctx = ensure_context(context)
         spec = QuerySpec(tuple(keywords), rmax, mode="all",
                          aggregate=aggregate,
                          use_projection=use_projection)
+        captured = self._capture()
+        _, _, generation = captured
+        cacheable = self.results.enabled
+        key = result_key(spec.keywords, spec.rmax, "pd",
+                         spec.aggregate, "topk")
+        if cacheable:
+            entry = self.results.attach(key, generation, ctx)
+            if entry is not None:
+                return CachedStream(self.results, entry, context=ctx)
         graph, node_lists, projection, origin = \
-            self._query_graph(spec, ctx)
+            self._query_graph(spec, ctx, captured=captured)
         with ctx.stage("enumerate"):
             inner = TopKStream(graph, list(spec.keywords), rmax,
                                node_lists=node_lists,
                                aggregate=aggregate)
-        if projection is None:
-            return inner
         from repro.engine.stream import ProjectedTopKStream
-        return ProjectedTopKStream(inner, projection, origin,
-                                   context=ctx)
+        if not cacheable:
+            if projection is None:
+                return inner
+            return ProjectedTopKStream(inner, projection, origin,
+                                       context=ctx)
+        stream = inner
+        if projection is not None:
+            stream = ProjectedTopKStream(inner, projection, origin,
+                                         context=None)
+        entry = ResultEntry(key, generation, stream=stream)
+        self.results.install(entry)
+        return CachedStream(self.results, entry, context=ctx)
+
+    def warm(self, specs: Sequence[QuerySpec]) -> int:
+        """Run specs so their answers are cached; returns how many
+        actually computed (the rest were already warm or failed
+        validation — an unknown keyword after a reload is skipped, not
+        fatal)."""
+        warmed = 0
+        for spec in specs:
+            if not self._result_cacheable(spec):
+                continue
+            ctx = QueryContext()
+            try:
+                self.execute(spec, ctx)
+            except QueryError:
+                continue
+            if ctx.counter("result_cache_hits") == 0:
+                warmed += 1
+        return warmed
 
     # ------------------------------------------------------------------
-    def _query_graph(self, spec: QuerySpec, ctx: QueryContext):
+    def _result_cacheable(self, spec: QuerySpec) -> bool:
+        """Whether this spec's answer may be cached and served.
+
+        Budget-capable backends (bu/td) are excluded outright: their
+        answers can be deadline-censored and they fill pool baseline
+        stats — neither survives being replayed from a cache. The
+        polynomial-delay backends (pd, naive) ignore budgets, so their
+        answers are pure functions of ``(generation, spec)``.
+        """
+        if not self.results.enabled:
+            return False
+        return not self.registry.get(spec.algorithm).supports_budget
+
+    def _query_graph(self, spec: QuerySpec, ctx: QueryContext,
+                     captured: Optional[Tuple[DatabaseGraph,
+                                              Optional[CommunityIndex],
+                                              str]] = None):
         """Pick the execution graph: projection, or ``G_D`` directly.
 
-        Captures the engine state once, so everything downstream —
-        projection, enumeration, translation — runs against one
-        consistent ``(graph, index, generation)`` even if a snapshot
-        swap lands mid-query. Returns
+        Captures the engine state once (or adopts the caller's
+        ``captured`` triple — the result-cache paths capture early so
+        the entry's generation tag matches the artifacts the answer
+        was computed on), so everything downstream — projection,
+        enumeration, translation — runs against one consistent
+        ``(graph, index, generation)`` even if a snapshot swap lands
+        mid-query. Returns
         ``(graph, node_lists, projection, origin_graph)``.
         """
-        dbg, index, generation = self._capture()
+        dbg, index, generation = (captured if captured is not None
+                                  else self._capture())
         use_projection = spec.use_projection
         if use_projection is None:
             use_projection = index is not None

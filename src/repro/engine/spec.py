@@ -9,16 +9,20 @@ benchmark harness — normalizes its arguments into a spec and hands it
 to :class:`~repro.engine.engine.QueryEngine`, so validation and
 defaulting live in exactly one place.
 
-Specs are hashable and carry :attr:`QuerySpec.cache_key`, the
-``(frozenset(keywords), rmax)`` pair the projection cache is keyed on:
-Algorithm 6 depends only on the keyword *set* and the radius, so any
-two specs sharing the pair share one projection.
+Specs are hashable and render to :meth:`QuerySpec.cache_key`, one
+canonical string covering everything that determines the answer —
+keywords (sorted + casefolded by construction), mode, k, rmax
+(repr-stable float formatting, so ``0.5`` and ``0.50`` collide),
+algorithm and aggregate. The result cache
+(:mod:`repro.engine.results`) and the service query log key on it;
+the projection cache keys on the narrower ``(keyword set, rmax)``
+pair since Algorithm 6 sees nothing else.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.cost import AggregateSpec
 from repro.exceptions import QueryError
@@ -92,10 +96,20 @@ class QuerySpec:
     # ------------------------------------------------------------------
     # derived views
     # ------------------------------------------------------------------
-    @property
-    def cache_key(self) -> Tuple[FrozenSet[str], float]:
-        """What the projection cache keys on: keyword set and radius."""
-        return frozenset(self.keywords), float(self.rmax)
+    def cache_key(self) -> str:
+        """One canonical string naming this query's answer.
+
+        Two specs that must produce identical answers produce equal
+        keys: keywords are already sorted and casefolded, and
+        ``repr(float(rmax))`` normalizes numerically equal radii
+        (``0.5`` vs ``0.50``). ``use_projection`` and
+        ``budget_seconds`` are deliberately excluded — the projection
+        is exact and the budget only censors backends the result
+        cache refuses to serve anyway."""
+        k = self.k if self.k is not None else "-"
+        return (f"kw={','.join(self.keywords)}|mode={self.mode}"
+                f"|k={k}|rmax={float(self.rmax)!r}"
+                f"|alg={self.algorithm}|agg={self.aggregate}")
 
     def with_algorithm(self, algorithm: str) -> "QuerySpec":
         """The same query routed to a different backend."""

@@ -64,7 +64,8 @@ class ParallelQueryEngine:
                  lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
                  respawn_window: float = DEFAULT_RESPAWN_WINDOW,
-                 snapshot_mode: str = "copy"
+                 snapshot_mode: str = "copy",
+                 result_cache_bytes: Optional[int] = None
                  ) -> None:
         self.path = locate_snapshot(source)
         #: Requested materialization for parent and workers alike
@@ -74,13 +75,15 @@ class ParallelQueryEngine:
         #: The snapshot everyone (parent + workers) currently serves;
         #: kept so a failed swap can roll back to it.
         self._active = load_snapshot(self.path, mode=snapshot_mode)
-        self.local = QueryEngine.from_snapshot(self._active)
+        self.local = QueryEngine.from_snapshot(
+            self._active, result_cache_bytes=result_cache_bytes)
         self.pool = WorkerPool(self.path, workers=workers,
                                mp_method=mp_method,
                                lease_seconds=lease_seconds,
                                max_respawns=max_respawns,
                                respawn_window=respawn_window,
-                               snapshot_mode=snapshot_mode)
+                               snapshot_mode=snapshot_mode,
+                               result_cache_bytes=result_cache_bytes)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -112,6 +115,12 @@ class ParallelQueryEngine:
     def cache(self):
         """The parent-side projection cache (sessions/projections)."""
         return self.local.cache
+
+    @property
+    def results(self):
+        """The parent-side result cache (sessions and ``/healthz``;
+        workers keep their own — see :meth:`worker_stats`)."""
+        return self.local.results
 
     @property
     def generation(self) -> str:
@@ -208,6 +217,26 @@ class ParallelQueryEngine:
                 self._merge(contexts[position], timings, counters)
             results.append(list(communities))
         return results
+
+    def warm(self, specs: Sequence[QuerySpec]) -> int:
+        """Pre-warm every result cache in the pool (and the parent's).
+
+        The specs are broadcast as one ``warm`` control task per
+        worker — each worker executes them into its private cache and
+        reports only a count, so warming N workers costs no community
+        serialization. Returns the parent-side warmed count (the
+        fleet's caches are private; a dead worker is skipped, not
+        fatal — warming is an optimization, never a failure source).
+        """
+        specs = list(specs)
+        warmed = self.local.warm(specs)
+        for future in self.pool.broadcast("warm", specs).values():
+            try:
+                future.result()
+            except Exception:  # noqa: BLE001 — best effort: a worker
+                # that failed to warm still answers, just cold.
+                pass
+        return warmed
 
     @staticmethod
     def _merge(context: QueryContext, timings: Dict[str, float],

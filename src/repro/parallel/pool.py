@@ -120,7 +120,8 @@ class WorkerPool:
                  lease_seconds: Optional[float] = DEFAULT_LEASE_SECONDS,
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
                  respawn_window: float = DEFAULT_RESPAWN_WINDOW,
-                 snapshot_mode: str = "copy"
+                 snapshot_mode: str = "copy",
+                 result_cache_bytes: Optional[int] = None
                  ) -> None:
         if workers <= 0:
             raise ValueError(
@@ -133,6 +134,9 @@ class WorkerPool:
         #: ``"mmap"`` / ``"auto"``); mmap-mode workers share one
         #: page-cache copy and (re)spawn without deserializing.
         self.snapshot_mode = snapshot_mode
+        #: Per-worker result-cache budget (``None`` = engine default,
+        #: ``0`` disables); each worker owns a private cache.
+        self.result_cache_bytes = result_cache_bytes
         self.workers = workers
         #: Per-request watchdog lease; ``None`` disables the watchdog.
         self.lease_seconds = lease_seconds
@@ -202,7 +206,8 @@ class WorkerPool:
         process = self._ctx.Process(
             target=worker_main,
             args=(worker_id, self.snapshot_path, queue,
-                  self._result_queue, self.snapshot_mode),
+                  self._result_queue, self.snapshot_mode,
+                  self.result_cache_bytes),
             daemon=True, name=f"repro-worker-{worker_id}")
         process.start()
         self._handles[worker_id] = _WorkerHandle(

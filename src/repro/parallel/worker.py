@@ -12,7 +12,9 @@ objects in and :class:`~repro.core.community.Community` tuples out.
 Task protocol (all tuples, all picklable):
 
 * in:  ``(request_id, op, payload)`` where ``op`` is one of
-  ``query`` / ``reload`` / ``stats`` / ``ping``;
+  ``query`` / ``reload`` / ``stats`` / ``ping`` / ``warm`` (a list
+  of specs executed into the worker's private result cache — only
+  the warmed count returns, never the communities);
 * out: ``(request_id, worker_id, "started", None)`` the moment the
   task is picked off the queue — the pool's watchdog starts the
   request lease here, so queue wait behind earlier tasks never
@@ -73,6 +75,7 @@ def _stats(worker_id: int, engine: QueryEngine) -> Dict[str, Any]:
         "dijkstra_memo_misses": memo.misses,
     }
     payload.update(engine.cache.stats.as_dict())
+    payload.update(engine.results.as_dict())
     return payload
 
 
@@ -88,7 +91,8 @@ def _reload(worker_id: int, engine: QueryEngine,
 
 def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
                 result_queue: Any,
-                snapshot_mode: str = "copy") -> None:
+                snapshot_mode: str = "copy",
+                result_cache_bytes: Any = None) -> None:
     """Process target: load the snapshot, serve tasks until sentinel.
 
     ``snapshot_mode`` is how this worker materializes the artifact —
@@ -102,8 +106,9 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
     faults.reload_env()
     faults.hit("worker.start")
     faults.hit(f"worker.{worker_id}.start")
-    engine = QueryEngine.from_snapshot(snapshot_path,
-                                       mode=snapshot_mode)
+    engine = QueryEngine.from_snapshot(
+        snapshot_path, mode=snapshot_mode,
+        result_cache_bytes=result_cache_bytes)
     while True:
         task = task_queue.get()
         if task is None:
@@ -119,6 +124,10 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
                 result = _stats(worker_id, engine)
             elif op == "reload":
                 result = _reload(worker_id, engine, payload)
+            elif op == "warm":
+                # Pre-warm this worker's private result cache; no
+                # communities cross the queue, just the count.
+                result = {"warmed": engine.warm(payload)}
             elif op == "ping":
                 result = {"worker": worker_id, "pid": os.getpid()}
             else:

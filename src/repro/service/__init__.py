@@ -12,6 +12,9 @@ dependencies:
 * :mod:`repro.service.admission` — :class:`AdmissionController`,
   the bounded worker pool that sheds (429/503) instead of queueing
   unboundedly;
+* :mod:`repro.service.querylog` — :class:`QueryLog`, the ring-buffer
+  ledger of admitted specs that feeds post-reload cache warming and
+  the offline hot-key miner;
 * :mod:`repro.service.metrics` — Prometheus text exposition;
 * :mod:`repro.service.serialize` — the one JSON vocabulary shared by
   the HTTP API and ``python -m repro query --json``;
@@ -35,6 +38,7 @@ from repro.service.errors import (
     ShuttingDown,
 )
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.querylog import QueryLog
 from repro.service.server import CommunityService
 from repro.service.sessions import (
     SessionLease,
@@ -51,6 +55,7 @@ __all__ = [
     "LatencyHistogram",
     "NotFound",
     "Overloaded",
+    "QueryLog",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",

@@ -80,12 +80,20 @@ def results_to_dict(results: Sequence[Community],
                     context: Optional[QueryContext] = None,
                     spec: Optional[QuerySpec] = None,
                     elapsed_seconds: Optional[float] = None,
+                    cached: Optional[bool] = None,
                     ) -> Dict[str, Any]:
-    """The response envelope: answers plus optional query/stats echo."""
+    """The response envelope: answers plus optional query/stats echo.
+
+    ``cached`` (when supplied) reports whether the answer was served
+    entirely from the engine's generation-keyed result cache — a pure
+    prefix lookup with no enumeration work.
+    """
     payload: Dict[str, Any] = {
         "count": len(results),
         "communities": [community_to_dict(c, dbg) for c in results],
     }
+    if cached is not None:
+        payload["cached"] = bool(cached)
     if spec is not None:
         payload["query"] = spec_to_dict(spec)
     if context is not None:

@@ -21,7 +21,12 @@
 * ``POST /admin/reload`` — atomically swap the engine onto the newest
   published snapshot (from the configured ``snapshot_source`` or a
   ``path`` in the body); in-flight queries finish on the artifact they
-  started with, open sessions from the old artifact answer ``410``;
+  started with, open sessions from the old artifact answer ``410``,
+  and the adopted generation's result cache is re-warmed with the
+  query log's hottest specs before the response returns;
+* ``GET /admin/querylog`` — the ring-buffer ledger of admitted query
+  specs (normalized keys + counts), for offline hot-key mining
+  (``python -m repro warm``);
 * ``GET /metrics`` — Prometheus text format (stage timings, cache and
   shedding counters, queue depth, latency histograms, active snapshot
   id + load timestamp);
@@ -77,6 +82,7 @@ from repro.service.http import (
     snapshot_store_of,
 )
 from repro.service.metrics import ServiceMetrics, prefixed, split_rates
+from repro.service.querylog import DEFAULT_QUERYLOG_CAPACITY, QueryLog
 from repro.service.serialize import (
     community_to_dict,
     context_to_dict,
@@ -98,6 +104,10 @@ DEFAULT_DRAIN_SECONDS = 5.0
 
 #: ``Retry-After`` value (seconds) sent with 429/503 sheds.
 RETRY_AFTER_SECONDS = 1
+
+#: How many of the query log's hottest specs the service replays into
+#: the result cache right after a reload adopts a new generation.
+DEFAULT_WARM_TOP = 8
 
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
@@ -156,6 +166,19 @@ def _int_of(payload: Dict[str, Any], name: str,
     if isinstance(value, bool) or not isinstance(value, int):
         raise BadRequest(f"{name!r} must be an integer")
     return value
+
+
+def _served_from_cache(context: QueryContext) -> bool:
+    """Whether a query was answered purely from the result cache.
+
+    True only for a pure prefix lookup: at least one result-cache hit
+    and neither a miss nor an extension — i.e. zero enumeration work
+    happened anywhere (parent or pool worker; worker counters merge
+    into the same context).
+    """
+    return (context.counter("result_cache_hits") > 0
+            and context.counter("result_cache_misses") == 0
+            and context.counter("result_cache_extensions") == 0)
 
 
 def _context_delta(before_timings: Dict[str, float],
@@ -249,10 +272,19 @@ class CommunityService:
                  default_deadline: Optional[float] = None,
                  snapshot_source: Optional[Union[str, Path]] = None,
                  drain_seconds: float = DEFAULT_DRAIN_SECONDS,
-                 snapshot_mode: str = "copy"
+                 snapshot_mode: str = "copy",
+                 warm_top: int = DEFAULT_WARM_TOP,
+                 querylog_capacity: int = DEFAULT_QUERYLOG_CAPACITY
                  ) -> None:
         self.engine = engine
         self.default_deadline = default_deadline
+        #: How many hot specs to replay into the result cache after a
+        #: generation swap (``0`` disables post-reload warming).
+        self.warm_top = warm_top
+        #: Ring buffer of admitted ``/query``/``/batch`` specs — the
+        #: source both the post-reload warming pass and the offline
+        #: miner (``GET /admin/querylog``) draw from.
+        self.querylog = QueryLog(capacity=querylog_capacity)
         #: Graceful-shutdown budget: how long :meth:`shutdown` lets
         #: queued + in-flight work finish before tearing down hard.
         self.drain_seconds = drain_seconds
@@ -416,6 +448,10 @@ class CommunityService:
             return "/admin/reload", \
                 json.dumps(self._admin_reload(body)), \
                 JSON_CONTENT_TYPE
+        if method == "GET" and parts == ("admin", "querylog"):
+            return "/admin/querylog", \
+                json.dumps(self._admin_querylog()), \
+                JSON_CONTENT_TYPE
         if parts[:2] == ("admin", "snapshot"):
             return route_snapshot_transfer(
                 self.snapshot_transfer, method, parts, body)
@@ -482,6 +518,10 @@ class CommunityService:
             "queued": self.admission.queued,
             "in_flight": self.admission.in_flight,
         }
+        results = getattr(self.engine, "results", None)
+        if results is not None:
+            health["result_cache"] = results.as_dict()
+        health["querylog"] = self.querylog.as_dict()
         pool = getattr(self.engine, "pool", None)
         if pool is not None:
             health["pool_workers"] = pool.workers
@@ -539,12 +579,51 @@ class CommunityService:
             # snapshot; report the failure without pretending the
             # request was malformed.
             raise ServiceError(str(error))
+        # An adopted new generation starts with an empty result cache
+        # — re-warm it with the workload's observed head before the
+        # next client asks, so the first post-reload repeats are hits.
+        warmed = self.warm() if changed else 0
         return {
             "reloaded": changed,
             "snapshot": snapshot.id,
             "generation": self.engine.generation,
             "loaded_at": self.engine.snapshot_loaded_at,
+            "warmed": warmed,
         }
+
+    def _admin_querylog(self) -> Dict[str, Any]:
+        """``GET /admin/querylog``: the hot-spec ledger, for miners."""
+        return {
+            "querylog": self.querylog.as_dict(),
+            "top": self.querylog.top(),
+        }
+
+    def warm(self, specs: Optional[List[QuerySpec]] = None,
+             top: Optional[int] = None) -> int:
+        """Replay specs into the engine's result cache (best effort).
+
+        With no ``specs``, mines this service's own query log for its
+        ``top`` (default :attr:`warm_top`) hottest entries. Returns
+        how many specs were actually computed into the cache (already
+        -warm and uncacheable specs don't count). Warming is an
+        optimization: any failure degrades to a cold cache, never to
+        a failed request.
+        """
+        if specs is None:
+            limit = self.warm_top if top is None else top
+            if not limit:
+                return 0
+            specs = self.querylog.top_specs(limit)
+        if not specs:
+            return 0
+        warm = getattr(self.engine, "warm", None)
+        if warm is None:
+            return 0
+        try:
+            return int(warm(list(specs)))
+        except Exception:  # noqa: BLE001 — warming must never take
+            # the service down; a cold cache just recomputes.
+            return 0
 
     @staticmethod
     def _spec_of(payload: Dict[str, Any]) -> QuerySpec:
@@ -588,11 +667,13 @@ class CommunityService:
 
         results = self.admission.run(job, deadline)
         self.metrics.observe_context(context)
+        self.querylog.record(spec)
         return results_to_dict(
             results,
             dbg=self.engine.dbg if want_labels else None,
             context=context, spec=spec,
-            elapsed_seconds=time.perf_counter() - start)
+            elapsed_seconds=time.perf_counter() - start,
+            cached=_served_from_cache(context))
 
     def _batch(self, body: bytes) -> Dict[str, Any]:
         """``POST /batch``: fan a list of queries across the pool.
@@ -640,8 +721,10 @@ class CommunityService:
         for spec, context, results in zip(specs, contexts,
                                           all_results):
             self.metrics.observe_context(context)
+            self.querylog.record(spec)
             envelopes.append(results_to_dict(
-                results, dbg=dbg, context=context, spec=spec))
+                results, dbg=dbg, context=context, spec=spec,
+                cached=_served_from_cache(context)))
         return {
             "queries": len(envelopes),
             "results": envelopes,
@@ -723,6 +806,21 @@ class CommunityService:
         counters.update(prefixed(self.sessions.stats.as_dict(),
                                  prefix="repro_", suffix="_total"))
         gauges = prefixed(cache_gauges, prefix="repro_projection_")
+        results = getattr(self.engine, "results", None)
+        if results is not None:
+            rc_counters, rc_gauges = split_rates(
+                results.as_dict(), ("result_cache_hit_rate",))
+            # Occupancy/capacity are instantaneous values, not
+            # monotone counters — keep them out of the _total family
+            # (bytes stays there: the dashboards key on
+            # repro_result_cache_bytes_total).
+            for name in ("result_cache_entries",
+                         "result_cache_capacity_bytes"):
+                if name in rc_counters:
+                    rc_gauges[name] = rc_counters.pop(name)
+            counters.update(prefixed(rc_counters, prefix="repro_",
+                                     suffix="_total"))
+            gauges.update(prefixed(rc_gauges, prefix="repro_"))
         gauges.update({
             "repro_queue_depth": float(self.admission.queued),
             "repro_in_flight": float(self.admission.in_flight),
@@ -790,7 +888,7 @@ class CommunityService:
                 summed[name] = summed.get(name, 0.0) + float(value)
         infos["repro_worker_info"] = rows
         worker_counters, worker_gauges = split_rates(
-            summed, ("cache_hit_rate",))
+            summed, ("cache_hit_rate", "result_cache_hit_rate"))
         counters.update(prefixed(worker_counters,
                                  prefix="repro_worker_",
                                  suffix="_total"))

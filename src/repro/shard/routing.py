@@ -87,6 +87,10 @@ class QueryPlan:
         #: (``None`` when the caller did not ask for labels).
         self.labels: Optional[Dict[str, str]] = \
             {} if want_labels else None
+        #: Shards whose legs answered from their result caches
+        #: (``"cached": true`` in the leg envelope) — surfaced as
+        #: ``shards_cached`` in the merged response.
+        self.cached_shards: set = set()
 
 
 class RouterCore:
@@ -249,6 +253,14 @@ class RouterCore:
         caller asked shards for them.
         """
         entry = plan.manifest.shards[shard_id]
+        if response.get("cached"):
+            if shard_id not in plan.cached_shards:
+                plan.cached_shards.add(shard_id)
+                self.count("cached_legs")
+        else:
+            # A later (enlarged-k) round that recomputed unmarks the
+            # shard: the envelope reports the final round's truth.
+            plan.cached_shards.discard(shard_id)
         raw = response.get("communities", [])
         if plan.labels is not None:
             for community in raw:
@@ -326,7 +338,8 @@ class RouterCore:
         shards the query needed, ``shards_answered`` how many
         delivered; ``partial`` flags any gap. Clients that cannot
         tolerate partial answers must check it — the status stays
-        200.
+        200. ``shards_cached`` lists the shards whose final legs were
+        served from their result caches (``cached: true`` downstream).
         """
         labels = plan.labels
         rendered = []
@@ -345,6 +358,7 @@ class RouterCore:
             "shards_answered": answered,
             "shards_total": total,
             "partial": answered < total,
+            "shards_cached": sorted(plan.cached_shards),
         }
         if elapsed is not None:
             envelope["elapsed_seconds"] = float(elapsed)

@@ -1,0 +1,86 @@
+"""Chaos: a poisoned result cache degrades to recomputation.
+
+The ``results.cache.lookup`` failpoint fires inside
+:meth:`~repro.engine.results.ResultCache.lookup` — the one place
+every cached-answer path (fetch, attach, run_all, top_k, sessions)
+funnels through. With it armed, the engine must keep returning
+**correct** answers (recomputed, never stale or truncated), the
+service must keep answering 200, and the failures must be visible as
+``result_cache_errors`` — latency is the only acceptable casualty.
+"""
+
+import pytest
+
+from repro import faults
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryContext, QueryEngine, QuerySpec
+from repro.service import CommunityService, ServiceClient
+
+FIG4_TOTAL = 5
+
+
+def _fingerprint(communities):
+    return [(c.core, c.cost, c.centers, c.nodes, c.edges)
+            for c in communities]
+
+
+@pytest.fixture()
+def engine():
+    from repro.datasets.paper_example import figure4_graph
+    e = QueryEngine(figure4_graph())
+    e.build_index(radius=FIG4_RMAX)
+    return e
+
+
+def _spec(k=3):
+    return QuerySpec(tuple(FIG4_QUERY), FIG4_RMAX, mode="topk", k=k)
+
+
+class TestPoisonedLookup:
+    def test_lookup_raise_degrades_to_recompute(self, engine):
+        expected = _fingerprint(engine.top_k(_spec()))
+        faults.activate("results.cache.lookup", "always:raise")
+        ctx = QueryContext()
+        got = engine.top_k(_spec(), ctx)
+        assert _fingerprint(got) == expected
+        assert ctx.counter("result_cache_errors") == 1
+        assert ctx.counter("result_cache_hits") == 0
+        assert engine.results.stats.errors == 1
+
+    def test_intermittent_poison_heals(self, engine):
+        expected = _fingerprint(engine.top_k(_spec()))
+        faults.activate("results.cache.lookup", "nth(1):raise")
+        assert _fingerprint(engine.top_k(_spec())) == expected
+        # The failpoint is spent: the next repeat is a clean hit.
+        ctx = QueryContext()
+        assert _fingerprint(engine.top_k(_spec(), ctx)) == expected
+        assert ctx.counter("result_cache_hits") == 1
+
+    def test_comm_all_and_streams_degrade_too(self, engine):
+        spec_all = QuerySpec(tuple(FIG4_QUERY), FIG4_RMAX, mode="all")
+        everything = _fingerprint(engine.run_all(spec_all))
+        engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX).take(2)
+        faults.activate("results.cache.lookup", "always:raise")
+        assert _fingerprint(engine.run_all(spec_all)) == everything
+        stream = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        costs = [c.cost for c in stream.take(100)]
+        assert len(costs) == FIG4_TOTAL
+        assert costs == sorted(costs)
+        assert engine.results.stats.errors >= 2
+
+    def test_service_answers_200_with_errors_counted(self, engine):
+        with CommunityService(engine, port=0).start() as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            clean = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert clean["cached"] is False
+            warm = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert warm["cached"] is True
+            faults.activate("results.cache.lookup", "always:raise")
+            poisoned = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert poisoned["cached"] is False
+            assert poisoned["communities"] == clean["communities"]
+            assert poisoned["stats"]["counters"][
+                "result_cache_errors"] == 1
+            faults.clear()
+            metrics = client.metrics()
+            assert "repro_result_cache_errors_total 1" in metrics

@@ -46,10 +46,13 @@ def _norm(response):
 
 
 def _clean(response):
-    """A response with its timing field dropped (the only field the
-    two front ends may legitimately differ on)."""
+    """A response with its volatile fields dropped: timing, and the
+    cache provenance markers (``cached``/``shards_cached``), which
+    legitimately depend on what ran before — the *answers* must not."""
     out = dict(response)
     out.pop("elapsed_seconds", None)
+    out.pop("cached", None)
+    out.pop("shards_cached", None)
     if "results" in out:
         out["results"] = [_clean(r) for r in out["results"]]
     return out

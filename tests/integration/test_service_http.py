@@ -176,12 +176,13 @@ class TestDeltaInvalidation:
         rewarm = client.open_session(list(FIG4_QUERY), FIG4_RMAX)
         assert rewarm.last_stats["counters"].get(
             "projection_runs", 0) == 1
-        # ...and the next one over the same keywords hits the cache.
+        # ...and the next one over the same keywords attaches to the
+        # re-warmed result-cache entry (no projection, no enumeration).
         hot = client.open_session(list(FIG4_QUERY), FIG4_RMAX)
         assert hot.last_stats["counters"].get(
             "projection_runs", 0) == 0
         assert hot.last_stats["counters"].get(
-            "projection_cache_hits", 0) == 1
+            "result_cache_hits", 0) == 1
         # The fresh lease streams the *new* graph: the added keyword
         # node yields strictly more communities than fig4's 5.
         assert len(rewarm.next(100)) > FIG4_TOTAL

@@ -64,7 +64,8 @@ class TestReloadInProcess:
             assert response == {
                 "reloaded": False, "snapshot": old_id,
                 "generation": old_id,
-                "loaded_at": response["loaded_at"]}
+                "loaded_at": response["loaded_at"],
+                "warmed": 0}
             assert len(session.next(1)) == 1
 
             # Publish newer content (different radius -> different
@@ -88,6 +89,60 @@ class TestReloadInProcess:
             assert f'snapshot_id="{new_id}"' in metrics
             assert "repro_snapshot_loaded_timestamp_seconds" \
                 in metrics
+
+    def test_warm_path_survives_reload(self, tmp_path):
+        """The warm-path acceptance flow: repeat queries answer
+        ``cached: true``; a reload invalidates the cache but re-warms
+        it from the query log before responding, so the next repeat
+        is immediately a hit again."""
+        store_root = tmp_path / "store"
+        _publish(store_root, radius=FIG4_RMAX)
+        engine = QueryEngine.from_snapshot(
+            SnapshotStore(store_root).resolve())
+        with CommunityService(engine, port=0,
+                              snapshot_source=store_root).start() \
+                as service:
+            client = ServiceClient(service.url, timeout=30.0)
+            cold = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert cold["cached"] is False
+            warm = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert warm["cached"] is True
+            assert warm["communities"] == cold["communities"]
+            assert warm["stats"]["counters"]["result_cache_hits"] \
+                == 1
+            metrics = client.metrics()
+            assert "repro_result_cache_hits_total 1" in metrics
+            assert "repro_result_cache_misses_total 1" in metrics
+            log = client.request("GET", "/admin/querylog")
+            assert log["querylog"]["recorded"] == 2
+            assert log["top"][0]["count"] == 2
+
+            # New content (a grown graph at the same radius), new
+            # generation: the reload invalidates the cache, then
+            # replays the log's head into it.
+            from repro.text.maintenance import (
+                GraphDelta,
+                extend_database_graph,
+            )
+
+            base = figure4_graph()
+            grown, _ = extend_database_graph(base, GraphDelta(
+                new_nodes=[({"a"}, "extra", None)],
+                new_edges=[(base.n, 0, 1.0), (0, base.n, 1.0)]))
+            new_id = SnapshotStore(store_root).publish(
+                grown, CommunityIndex.build(grown, FIG4_RMAX),
+                provenance={"dataset": "fig4-grown",
+                            "index_radius": FIG4_RMAX}).id
+            response = client.admin_reload()
+            assert response["snapshot"] == new_id
+            assert response["warmed"] == 1
+            # First client repeat after the reload: already warm.
+            rewarmed = client.query(list(FIG4_QUERY), FIG4_RMAX, k=3)
+            assert rewarmed["cached"] is True
+            health = client.health()
+            assert health["result_cache"]["result_cache_entries"] \
+                == 1.0
+            assert health["querylog"]["recorded"] == 3
 
     def test_reload_explicit_path_overrides_source(self, tmp_path):
         old_id = _publish(tmp_path / "a", radius=FIG4_RMAX)

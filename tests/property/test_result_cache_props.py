@@ -1,0 +1,130 @@
+"""Property tests for result-cache correctness.
+
+The generation-keyed result cache must be invisible except for speed:
+
+1. on random graphs and specs, cold, warm (exact repeat), sliced
+   (k' < k) and frontier-extended (k' > k) answers are byte-for-byte
+   identical — cores, costs, ranks, node sets, edge sets;
+2. across a generation swap (a :class:`~repro.text.maintenance.
+   GraphDelta`), the cache never serves the old graph's communities:
+   post-delta answers match a from-scratch engine on the grown graph.
+
+Mirrors ``test_projection_cache_props.py``: random graphs plus
+append-only deltas, equality is full structural equality.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import QueryContext, QueryEngine, QuerySpec
+from repro.graph.generators import random_database_graph
+from repro.text.maintenance import GraphDelta
+
+KEYWORDS = ["a", "b"]
+
+
+def _fingerprint(communities):
+    return [(c.core, c.cost, c.centers, c.nodes, c.edges)
+            for c in communities]
+
+
+def _spec(k, radius, aggregate="sum"):
+    return QuerySpec(tuple(KEYWORDS), radius, mode="topk", k=k,
+                     aggregate=aggregate)
+
+
+@st.composite
+def cache_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    n = draw(st.integers(min_value=3, max_value=10))
+    p = draw(st.sampled_from([0.15, 0.3]))
+    radius = float(draw(st.sampled_from([3, 5, 8])))
+    aggregate = draw(st.sampled_from(["sum", "max"]))
+    k = draw(st.integers(min_value=1, max_value=6))
+    dbg = random_database_graph(n, p, KEYWORDS, seed=seed,
+                                bidirected=draw(st.booleans()))
+
+    extra = draw(st.integers(min_value=1, max_value=3))
+    new_nodes = []
+    for i in range(extra):
+        kws = {kw for kw in KEYWORDS if rng.random() < 0.4}
+        new_nodes.append((kws, f"new{i}", None))
+    new_edges = []
+    total = n + extra
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        u, v = rng.randrange(total), rng.randrange(total)
+        if u != v and (u >= n or v >= n):
+            new_edges.append((u, v, float(rng.randint(1, 3))))
+    return dbg, radius, k, aggregate, GraphDelta(new_nodes, new_edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cache_cases())
+def test_cached_answers_equal_uncached_across_k(case):
+    """Cold == warm == sliced == extended, byte for byte."""
+    dbg, radius, k, aggregate, _ = case
+    if any(not dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+    cached = QueryEngine(dbg)
+    cached.build_index(radius=radius)
+    cold = QueryEngine(dbg, result_cache_bytes=0)
+    cold.build_index(radius=radius)
+
+    ctx = QueryContext()
+    first = cached.top_k(_spec(k, radius, aggregate), ctx)
+    assert _fingerprint(first) \
+        == _fingerprint(cold.top_k(_spec(k, radius, aggregate)))
+
+    # k' = k: pure lookup, same bytes.
+    repeat = cached.top_k(_spec(k, radius, aggregate), ctx)
+    assert _fingerprint(repeat) == _fingerprint(first)
+    assert ctx.counter("result_cache_hits") >= 1
+
+    # k' < k: a slice of the same prefix.
+    smaller = max(1, k - 1)
+    assert _fingerprint(
+        cached.top_k(_spec(smaller, radius, aggregate))) \
+        == _fingerprint(
+            cold.top_k(_spec(smaller, radius, aggregate)))
+
+    # k' > k: frontier resume must equal a cold run at the larger k.
+    larger = k + 2
+    assert _fingerprint(
+        cached.top_k(_spec(larger, radius, aggregate))) \
+        == _fingerprint(
+            cold.top_k(_spec(larger, radius, aggregate)))
+
+    # COMM-all rides its own entry and agrees too.
+    spec_all = QuerySpec(tuple(KEYWORDS), radius, mode="all",
+                         aggregate=aggregate)
+    assert _fingerprint(cached.run_all(spec_all)) \
+        == _fingerprint(cached.run_all(spec_all)) \
+        == _fingerprint(cold.run_all(spec_all))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cache_cases())
+def test_generation_swap_never_serves_the_old_graph(case):
+    """After a delta, every answer matches a from-scratch engine on
+    the grown graph — the old generation's entries are unreachable."""
+    dbg, radius, k, aggregate, delta = case
+    if any(not dbg.nodes_with_keyword(kw) for kw in KEYWORDS):
+        return
+    engine = QueryEngine(dbg)
+    engine.build_index(radius=radius)
+    engine.top_k(_spec(k, radius, aggregate))     # warm the old graph
+    engine.apply_delta(delta)
+    assert len(engine.results) == 0
+
+    fresh = QueryEngine(engine.dbg, result_cache_bytes=0)
+    fresh.build_index(radius=radius)
+    expected = fresh.top_k(_spec(k, radius, aggregate))
+    ctx = QueryContext()
+    after = engine.top_k(_spec(k, radius, aggregate), ctx)
+    assert ctx.counter("result_cache_hits") == 0
+    assert _fingerprint(after) == _fingerprint(expected)
+    # And the re-warmed entry serves the new graph's bytes.
+    assert _fingerprint(engine.top_k(_spec(k, radius, aggregate))) \
+        == _fingerprint(expected)

@@ -59,8 +59,8 @@ class TestQuerySpec:
             QuerySpec(("a",), 5.0, mode="topk")
 
     def test_cache_key_ignores_keyword_order(self):
-        assert QuerySpec(("a", "b"), 5.0).cache_key \
-            == QuerySpec(("b", "a"), 5.0).cache_key
+        assert QuerySpec(("a", "b"), 5.0).cache_key() \
+            == QuerySpec(("b", "a"), 5.0).cache_key()
 
     def test_with_algorithm_and_describe(self):
         spec = QuerySpec.comm_k(("a", "b"), 3, 5.0).with_algorithm("bu")
@@ -135,15 +135,33 @@ class TestRegistry:
 
 class TestProjectionCache:
     def test_repeated_query_hits_cache(self, engine):
+        """The result cache absorbs the repeat before the projection
+        cache is even consulted: one projection, one enumeration."""
         ctx = QueryContext()
         spec = QuerySpec.comm_all(FIG4_QUERY, FIG4_RMAX)
         first = engine.run_all(spec, ctx)
         second = engine.run_all(spec, ctx)
         assert ctx.counter("projection_runs") == 1
         assert ctx.counter("projection_cache_misses") == 1
-        assert ctx.counter("projection_cache_hits") == 1
+        assert ctx.counter("result_cache_misses") == 1
+        assert ctx.counter("result_cache_hits") == 1
         assert [(c.core, c.cost, c.nodes, c.edges) for c in first] \
             == [(c.core, c.cost, c.nodes, c.edges) for c in second]
+
+    def test_repeated_query_hits_projection_cache_when_results_off(
+            self, fig4):
+        """With the result cache disabled the projection cache still
+        serves the repeat (the pre-results behaviour)."""
+        engine = QueryEngine(fig4, result_cache_bytes=0)
+        engine.build_index(FIG4_RMAX)
+        ctx = QueryContext()
+        spec = QuerySpec.comm_all(FIG4_QUERY, FIG4_RMAX)
+        engine.run_all(spec, ctx)
+        engine.run_all(spec, ctx)
+        assert ctx.counter("projection_runs") == 1
+        assert ctx.counter("projection_cache_misses") == 1
+        assert ctx.counter("projection_cache_hits") == 1
+        assert ctx.counter("result_cache_hits") == 0
 
     def test_keyword_order_shares_entry(self, engine):
         ctx = QueryContext()

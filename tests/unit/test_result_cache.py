@@ -1,0 +1,268 @@
+"""Unit tests for the generation-keyed result cache
+(:mod:`repro.engine.results`).
+
+Covers the tentpole contracts: canonical keys collide exactly when
+they should, an exact repeat is a pure lookup, a smaller k slices the
+cached prefix, a larger k resumes the retained frontier instead of
+recomputing, memory is byte-bounded LRU, and a generation swap is a
+total, free invalidation.
+"""
+
+import pytest
+
+from repro.core.community import Community
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import (
+    CachedStream,
+    QueryContext,
+    QueryEngine,
+    QuerySpec,
+    ResultCache,
+    ResultEntry,
+    community_nbytes,
+    result_key,
+)
+from repro.text.maintenance import GraphDelta
+
+FIG4_TOTAL = 5
+
+
+@pytest.fixture()
+def engine(fig4):
+    e = QueryEngine(fig4)
+    e.build_index(radius=FIG4_RMAX)
+    return e
+
+
+def _spec(k=None, mode=None, rmax=FIG4_RMAX, keywords=FIG4_QUERY,
+          algorithm="pd"):
+    mode = mode or ("topk" if k is not None else "all")
+    return QuerySpec(tuple(keywords), rmax, mode=mode, k=k,
+                     algorithm=algorithm)
+
+
+def _fingerprint(communities):
+    return [(c.core, c.cost, c.centers, c.nodes, c.edges)
+            for c in communities]
+
+
+class TestCanonicalKeys:
+    def test_keyword_order_and_case_collide(self):
+        a = QuerySpec(("XML", "jim"), 8.0, mode="topk", k=3)
+        b = QuerySpec(("Jim", "xml"), 8.0, mode="topk", k=3)
+        assert a.cache_key() == b.cache_key()
+
+    def test_rmax_spellings_collide(self):
+        """The satellite: ``0.5`` and ``0.50`` are one cache line."""
+        a = QuerySpec(("a",), 0.5, mode="topk", k=3)
+        b = QuerySpec(("a",), 0.50, mode="topk", k=3)
+        assert a.cache_key() == b.cache_key()
+        assert result_key(a.keywords, 0.5, "pd", "sum", "topk") \
+            == result_key(b.keywords, 0.50, "pd", "sum", "topk")
+
+    def test_k_changes_cache_key_but_not_result_key(self):
+        a = QuerySpec(("a",), 8.0, mode="topk", k=2)
+        b = QuerySpec(("a",), 8.0, mode="topk", k=4)
+        assert a.cache_key() != b.cache_key()
+        assert result_key(a.keywords, a.rmax, "pd", "sum", "topk") \
+            == result_key(b.keywords, b.rmax, "pd", "sum", "topk")
+
+    def test_every_dimension_separates_keys(self):
+        base = result_key(("a",), 8.0, "pd", "sum", "topk")
+        assert result_key(("b",), 8.0, "pd", "sum", "topk") != base
+        assert result_key(("a",), 4.0, "pd", "sum", "topk") != base
+        assert result_key(("a",), 8.0, "naive", "sum", "topk") != base
+        assert result_key(("a",), 8.0, "pd", "max", "topk") != base
+        assert result_key(("a",), 8.0, "pd", "sum", "all") != base
+
+
+class TestPrefixReuse:
+    def test_exact_repeat_is_pure_lookup(self, engine):
+        ctx = QueryContext()
+        cold = engine.top_k(_spec(k=3), ctx)
+        warm = engine.top_k(_spec(k=3), ctx)
+        assert _fingerprint(cold) == _fingerprint(warm)
+        assert ctx.counter("result_cache_misses") == 1
+        assert ctx.counter("result_cache_hits") == 1
+        assert ctx.counter("result_cache_extensions") == 0
+
+    def test_smaller_k_slices_the_prefix(self, engine):
+        cold = engine.top_k(_spec(k=4))
+        ctx = QueryContext()
+        sliced = engine.top_k(_spec(k=2), ctx)
+        assert _fingerprint(sliced) == _fingerprint(cold[:2])
+        assert ctx.counter("result_cache_hits") == 1
+        assert ctx.counter("result_cache_extensions") == 0
+
+    def test_larger_k_resumes_the_frontier(self, engine, fig4):
+        engine.top_k(_spec(k=2))
+        ctx = QueryContext()
+        extended = engine.top_k(_spec(k=4), ctx)
+        assert ctx.counter("result_cache_extensions") == 1
+        assert ctx.counter("result_cache_misses") == 0
+        # Byte-identical to a cold k=4 on a fresh engine.
+        fresh = QueryEngine(fig4)
+        fresh.build_index(radius=FIG4_RMAX)
+        assert _fingerprint(extended) \
+            == _fingerprint(fresh.top_k(_spec(k=4)))
+
+    def test_comm_all_caches_complete_answers_only(self, engine):
+        engine.top_k(_spec(k=2))          # ranked prefix, incomplete
+        ctx = QueryContext()
+        everything = engine.run_all(_spec(), ctx)
+        assert len(everything) == FIG4_TOTAL
+        # The topk prefix entry did not (and must not) answer COMM-all.
+        assert ctx.counter("result_cache_misses") == 1
+        again = engine.run_all(_spec(), ctx)
+        assert ctx.counter("result_cache_hits") == 1
+        assert _fingerprint(again) == _fingerprint(everything)
+
+    def test_overlong_k_marks_entry_complete(self, engine):
+        ctx = QueryContext()
+        everything = engine.top_k(_spec(k=100), ctx)
+        assert len(everything) == FIG4_TOTAL
+        again = engine.top_k(_spec(k=100), ctx)
+        assert _fingerprint(again) == _fingerprint(everything)
+        assert ctx.counter("result_cache_hits") == 1
+        assert ctx.counter("result_cache_extensions") == 0
+
+    def test_budget_capable_backends_bypass_the_cache(self, engine):
+        ctx = QueryContext()
+        engine.top_k(_spec(k=2, algorithm="bu"), ctx)
+        engine.top_k(_spec(k=2, algorithm="bu"), ctx)
+        assert ctx.counter("result_cache_misses") == 0
+        assert ctx.counter("result_cache_hits") == 0
+        assert len(engine.results) == 0
+
+
+class TestInvalidation:
+    def test_delta_swap_invalidates(self, engine, fig4):
+        engine.top_k(_spec(k=3))
+        assert len(engine.results) == 1
+        engine.apply_delta(GraphDelta(
+            new_nodes=[({"a"}, "extra", None)],
+            new_edges=[(fig4.n, 0, 1.0), (0, fig4.n, 1.0)]))
+        assert len(engine.results) == 0
+        assert engine.results.stats.invalidations == 1
+        ctx = QueryContext()
+        engine.top_k(_spec(k=3), ctx)
+        assert ctx.counter("result_cache_misses") == 1
+
+    def test_stale_entry_dropped_on_sight(self):
+        cache = ResultCache(1 << 20)
+        cache.install(ResultEntry("k", "g1", prefix=[], complete=True))
+        assert cache.lookup("k", "g2") is None
+        assert cache.stats.stale_drops == 1
+        assert "k" not in cache
+
+
+class TestByteBudget:
+    def _community(self, i):
+        return Community(core=(i,), cost=float(i), centers=(i,),
+                         pnodes=(i,), nodes=(i,), edges=())
+
+    def test_lru_eviction_by_bytes(self):
+        one = self._community(1)
+        per_entry = 512 + community_nbytes(one)
+        cache = ResultCache(2 * per_entry)
+        for name in ("a", "b"):
+            cache.install(ResultEntry(name, "g", prefix=[one],
+                                      complete=True))
+        assert cache.keys() == ("a", "b")
+        cache.lookup("a", "g")            # touch: b becomes LRU
+        cache.install(ResultEntry("c", "g", prefix=[one],
+                                  complete=True))
+        assert cache.stats.evictions == 1
+        assert cache.keys() == ("a", "c")
+        assert cache.bytes == 2 * per_entry
+
+    def test_bytes_track_install_and_invalidate(self):
+        cache = ResultCache(1 << 20)
+        one = self._community(1)
+        cache.install(ResultEntry("a", "g", prefix=[one],
+                                  complete=True))
+        assert cache.bytes == 512 + community_nbytes(one)
+        cache.invalidate()
+        assert cache.bytes == 0
+        assert len(cache) == 0
+
+    def test_evicted_entry_keeps_serving_live_streams(self, engine):
+        stream = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        assert isinstance(stream, CachedStream)
+        first = stream.take(2)
+        engine.results.invalidate()       # forget it for new lookups
+        rest = stream.take(100)
+        costs = [c.cost for c in first + rest]
+        assert len(first + rest) == FIG4_TOTAL
+        assert costs == sorted(costs)
+
+
+class TestDisabledCache:
+    def test_zero_budget_disables_everything(self, fig4):
+        engine = QueryEngine(fig4, result_cache_bytes=0)
+        engine.build_index(radius=FIG4_RMAX)
+        assert not engine.results.enabled
+        ctx = QueryContext()
+        engine.top_k(_spec(k=3), ctx)
+        engine.top_k(_spec(k=3), ctx)
+        assert ctx.counter("result_cache_hits") == 0
+        assert ctx.counter("result_cache_misses") == 0
+        assert len(engine.results) == 0
+        # Streams fall back to the raw (projected) stream types.
+        stream = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        assert not isinstance(stream, CachedStream)
+        assert len(stream.take(100)) == FIG4_TOTAL
+
+
+class TestCachedStreamViews:
+    def test_views_keep_private_cursors(self, engine):
+        a = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        b = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        first_a = a.take(3)
+        first_b = b.take(3)
+        assert _fingerprint(first_a) == _fingerprint(first_b)
+        assert a.emitted == b.emitted == 3
+        rest_a = a.take(100)
+        assert a.exhausted
+        assert not b.exhausted
+        assert _fingerprint(b.take(100)) == _fingerprint(rest_a)
+        assert b.exhausted
+        assert b.next_community() is None
+
+    def test_second_view_pays_no_enumeration(self, engine):
+        a = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        a.take(3)
+        ctx = QueryContext()
+        b = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX,
+                                context=ctx)
+        assert ctx.counter("result_cache_hits") == 1
+        b.take(3)
+        assert ctx.seconds("enumerate") == 0.0
+        assert ctx.counter("projection_runs") == 0
+        assert ctx.counter("communities") == 3
+
+    def test_iteration_protocol(self, engine):
+        stream = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        assert len(list(stream)) == FIG4_TOTAL
+
+    def test_negative_k_rejected(self, engine):
+        from repro.exceptions import QueryError
+        stream = engine.top_k_stream(list(FIG4_QUERY), FIG4_RMAX)
+        with pytest.raises(QueryError):
+            stream.take(-1)
+
+
+class TestWarm:
+    def test_warm_computes_then_skips(self, engine):
+        specs = [_spec(k=3), _spec(),
+                 _spec(k=3, algorithm="bu")]      # uncacheable
+        assert engine.warm(specs) == 2
+        assert engine.warm(specs) == 0            # already warm
+        ctx = QueryContext()
+        engine.top_k(_spec(k=3), ctx)
+        assert ctx.counter("result_cache_hits") == 1
+
+    def test_warm_skips_bad_specs(self, engine):
+        bad = QuerySpec(("nosuchkeyword",), FIG4_RMAX, mode="topk",
+                        k=2)
+        assert engine.warm([bad, _spec(k=2)]) == 1

@@ -92,12 +92,45 @@ class TestLeaseLifecycle:
 
     def test_sessions_share_projection_via_cache(self, manager,
                                                  engine):
+        """The second same-spec session attaches to the first one's
+        result-cache entry: no projection work, no enumeration — it
+        rides the shared ranked prefix."""
         a = manager.create(list(FIG4_QUERY), FIG4_RMAX)
         b = manager.create(list(FIG4_QUERY), FIG4_RMAX)
         assert a.context.counter("projection_runs") == 1
         assert b.context.counter("projection_runs") == 0
-        assert b.context.counter("projection_cache_hits") == 1
-        assert engine.cache.stats.hits >= 1
+        assert b.context.counter("result_cache_hits") == 1
+        assert engine.results.stats.hits >= 1
+        first = a.stream.take(2)
+        second = b.stream.take(2)
+        assert [(c.core, c.cost) for c in first] \
+            == [(c.core, c.cost) for c in second]
+
+
+class TestPrefixReuse:
+    def test_session_after_warm_query_enumerates_nothing(
+            self, manager, engine):
+        """The satellite regression: a session opened after a warm
+        ``/query`` serves the cached prefix from ``next`` with zero
+        enumerate-stage time until the prefix is exhausted."""
+        from repro.engine import QuerySpec
+
+        warm = engine.top_k(QuerySpec(tuple(FIG4_QUERY), FIG4_RMAX,
+                                      mode="topk", k=3))
+        lease = manager.create(list(FIG4_QUERY), FIG4_RMAX)
+        assert lease.context.counter("result_cache_hits") == 1
+        communities, _ = manager.next(lease.id, 3)
+        assert [(c.core, c.cost) for c in communities] \
+            == [(c.core, c.cost) for c in warm]
+        assert lease.context.seconds("enumerate") == 0.0
+        assert lease.context.seconds("project") == 0.0
+        assert lease.context.counter("projection_runs") == 0
+        # Walking past the cached frontier now pays (only) the tail.
+        rest, _ = manager.next(lease.id, 10)
+        assert len(rest) == FIG4_TOTAL - 3
+        assert lease.context.counter("result_cache_extensions") == 1
+        costs = [c.cost for c in communities + rest]
+        assert costs == sorted(costs)
 
 
 class TestTTL:

@@ -27,7 +27,7 @@ def test_orderings_build_equal_specs():
 
 
 def test_cache_key_is_order_and_case_insensitive():
-    keys = {QuerySpec(kws, 4.0).cache_key
+    keys = {QuerySpec(kws, 4.0).cache_key()
             for kws in [("a", "b"), ("b", "a"), ("B", "A"), ("A", "b")]}
     assert len(keys) == 1
 
@@ -42,8 +42,12 @@ def test_describe_uses_normalized_keywords():
 
 
 def test_reordered_query_hits_projection_cache(fig4):
-    """{a,b} then {b,a} is one projection: the second run is a hit."""
-    engine = QueryEngine(fig4, index=CommunityIndex.build(fig4, 8.0))
+    """{a,b} then {b,a} is one projection: the second run is a hit.
+
+    Result cache disabled so the repeat actually reaches the
+    projection layer."""
+    engine = QueryEngine(fig4, index=CommunityIndex.build(fig4, 8.0),
+                         result_cache_bytes=0)
     first = engine.run_all(QuerySpec(("a", "b"), 6.0))
     assert engine.cache.stats.misses == 1
     second = engine.run_all(QuerySpec(("b", "A"), 6.0))
