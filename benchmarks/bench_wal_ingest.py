@@ -1,0 +1,68 @@
+"""WAL ingestion micro-benchmarks: append throughput and replay rate.
+
+Three append cells pin the cost of each durability policy — ``always``
+pays one ``fsync`` per acknowledged delta, ``batch`` amortizes it over
+:data:`~repro.wal.DEFAULT_BATCH_RECORDS` appends, ``off`` only
+flushes — so the OPERATIONS.md guidance ("``always`` unless ingest
+latency hurts") stays an informed trade, not folklore. The replay cell
+times startup recovery: a snapshot-anchored engine materializing a
+backlog of logged deltas through the same ``apply_delta`` path the
+serving tier uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_RMAX, figure4_graph
+from repro.engine import QueryEngine
+from repro.snapshot import SnapshotStore
+from repro.text.inverted_index import CommunityIndex
+from repro.text.maintenance import GraphDelta
+from repro.wal import WriteAheadLog, replay
+
+#: Deltas appended per append-throughput round.
+APPENDS = 200
+
+#: Deltas in the replay backlog (each one is a full incremental
+#: index-maintenance pass on the fig4 graph).
+REPLAY_BACKLOG = 50
+
+DELTA = GraphDelta(new_edges=[(0, 3, 0.25)])
+
+
+@pytest.mark.parametrize("policy", ("always", "batch", "off"))
+def test_wal_append_throughput(benchmark, policy, tmp_path_factory):
+    root = tmp_path_factory.mktemp(f"wal-append-{policy}")
+    fresh = itertools.count()
+
+    def once():
+        path = root / f"{next(fresh)}.wal"
+        with WriteAheadLog(path, fsync=policy) as wal:
+            for _ in range(APPENDS):
+                wal.append_delta(DELTA, base="bench")
+        return path
+
+    path = benchmark.pedantic(once, rounds=3, iterations=1)
+    assert path.stat().st_size > 0
+
+
+def test_wal_replay_rate(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("wal-replay")
+    dbg = figure4_graph()
+    index = CommunityIndex.build(dbg, FIG4_RMAX)
+    snap = SnapshotStore(root / "store").publish(
+        dbg, index, provenance={"dataset": "fig4"})
+    with WriteAheadLog(root / "deltas.wal", fsync="off") as wal:
+        for _ in range(REPLAY_BACKLOG):
+            wal.append_delta(DELTA, base=snap.id)
+        records = wal.records()
+
+    def once():
+        engine = QueryEngine.from_snapshot(snap.path)
+        return replay(engine, records)
+
+    applied = benchmark.pedantic(once, rounds=3, iterations=1)
+    assert applied == REPLAY_BACKLOG

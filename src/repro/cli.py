@@ -169,6 +169,18 @@ def cmd_serve(args) -> int:
     snapshot_mode = getattr(args, "snapshot_mode", "auto")
     result_cache_bytes = int(
         getattr(args, "result_cache_mb", 64) * 1024 * 1024)
+    wal = None
+    if getattr(args, "wal", None):
+        if not getattr(args, "snapshot", None):
+            raise ReproError(
+                "--wal needs --snapshot: WAL replay folds deltas "
+                "onto a published snapshot, not an in-process build")
+        from repro.wal import WriteAheadLog
+
+        wal = WriteAheadLog(args.wal, fsync=args.wal_fsync)
+        print(f"WAL {wal.path} open (fsync={wal.fsync_policy}, "
+              f"lsn={wal.lsn}, {wal.pending_count} pending deltas)",
+              file=sys.stderr)
     if getattr(args, "snapshot", None):
         from repro.snapshot.store import locate_snapshot
 
@@ -184,7 +196,8 @@ def cmd_serve(args) -> int:
                 path, workers=args.workers,
                 lease_seconds=args.worker_lease,
                 snapshot_mode=snapshot_mode,
-                result_cache_bytes=result_cache_bytes).start()
+                result_cache_bytes=result_cache_bytes,
+                wal_path=wal).start()
             engine_close = engine.close
             print(f"started {args.workers} worker processes",
                   file=sys.stderr)
@@ -193,10 +206,17 @@ def cmd_serve(args) -> int:
 
             engine = QueryEngine.from_snapshot(
                 path, mode=snapshot_mode,
-                result_cache_bytes=result_cache_bytes)
+                result_cache_bytes=result_cache_bytes,
+                wal_path=wal)
+        if wal is not None and engine.deltas_applied:
+            print(f"replayed {engine.deltas_applied} pending "
+                  f"delta(s) through LSN {engine.applied_lsn}",
+                  file=sys.stderr)
         dbg = engine.dbg
         resolved = engine.snapshot_mode or "copy"
-        print(f"loaded snapshot {engine.snapshot_id} from {path} "
+        loaded_id = (engine.snapshot_id
+                     or getattr(engine, "base_snapshot_id", None))
+        print(f"loaded snapshot {loaded_id} from {path} "
               f"({resolved} mode)", file=sys.stderr)
         if snapshot_mode != "copy" and resolved == "copy":
             print("warning: snapshot has gzip-compressed sections; "
@@ -221,7 +241,30 @@ def cmd_serve(args) -> int:
         snapshot_source=getattr(args, "snapshot", None),
         drain_seconds=args.drain_seconds,
         snapshot_mode=snapshot_mode,
-        warm_top=getattr(args, "warm_top", 8))
+        warm_top=getattr(args, "warm_top", 8),
+        wal=wal)
+    compactor = None
+    if wal is not None and getattr(args, "compact_interval", 0) > 0:
+        from repro.service.http import snapshot_store_of
+        from repro.snapshot.store import SnapshotStore
+        from repro.wal import Compactor
+
+        store_root = snapshot_store_of(args.snapshot)
+        if store_root is None:
+            raise ReproError(
+                "--compact-interval needs --snapshot to point at a "
+                "snapshot *store* (compaction publishes new "
+                "snapshots into it)")
+        compactor = Compactor(
+            wal, SnapshotStore(store_root), engine=engine,
+            lock=service.ingest_lock,
+            interval=args.compact_interval,
+            min_deltas=args.compact_min_deltas).start()
+        service.compactor = compactor
+        print(f"compactor running every "
+              f"{args.compact_interval:g}s "
+              f"(min {args.compact_min_deltas} deltas)",
+              file=sys.stderr)
     if args.port_file:
         with open(args.port_file, "w") as handle:
             handle.write(f"{service.host} {service.port}\n")
@@ -236,9 +279,13 @@ def cmd_serve(args) -> int:
     except (KeyboardInterrupt, SystemExit):
         print("shutting down", file=sys.stderr)
     finally:
+        if compactor is not None:
+            compactor.stop()
         service.shutdown()
         if engine_close is not None:
             engine_close()
+        if wal is not None:
+            wal.close()
     return 0
 
 
@@ -352,6 +399,40 @@ def cmd_warm(args) -> int:
         print(f"replayed {len(report)} hot specs "
               f"({warmed} computed, {len(report) - warmed} already "
               f"warm)")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """``compact``: fold a WAL's pending deltas into a snapshot.
+
+    The offline form of the background compactor: load the WAL's base
+    snapshot from the store, apply the pending deltas in LSN order,
+    publish the folded artifact (staged + atomic), verify it, append
+    a ``checkpoint`` record, and truncate the folded prefix. Run it
+    while the service is stopped, or against a copy — the serving
+    path runs the same machinery in-process via
+    ``serve --compact-interval``.
+    """
+    from repro.snapshot.store import SnapshotStore
+    from repro.wal import Compactor, WriteAheadLog
+
+    wal = WriteAheadLog(args.wal, fsync="always")
+    try:
+        pending = wal.pending_count
+        if pending < args.min_deltas:
+            print(f"{pending} pending delta(s), below "
+                  f"--min-deltas {args.min_deltas}; nothing to do")
+            return 0
+        start = time.perf_counter()
+        compactor = Compactor(wal, SnapshotStore(args.store),
+                              min_deltas=args.min_deltas)
+        snapshot_id = compactor.compact_once()
+        elapsed = time.perf_counter() - start
+        print(f"folded {compactor.folded} delta(s) into "
+              f"{snapshot_id} ({elapsed:.1f}s); WAL now at "
+              f"lsn={wal.lsn} with {wal.pending_count} pending")
+    finally:
+        wal.close()
     return 0
 
 
@@ -535,7 +616,8 @@ def cmd_snapshot_prune(args) -> int:
     """``snapshot prune``: drop all but the newest snapshots."""
     from repro.snapshot.store import SnapshotStore
 
-    removed = SnapshotStore(args.store).prune(keep=args.keep)
+    removed = SnapshotStore(args.store).prune(
+        keep=args.keep, wal=getattr(args, "wal", None))
     for snapshot_id in removed:
         print(f"removed {snapshot_id}")
     print(f"{len(removed)} snapshot(s) pruned")
@@ -694,7 +776,48 @@ def build_parser() -> argparse.ArgumentParser:
                             "query log's hottest specs into the "
                             "fresh result cache (0 disables; "
                             "default 8)")
+    serve.add_argument("--wal", default=None,
+                       help="durable delta write-ahead log file "
+                            "(requires --snapshot): POST /admin/delta "
+                            "appends here before applying, and "
+                            "startup replays pending deltas so a "
+                            "crash loses at most the unacknowledged "
+                            "tail")
+    serve.add_argument("--wal-fsync", dest="wal_fsync",
+                       choices=("always", "batch", "off"),
+                       default="always",
+                       help="WAL durability policy: 'always' fsyncs "
+                            "per delta (power-loss safe), 'batch' "
+                            "fsyncs every few appends, 'off' only "
+                            "flushes (still survives kill -9, not "
+                            "power loss); default always")
+    serve.add_argument("--compact-interval", type=float, default=0.0,
+                       dest="compact_interval",
+                       help="seconds between background WAL "
+                            "compactions into the snapshot store "
+                            "(0 disables, the default; needs --wal "
+                            "and a store root --snapshot)")
+    serve.add_argument("--compact-min-deltas", type=int, default=1,
+                       dest="compact_min_deltas",
+                       help="skip a compaction cycle when fewer "
+                            "deltas are pending (default 1)")
     serve.set_defaults(func=cmd_serve)
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold a delta WAL's pending records into a freshly "
+             "published snapshot (offline compaction)")
+    compact.add_argument("--wal", required=True,
+                         help="the delta WAL file to fold")
+    compact.add_argument("--store", required=True,
+                         help="snapshot store holding the WAL's base "
+                              "snapshot; the folded snapshot is "
+                              "published here")
+    compact.add_argument("--min-deltas", type=int, default=1,
+                         dest="min_deltas",
+                         help="do nothing when fewer deltas are "
+                              "pending (default 1)")
+    compact.set_defaults(func=cmd_compact)
 
     warm = sub.add_parser(
         "warm",
@@ -822,6 +945,10 @@ def build_parser() -> argparse.ArgumentParser:
     snap_prune.add_argument("store", help="snapshot store directory")
     snap_prune.add_argument("--keep", type=int, default=2,
                             help="snapshots to retain (default 2)")
+    snap_prune.add_argument("--wal", default=None,
+                            help="delta WAL whose base snapshot (and "
+                                 "pending-delta bases) must never be "
+                                 "pruned, whatever --keep says")
     snap_prune.set_defaults(func=cmd_snapshot_prune)
 
     snap_push = snapshot_sub.add_parser(

@@ -44,7 +44,15 @@ from __future__ import annotations
 import threading
 import time
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.community import Community
 from repro.core.comm_k import TopKStream
@@ -119,6 +127,9 @@ class QueryEngine:
         self._snapshot_loaded_at: Optional[float] = None
         self._snapshot_mode: Optional[str] = None
         self._mode_request: str = "copy"
+        self._base_snapshot_id: Optional[str] = None
+        self._deltas_applied = 0
+        self._applied_lsn = 0
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
@@ -129,7 +140,8 @@ class QueryEngine:
                       registry: Optional[AlgorithmRegistry] = None,
                       cache_capacity: int = DEFAULT_CAPACITY,
                       mode: str = "copy",
-                      result_cache_bytes: Optional[int] = None
+                      result_cache_bytes: Optional[int] = None,
+                      wal_path: Optional[Union[str, Path, Any]] = None
                       ) -> "QueryEngine":
         """An engine serving a snapshot, generation = snapshot id.
 
@@ -138,6 +150,12 @@ class QueryEngine:
         :func:`repro.snapshot.load_snapshot`; it also becomes the
         engine's default for later :meth:`load_snapshot` calls. An
         already-loaded :class:`Snapshot` source is adopted as-is.
+
+        ``wal_path`` (a path or an open
+        :class:`~repro.wal.log.WriteAheadLog`) replays the log's
+        pending deltas onto the freshly loaded snapshot before the
+        engine is returned — the restart-recovery path; the engine
+        comes up already converged with every acknowledged delta.
         """
         if isinstance(source, Snapshot):
             snapshot = source
@@ -151,9 +169,13 @@ class QueryEngine:
                      result_cache_bytes=result_cache_bytes)
         engine._generation = snapshot.id
         engine._snapshot_id = snapshot.id
+        engine._base_snapshot_id = snapshot.id
         engine._snapshot_loaded_at = time.time()
         engine._snapshot_mode = getattr(snapshot, "mode", "copy")
         engine._mode_request = request
+        if wal_path is not None:
+            from repro.wal.log import replay
+            replay(engine, wal_path)
         return engine
 
     def load_snapshot(self, path: Union[str, Path],
@@ -193,6 +215,9 @@ class QueryEngine:
             self._epoch += 1
             self._generation = snapshot.id
             self._snapshot_id = snapshot.id
+            self._base_snapshot_id = snapshot.id
+            self._deltas_applied = 0
+            self._applied_lsn = 0
             self._snapshot_loaded_at = time.time()
             self._snapshot_mode = getattr(snapshot, "mode", "copy")
         self.cache.invalidate()
@@ -238,6 +263,9 @@ class QueryEngine:
             self._generation = f"g{self._epoch}"
             self._snapshot_id = None
             self._snapshot_mode = None
+            self._base_snapshot_id = None
+            self._deltas_applied = 0
+            self._applied_lsn = 0
         self.cache.invalidate()
         self.results.invalidate()
 
@@ -264,7 +292,8 @@ class QueryEngine:
         return self.index
 
     def apply_delta(self, delta: GraphDelta,
-                    banks_reweight: bool = False
+                    banks_reweight: bool = False,
+                    lsn: Optional[int] = None
                     ) -> Tuple[DatabaseGraph, CommunityIndex]:
         """Grow the graph, update the index, evict stale projections.
 
@@ -273,16 +302,56 @@ class QueryEngine:
         generation, so projections computed before the delta can never
         be served again — the cache-correctness property the
         maintenance property tests assert.
+
+        ``lsn`` is the delta's WAL sequence number; applying is
+        idempotent per LSN (a delta at or below :attr:`applied_lsn`
+        is a no-op), which makes the two delivery paths — a pool
+        broadcast and a respawned worker's WAL replay — safe to race.
+        The base snapshot lineage survives the delta: the engine is
+        ``dirty`` (its generation no longer names a snapshot) but
+        :attr:`base_snapshot_id` still records which artifact the
+        deltas grew from, anchoring WAL replay and prune protection.
         """
+        if lsn is not None and lsn <= self._applied_lsn:
+            return self.dbg, self.index
         if self.index is None:
             raise QueryError(
                 "apply_delta needs an attached index; call "
                 "build_index(radius=...) first")
         new_dbg, new_index = apply_delta(self.index, delta,
                                          banks_reweight)
+        base = self._base_snapshot_id
+        applied = self._deltas_applied
         self.dbg = new_dbg
         self.index = new_index          # changes generation, evicts
+        self._base_snapshot_id = base
+        self._deltas_applied = applied + 1
+        if lsn is not None:
+            self._applied_lsn = lsn
         return new_dbg, new_index
+
+    @property
+    def dirty(self) -> bool:
+        """``True`` when in-memory deltas have diverged the engine
+        from the snapshot it loaded (restart would lose them without
+        a WAL)."""
+        return self._deltas_applied > 0
+
+    @property
+    def deltas_applied(self) -> int:
+        """Deltas applied since the last snapshot load/swap."""
+        return self._deltas_applied
+
+    @property
+    def base_snapshot_id(self) -> Optional[str]:
+        """The snapshot the current state grew from — still set when
+        :attr:`snapshot_id` nulls out after a delta."""
+        return self._base_snapshot_id
+
+    @property
+    def applied_lsn(self) -> int:
+        """Highest WAL LSN applied (0 when none carried an LSN)."""
+        return self._applied_lsn
 
     def _capture(self) -> Tuple[DatabaseGraph,
                                 Optional[CommunityIndex], str]:

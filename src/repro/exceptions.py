@@ -23,7 +23,16 @@ callers can catch one base class. Subsystems refine it:
   hung (its per-request lease expired) and killed it,
 * the failpoint subsystem (:mod:`repro.faults`) raises
   :class:`FaultInjectedError` when an armed ``raise`` failpoint fires
-  (never in production — failpoints are inert unless armed).
+  (never in production — failpoints are inert unless armed),
+* the write-ahead log (:mod:`repro.wal`) raises :class:`WalError`
+  for misuse (an engine whose snapshot the log does not describe)
+  and :class:`WalCorruptionError` for a log whose *middle* fails its
+  frame checks — a torn tail is repaired silently, damage before
+  intact records is not,
+* delta ingestion rejects malformed :class:`~repro.text.maintenance.
+  GraphDelta` payloads with :class:`DeltaValidationError` — a
+  :class:`QueryError` subclass, so the HTTP boundary maps it to 400
+  like any other bad request.
 """
 
 from __future__ import annotations
@@ -60,6 +69,27 @@ class IntegrityError(ReproError):
 
 class QueryError(ReproError):
     """A community query is malformed (bad keyword list, radius, or k)."""
+
+
+class DeltaValidationError(QueryError):
+    """A :class:`~repro.text.maintenance.GraphDelta` payload failed
+    boundary validation: duplicate/out-of-sequence node ids, edges
+    referencing unknown endpoints, NaN/infinite/negative weights, or
+    plain type errors. Raised *before* anything is logged or applied;
+    the service maps it to HTTP 400."""
+
+
+class WalError(ReproError):
+    """Base class for write-ahead-log failures (:mod:`repro.wal`)."""
+
+
+class WalCorruptionError(WalError):
+    """The WAL is damaged *before* its last intact record.
+
+    A torn tail (an interrupted final append) is expected after a
+    crash and is silently truncated on open; a CRC/frame/LSN failure
+    with valid records after it means lost acknowledged writes, which
+    must never be repaired silently."""
 
 
 class SnapshotError(ReproError):

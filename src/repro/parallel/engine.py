@@ -41,7 +41,7 @@ from repro.core.community import Community
 from repro.engine.context import QueryContext, ensure_context
 from repro.engine.engine import QueryEngine
 from repro.engine.spec import QuerySpec
-from repro.exceptions import QueryError, SnapshotError
+from repro.exceptions import QueryError, SnapshotError, WorkerError
 from repro.parallel.pool import (
     DEFAULT_LEASE_SECONDS,
     DEFAULT_MAX_RESPAWNS,
@@ -65,7 +65,8 @@ class ParallelQueryEngine:
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
                  respawn_window: float = DEFAULT_RESPAWN_WINDOW,
                  snapshot_mode: str = "copy",
-                 result_cache_bytes: Optional[int] = None
+                 result_cache_bytes: Optional[int] = None,
+                 wal_path: Optional[Union[str, Path, Any]] = None
                  ) -> None:
         self.path = locate_snapshot(source)
         #: Requested materialization for parent and workers alike
@@ -75,15 +76,24 @@ class ParallelQueryEngine:
         #: The snapshot everyone (parent + workers) currently serves;
         #: kept so a failed swap can roll back to it.
         self._active = load_snapshot(self.path, mode=snapshot_mode)
+        #: The delta WAL (an open ``WriteAheadLog`` or a path); the
+        #: parent replays it here, workers replay the file themselves
+        #: on every (re)spawn — only its *path* crosses the process
+        #: boundary.
+        self.wal = wal_path
         self.local = QueryEngine.from_snapshot(
-            self._active, result_cache_bytes=result_cache_bytes)
+            self._active, result_cache_bytes=result_cache_bytes,
+            wal_path=wal_path)
+        pool_wal = (str(getattr(wal_path, "path", wal_path))
+                    if wal_path is not None else None)
         self.pool = WorkerPool(self.path, workers=workers,
                                mp_method=mp_method,
                                lease_seconds=lease_seconds,
                                max_respawns=max_respawns,
                                respawn_window=respawn_window,
                                snapshot_mode=snapshot_mode,
-                               result_cache_bytes=result_cache_bytes)
+                               result_cache_bytes=result_cache_bytes,
+                               wal_path=pool_wal)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -153,6 +163,26 @@ class ParallelQueryEngine:
     def index(self):
         """The local engine's community index."""
         return self.local.index
+
+    @property
+    def dirty(self) -> bool:
+        """True when deltas diverged the fleet from its snapshot."""
+        return self.local.dirty
+
+    @property
+    def deltas_applied(self) -> int:
+        """Deltas applied since the last snapshot load/swap."""
+        return self.local.deltas_applied
+
+    @property
+    def base_snapshot_id(self) -> Optional[str]:
+        """The snapshot the current delta state grew from."""
+        return self.local.base_snapshot_id
+
+    @property
+    def applied_lsn(self) -> int:
+        """Highest WAL LSN the parent engine has applied."""
+        return self.local.applied_lsn
 
     def project(self, *args: Any, **kwargs: Any):
         """Projection on the parent (sessions and direct callers)."""
@@ -237,6 +267,49 @@ class ParallelQueryEngine:
                 # that failed to warm still answers, just cold.
                 pass
         return warmed
+
+    def apply_delta(self, delta: Any, banks_reweight: bool = False,
+                    lsn: Optional[int] = None):
+        """Apply a delta on the parent, then fan it to every worker.
+
+        The broadcast ships the delta's wire form tagged with its LSN;
+        each worker applies it through the same idempotent-per-LSN
+        path, so a worker that *also* replays the WAL (a respawn
+        racing this broadcast) converges rather than double-applies.
+
+        A worker that fails the broadcast is **kicked** when a WAL is
+        attached — the monitor respawns it and the fresh incarnation
+        replays the full suffix, converging without bookkeeping. With
+        no WAL there is no way to bring a diverged worker back, so
+        the failure propagates as :class:`~repro.exceptions.
+        WorkerError` instead of leaving the pool split-brained.
+        """
+        from repro.wal.records import delta_to_wire
+        result = self.local.apply_delta(delta, banks_reweight,
+                                        lsn=lsn)
+        payload = (lsn, delta_to_wire(delta), bool(banks_reweight))
+        failures: Dict[int, Exception] = {}
+        for worker_id, future in self.pool.broadcast(
+                "delta", payload).items():
+            try:
+                future.result()
+            except Exception as error:  # noqa: BLE001 — handled per
+                # worker below (kick or propagate).
+                failures[worker_id] = error
+        if failures:
+            if self.wal is not None:
+                for worker_id in sorted(failures):
+                    self.pool.kick(worker_id)
+            else:
+                detail = "; ".join(
+                    f"worker {wid}: {error}"
+                    for wid, error in sorted(failures.items()))
+                raise WorkerError(
+                    f"delta broadcast failed on "
+                    f"{len(failures)}/{self.pool.workers} workers "
+                    f"with no WAL to replay from ({detail}); "
+                    f"restart the service to reconverge")
+        return result
 
     @staticmethod
     def _merge(context: QueryContext, timings: Dict[str, float],

@@ -121,7 +121,8 @@ class WorkerPool:
                  max_respawns: int = DEFAULT_MAX_RESPAWNS,
                  respawn_window: float = DEFAULT_RESPAWN_WINDOW,
                  snapshot_mode: str = "copy",
-                 result_cache_bytes: Optional[int] = None
+                 result_cache_bytes: Optional[int] = None,
+                 wal_path: Optional[str] = None
                  ) -> None:
         if workers <= 0:
             raise ValueError(
@@ -137,6 +138,11 @@ class WorkerPool:
         #: Per-worker result-cache budget (``None`` = engine default,
         #: ``0`` disables); each worker owns a private cache.
         self.result_cache_bytes = result_cache_bytes
+        #: Path of the delta WAL every worker incarnation replays
+        #: after loading its snapshot (``None`` = no WAL). Spawn-mode
+        #: children re-read the file themselves, so this stays a
+        #: picklable string, never a live handle.
+        self.wal_path = wal_path
         self.workers = workers
         #: Per-request watchdog lease; ``None`` disables the watchdog.
         self.lease_seconds = lease_seconds
@@ -207,7 +213,7 @@ class WorkerPool:
             target=worker_main,
             args=(worker_id, self.snapshot_path, queue,
                   self._result_queue, self.snapshot_mode,
-                  self.result_cache_bytes),
+                  self.result_cache_bytes, self.wal_path),
             daemon=True, name=f"repro-worker-{worker_id}")
         process.start()
         self._handles[worker_id] = _WorkerHandle(
@@ -342,6 +348,25 @@ class WorkerPool:
                 timeout: Optional[float] = None) -> Any:
         """Submit and block for the result."""
         return self.submit(op, payload).result(timeout=timeout)
+
+    def kick(self, worker_id: int) -> bool:
+        """Destroy a worker so the monitor respawns it fresh.
+
+        The self-healing path for a worker that failed a delta
+        broadcast while a WAL is attached: its replacement replays
+        the full WAL suffix on startup and converges with the pool
+        without anyone tracking which delta it missed. Returns
+        ``False`` for an unknown (breaker-removed) slot.
+        """
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            return False
+        self._fail_pending(
+            worker_id,
+            f"worker {worker_id} (pid {handle.process.pid}) was "
+            f"kicked for respawn after a failed delta broadcast")
+        self._destroy(handle)
+        return True
 
     def broadcast(self, op: str,
                   payload: Any) -> Dict[int, Future]:

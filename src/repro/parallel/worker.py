@@ -14,7 +14,9 @@ Task protocol (all tuples, all picklable):
 * in:  ``(request_id, op, payload)`` where ``op`` is one of
   ``query`` / ``reload`` / ``stats`` / ``ping`` / ``warm`` (a list
   of specs executed into the worker's private result cache — only
-  the warmed count returns, never the communities);
+  the warmed count returns, never the communities) / ``delta`` (an
+  ``(lsn, wire_delta, banks_reweight)`` triple applied through the
+  worker engine's idempotent-per-LSN ``apply_delta``);
 * out: ``(request_id, worker_id, "started", None)`` the moment the
   task is picked off the queue — the pool's watchdog starts the
   request lease here, so queue wait behind earlier tasks never
@@ -36,14 +38,27 @@ snapshot id, generation) plus its private projection-cache and
 Dijkstra-memo counters; ``reload`` re-points the worker at a snapshot
 path and returns the adopted snapshot id.
 
+When the pool carries a WAL path, every worker incarnation replays
+the log's pending deltas right after loading its snapshot — at first
+spawn, at watchdog respawn, and after every ``reload`` — so a fresh
+process converges with the parent's delta state before it answers
+anything. Replay and broadcast can race (a respawn replaying while
+the parent broadcasts the next delta); the per-LSN idempotency in
+:meth:`~repro.engine.engine.QueryEngine.apply_delta` makes the order
+irrelevant.
+
 Any exception inside a task is caught and reported as an ``error``
-result — a worker only exits on the sentinel or a hard crash (which
-the pool's monitor detects and repairs).
+result — a worker only exits on the sentinel, a hard crash (which
+the pool's monitor detects and repairs), or on noticing it has been
+orphaned: the task loop polls with a timeout and exits when its
+parent pid changes, so a hard-killed (``kill -9``) server never
+leaks worker processes that block on the queue forever.
 """
 
 from __future__ import annotations
 
 import os
+import queue as queue_mod
 from typing import Any, Dict, Tuple
 
 from repro import faults
@@ -79,20 +94,37 @@ def _stats(worker_id: int, engine: QueryEngine) -> Dict[str, Any]:
     return payload
 
 
-def _reload(worker_id: int, engine: QueryEngine,
-            path: str) -> Dict[str, Any]:
+def _reload(worker_id: int, engine: QueryEngine, path: str,
+            wal_path: Any = None) -> Dict[str, Any]:
     """Swap this worker onto the snapshot at ``path``."""
     faults.hit("worker.reload")
     faults.hit(f"worker.{worker_id}.reload")
     snapshot = engine.load_snapshot(path)
+    if wal_path is not None:
+        from repro.wal.log import replay
+        replay(engine, wal_path)
     return {"snapshot_id": snapshot.id,
+            "generation": engine.generation}
+
+
+def _apply_delta(worker_id: int, engine: QueryEngine,
+                 payload: Tuple) -> Dict[str, Any]:
+    """Apply one broadcast delta (idempotent per LSN)."""
+    from repro.wal.records import delta_from_wire
+    faults.hit("worker.delta")
+    faults.hit(f"worker.{worker_id}.delta")
+    lsn, wire, banks_reweight = payload
+    engine.apply_delta(delta_from_wire(wire), bool(banks_reweight),
+                       lsn=lsn)
+    return {"applied_lsn": engine.applied_lsn,
             "generation": engine.generation}
 
 
 def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
                 result_queue: Any,
                 snapshot_mode: str = "copy",
-                result_cache_bytes: Any = None) -> None:
+                result_cache_bytes: Any = None,
+                wal_path: Any = None) -> None:
     """Process target: load the snapshot, serve tasks until sentinel.
 
     ``snapshot_mode`` is how this worker materializes the artifact —
@@ -108,9 +140,20 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
     faults.hit(f"worker.{worker_id}.start")
     engine = QueryEngine.from_snapshot(
         snapshot_path, mode=snapshot_mode,
-        result_cache_bytes=result_cache_bytes)
+        result_cache_bytes=result_cache_bytes,
+        wal_path=wal_path)
+    parent = os.getppid()
     while True:
-        task = task_queue.get()
+        try:
+            task = task_queue.get(timeout=5.0)
+        except queue_mod.Empty:
+            # A hard-killed parent (kill -9, a fired ``exit``
+            # failpoint) can never send the shutdown sentinel; the
+            # reparented orphan would otherwise block here forever,
+            # holding the server's inherited pipes and fds open.
+            if os.getppid() != parent:
+                break
+            continue
         if task is None:
             break
         request_id, op, payload = task
@@ -123,7 +166,10 @@ def worker_main(worker_id: int, snapshot_path: str, task_queue: Any,
             elif op == "stats":
                 result = _stats(worker_id, engine)
             elif op == "reload":
-                result = _reload(worker_id, engine, payload)
+                result = _reload(worker_id, engine, payload,
+                                 wal_path)
+            elif op == "delta":
+                result = _apply_delta(worker_id, engine, payload)
             elif op == "warm":
                 # Pre-warm this worker's private result cache; no
                 # communities cross the queue, just the count.

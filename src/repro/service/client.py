@@ -393,6 +393,32 @@ class ServiceClient:
             payload["snapshot"] = snapshot
         return self.request("POST", "/admin/reload", payload)
 
+    def admin_delta(self, nodes: Sequence[Dict[str, Any]] = (),
+                    edges: Sequence[Sequence[Any]] = (),
+                    banks_reweight: bool = False) -> Dict[str, Any]:
+        """``POST /admin/delta``: ingest one graph delta.
+
+        ``nodes`` are ``{"keywords": [...], "label": ...,
+        "provenance": [table, key] | null}`` objects (ids are
+        assigned densely after the existing nodes); ``edges`` are
+        ``[source, target, weight]`` triples, endpoints referencing
+        existing or just-added nodes. Returns the server's ``{lsn,
+        nodes_added, edges_added, generation, ...}`` payload — with a
+        WAL attached, a returned ``lsn`` is durably acknowledged.
+
+        Deliberately **not** marked idempotent: a delta re-applied on
+        a torn connection would double-grow the graph, so connection
+        failures surface instead of replaying (a definitive 429/503
+        response still retries — the server rejected it unexecuted).
+        """
+        payload: Dict[str, Any] = {
+            "nodes": list(nodes),
+            "edges": [list(edge) for edge in edges],
+        }
+        if banks_reweight:
+            payload["banks_reweight"] = True
+        return self.request("POST", "/admin/delta", payload)
+
     def query(self, keywords: Sequence[str], rmax: float,
               k: Optional[int] = None, algorithm: str = "pd",
               aggregate: str = "sum",

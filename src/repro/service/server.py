@@ -24,6 +24,12 @@
   started with, open sessions from the old artifact answer ``410``,
   and the adopted generation's result cache is re-warmed with the
   query log's hottest specs before the response returns;
+* ``POST /admin/delta`` — online ingestion: a validated
+  :class:`~repro.text.maintenance.GraphDelta` body is appended to the
+  delta WAL (when one is attached) *before* the engine applies it —
+  the acknowledgment (the returned ``lsn``) is durable. Malformed
+  deltas (duplicate node ids, unknown edge endpoints, NaN/negative
+  weights) answer a typed 400 before touching either;
 * ``GET /admin/querylog`` — the ring-buffer ledger of admitted query
   specs (normalized keys + counts), for offline hot-key mining
   (``python -m repro warm``);
@@ -70,6 +76,7 @@ from repro.exceptions import (
 )
 from repro.snapshot.snapshot import load_snapshot
 from repro.snapshot.store import locate_snapshot
+from repro.wal.records import parse_delta
 from repro.service.admission import (
     DEFAULT_QUEUE_DEPTH,
     DEFAULT_WORKERS,
@@ -274,10 +281,24 @@ class CommunityService:
                  drain_seconds: float = DEFAULT_DRAIN_SECONDS,
                  snapshot_mode: str = "copy",
                  warm_top: int = DEFAULT_WARM_TOP,
-                 querylog_capacity: int = DEFAULT_QUERYLOG_CAPACITY
+                 querylog_capacity: int = DEFAULT_QUERYLOG_CAPACITY,
+                 wal: Optional[Any] = None
                  ) -> None:
         self.engine = engine
         self.default_deadline = default_deadline
+        #: The delta write-ahead log (an open
+        #: :class:`~repro.wal.log.WriteAheadLog`) or ``None`` —
+        #: without one ``/admin/delta`` still works but acknowledged
+        #: deltas die with the process.
+        self.wal = wal
+        #: The :class:`~repro.wal.compact.Compactor` when background
+        #: compaction is on (``serve --compact-interval``); surfaced
+        #: in ``/healthz`` and ``/metrics``.
+        self.compactor: Optional[Any] = None
+        #: Serializes delta acknowledgment (WAL append + engine
+        #: apply) against compaction commits, so no delta is logged
+        #: against a base that is being checkpointed away mid-append.
+        self.ingest_lock = threading.Lock()
         #: How many hot specs to replay into the result cache after a
         #: generation swap (``0`` disables post-reload warming).
         self.warm_top = warm_top
@@ -448,6 +469,10 @@ class CommunityService:
             return "/admin/reload", \
                 json.dumps(self._admin_reload(body)), \
                 JSON_CONTENT_TYPE
+        if method == "POST" and parts == ("admin", "delta"):
+            return "/admin/delta", \
+                json.dumps(self._admin_delta(body)), \
+                JSON_CONTENT_TYPE
         if method == "GET" and parts == ("admin", "querylog"):
             return "/admin/querylog", \
                 json.dumps(self._admin_querylog()), \
@@ -484,6 +509,8 @@ class CommunityService:
             return template          # routing already templated it
         if parts == ("admin", "reload"):
             return "/admin/reload"
+        if parts == ("admin", "delta"):
+            return "/admin/delta"
         if parts[:2] == ("admin", "snapshot"):
             if len(parts) == 4:
                 return ("/admin/snapshot/{id}/commit"
@@ -514,10 +541,24 @@ class CommunityService:
             "snapshot": self.engine.snapshot_id,
             "snapshot_mode": getattr(self.engine, "snapshot_mode",
                                      None),
+            # Delta divergence is surfaced whether or not a WAL is
+            # attached: a dirty engine with no WAL is exactly the
+            # state an operator must notice (a restart loses it).
+            "dirty": bool(getattr(self.engine, "dirty", False)),
+            "deltas_applied": int(getattr(self.engine,
+                                          "deltas_applied", 0)),
             "sessions": self.sessions.count,
             "queued": self.admission.queued,
             "in_flight": self.admission.in_flight,
         }
+        if self.wal is not None:
+            wal_block = dict(self.wal.as_dict(), enabled=True,
+                             dirty=health["dirty"])
+            if self.compactor is not None:
+                wal_block["compaction"] = self.compactor.as_dict()
+                if self.compactor.degraded:
+                    health["status"] = "degraded"
+            health["wal"] = wal_block
         results = getattr(self.engine, "results", None)
         if results is not None:
             health["result_cache"] = results.as_dict()
@@ -572,24 +613,91 @@ class CommunityService:
             raise NotFound(str(error))
         except SnapshotError as error:
             raise BadRequest(str(error))
-        try:
-            changed = self.engine.swap_snapshot(snapshot)
-        except SnapshotError as error:
-            # The engine already rolled everyone back to the previous
-            # snapshot; report the failure without pretending the
-            # request was malformed.
-            raise ServiceError(str(error))
+        with self.ingest_lock:
+            superseded = 0
+            if self.wal is not None:
+                # Record the supersede point *before* the swap: pool
+                # workers replay the WAL as part of their reload, and
+                # without a checkpoint naming the incoming snapshot
+                # they would refuse it as foreign history. If the
+                # swap fails and rolls back, the stale checkpoint is
+                # harmless for replay of the previous snapshot but
+                # the log should be compacted or the service
+                # restarted (see OPERATIONS.md).
+                lsn_before = self.wal.lsn
+                if self.engine.generation != snapshot.id:
+                    self.wal.append_checkpoint(snapshot.id,
+                                               lsn_before)
+            try:
+                changed = self.engine.swap_snapshot(snapshot)
+            except SnapshotError as error:
+                # The engine already rolled everyone back to the
+                # previous snapshot; report the failure without
+                # pretending the request was malformed.
+                raise ServiceError(str(error))
+            if self.wal is not None and changed:
+                # The adopted snapshot supersedes everything logged
+                # before it — drop the folded prefix.
+                superseded = self.wal.truncate(lsn_before)
         # An adopted new generation starts with an empty result cache
         # — re-warm it with the workload's observed head before the
         # next client asks, so the first post-reload repeats are hits.
         warmed = self.warm() if changed else 0
-        return {
+        result = {
             "reloaded": changed,
             "snapshot": snapshot.id,
             "generation": self.engine.generation,
             "loaded_at": self.engine.snapshot_loaded_at,
             "warmed": warmed,
         }
+        if self.wal is not None:
+            result["wal_superseded"] = superseded
+            result["wal_lsn"] = self.wal.lsn
+        return result
+
+    def _admin_delta(self, body: bytes) -> Dict[str, Any]:
+        """``POST /admin/delta``: ingest one graph delta, durably.
+
+        Body: ``{"nodes": [...], "edges": [[u, v, w], ...],
+        "banks_reweight": false}`` — the
+        :class:`~repro.text.maintenance.GraphDelta` wire form.
+        Validation happens first (typed 400 before any side effect),
+        then, under the ingest lock, the delta is appended to the WAL
+        — fsynced per the serving policy — and only then applied to
+        the engine: an acknowledged LSN is always recoverable. On a
+        :class:`~repro.parallel.ParallelQueryEngine` the apply also
+        fans the delta out to every pool worker.
+        """
+        faults.hit("service.delta")
+        payload = _parse_body(body)
+        banks = payload.get("banks_reweight", False)
+        if not isinstance(banks, bool):
+            raise BadRequest("'banks_reweight' must be a boolean")
+        delta = parse_delta(payload, base_nodes=self.engine.dbg.n)
+        with self.ingest_lock:
+            lsn = None
+            if self.wal is not None:
+                lsn = self.wal.append_delta(
+                    delta,
+                    base=getattr(self.engine, "base_snapshot_id",
+                                 None),
+                    banks_reweight=banks)
+            self.engine.apply_delta(delta, banks, lsn=lsn)
+        # Sessions opened against the pre-delta generation now answer
+        # 410 on their next call; that is the same contract a reload
+        # imposes, and clients already handle it.
+        result = {
+            "lsn": lsn,
+            "nodes_added": delta.node_count(),
+            "edges_added": len(delta.new_edges),
+            "generation": self.engine.generation,
+            "dirty": getattr(self.engine, "dirty", True),
+            "deltas_applied": getattr(self.engine, "deltas_applied",
+                                      0),
+        }
+        if self.wal is not None:
+            result["pending_deltas"] = self.wal.pending_count
+        return result
 
     def _admin_querylog(self) -> Dict[str, Any]:
         """``GET /admin/querylog``: the hot-spec ledger, for miners."""
@@ -829,7 +937,35 @@ class CommunityService:
                 self.engine.generation_epoch),
             "repro_projection_cache_size": float(
                 len(self.engine.cache)),
+            "repro_engine_dirty": float(
+                bool(getattr(self.engine, "dirty", False))),
         })
+        counters["repro_engine_deltas_applied_total"] = float(
+            getattr(self.engine, "deltas_applied", 0))
+        if self.wal is not None:
+            counters.update({
+                "repro_wal_appends_total": float(self.wal.appends),
+                "repro_wal_fsyncs_total": float(self.wal.fsyncs),
+                "repro_wal_truncations_total": float(
+                    self.wal.truncations),
+                "repro_wal_replayed_records_total": float(
+                    self.wal.replayed),
+            })
+            gauges.update({
+                "repro_wal_lsn": float(self.wal.lsn),
+                "repro_wal_pending_deltas": float(
+                    self.wal.pending_count),
+                "repro_wal_bytes": float(self.wal.wal_bytes),
+            })
+        if self.compactor is not None:
+            counters["repro_wal_compactions_total"] = float(
+                self.compactor.compactions)
+            counters["repro_wal_compaction_failures_total"] = float(
+                self.compactor.failures)
+            counters["repro_wal_folded_deltas_total"] = float(
+                self.compactor.folded)
+            gauges["repro_wal_compaction_degraded"] = float(
+                bool(self.compactor.degraded))
         infos: Dict[str, Any] = {}
         if self.engine.snapshot_id is not None:
             mode = getattr(self.engine, "snapshot_mode", None)

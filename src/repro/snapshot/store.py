@@ -190,17 +190,26 @@ class SnapshotStore:
                        reverse=True)
         return manifests
 
-    def prune(self, keep: int = 2) -> List[str]:
+    def prune(self, keep: int = 2,
+              wal: Optional[PathLike] = None) -> List[str]:
         """Delete all but the ``keep`` newest snapshots.
 
         The ``latest`` snapshot is never deleted regardless of age.
-        Returns the ids removed.
+        With ``wal`` given (the path of a delta write-ahead log), the
+        snapshots the log still depends on — its replay base and the
+        base of every pending delta — are also kept regardless of
+        age: deleting one would turn the next ``serve --wal`` restart
+        into an unrecoverable error. Returns the ids removed.
         """
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
+        protected: set = set()
+        if wal is not None:
+            from repro.wal.log import protected_snapshots
+            protected = protected_snapshots(wal)
         removed: List[str] = []
         for manifest in self.list()[keep:]:
-            if manifest["latest"]:
+            if manifest["latest"] or manifest["id"] in protected:
                 continue
             shutil.rmtree(self.root / manifest["id"])
             removed.append(manifest["id"])

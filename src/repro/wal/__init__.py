@@ -1,0 +1,67 @@
+"""Durable delta write-ahead log (crash-safe online ingestion).
+
+Layout:
+
+* :mod:`repro.wal.records` — the frame codec (length + CRC32 + JSON),
+  the ``GraphDelta`` wire form, and the untrusted-input validator
+  :func:`parse_delta`;
+* :mod:`repro.wal.log` — :class:`WriteAheadLog` (append path, fsync
+  policies, torn-tail recovery) and the read-side helpers
+  (:func:`read_wal`, :func:`pending_deltas`, :func:`replay`,
+  :func:`protected_snapshots`);
+* :mod:`repro.wal.compact` — :class:`Compactor`, folding accumulated
+  deltas into a freshly published snapshot and hot-swapping it in.
+
+See OPERATIONS.md ("Online ingestion") for the operator story.
+"""
+
+from repro.wal.compact import DEFAULT_COMPACT_INTERVAL, Compactor
+from repro.wal.log import (
+    DEFAULT_BATCH_RECORDS,
+    FSYNC_POLICIES,
+    WalTruncationWarning,
+    WriteAheadLog,
+    base_snapshot,
+    folded_lsn,
+    pending_deltas,
+    protected_snapshots,
+    read_wal,
+    replay,
+)
+from repro.wal.records import (
+    HEADER,
+    MAX_RECORD_BYTES,
+    RECORD_TYPES,
+    WalScan,
+    decode_payload,
+    delta_from_wire,
+    delta_to_wire,
+    encode_record,
+    parse_delta,
+    scan_records,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_RECORDS",
+    "DEFAULT_COMPACT_INTERVAL",
+    "FSYNC_POLICIES",
+    "HEADER",
+    "MAX_RECORD_BYTES",
+    "RECORD_TYPES",
+    "Compactor",
+    "WalScan",
+    "WalTruncationWarning",
+    "WriteAheadLog",
+    "base_snapshot",
+    "decode_payload",
+    "delta_from_wire",
+    "delta_to_wire",
+    "encode_record",
+    "folded_lsn",
+    "parse_delta",
+    "pending_deltas",
+    "protected_snapshots",
+    "read_wal",
+    "replay",
+    "scan_records",
+]

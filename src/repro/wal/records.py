@@ -1,0 +1,280 @@
+"""Record codec for the delta write-ahead log.
+
+One WAL record is a *frame*::
+
+    <u32 length, little-endian> <u32 crc32(payload), little-endian>
+    <payload: `length` bytes of UTF-8 JSON>
+
+The payload is a JSON object with at least ``type`` (``"delta"`` /
+``"checkpoint"`` / ``"compact"``), a monotonically increasing ``lsn``,
+and ``base`` — the snapshot id the record was acknowledged against.
+Framing is deliberately dumb: no magic, no compression, no batching —
+a record either round-trips byte-exactly or fails its CRC, and the
+recovery rules in :mod:`repro.wal.log` only need to distinguish "the
+last append was interrupted" from "the middle of the log is damaged".
+
+This module also owns the :class:`~repro.text.maintenance.GraphDelta`
+wire form (``delta_to_wire`` / ``delta_from_wire``) and the boundary
+validator :func:`parse_delta`, which turns an untrusted ``POST
+/admin/delta`` body into a ``GraphDelta`` or a typed
+:class:`~repro.exceptions.DeltaValidationError` — *before* anything is
+logged or applied, so a malformed delta can never poison the WAL.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import DeltaValidationError, WalCorruptionError
+from repro.text.maintenance import GraphDelta
+
+#: Frame header: payload length, then CRC32 of the payload bytes.
+HEADER = struct.Struct("<II")
+
+#: Write-side sanity bound; a frame this large is a writer bug, not a
+#: real delta batch.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: The record types the log understands.
+RECORD_TYPES = ("delta", "checkpoint", "compact")
+
+
+def encode_record(payload: Dict[str, Any]) -> bytes:
+    """One framed record from a payload dict."""
+    raw = json.dumps(payload, sort_keys=True,
+                     separators=(",", ":")).encode("utf-8")
+    if len(raw) > MAX_RECORD_BYTES:
+        raise ValueError(
+            f"WAL record of {len(raw)} bytes exceeds the "
+            f"{MAX_RECORD_BYTES}-byte frame bound")
+    return HEADER.pack(len(raw), zlib.crc32(raw) & 0xFFFFFFFF) + raw
+
+
+def decode_payload(raw: bytes, offset: int) -> Dict[str, Any]:
+    """Parse a CRC-clean payload; malformed JSON here is corruption.
+
+    The CRC already vouched for the bytes, so undecodable JSON or a
+    missing ``type``/``lsn`` is not a torn write — it is a damaged or
+    foreign log, reported as :class:`WalCorruptionError` regardless of
+    position.
+    """
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise WalCorruptionError(
+            f"WAL record at byte {offset} passed its CRC but is not "
+            f"JSON ({error})")
+    if not isinstance(payload, dict) \
+            or payload.get("type") not in RECORD_TYPES \
+            or not isinstance(payload.get("lsn"), int) \
+            or isinstance(payload.get("lsn"), bool):
+        raise WalCorruptionError(
+            f"WAL record at byte {offset} is not a recognized record "
+            f"(type must be one of {RECORD_TYPES} with an integer "
+            f"lsn)")
+    return payload
+
+
+class WalScan:
+    """Result of scanning a log image: intact records + tail verdict."""
+
+    __slots__ = ("records", "good_bytes", "torn")
+
+    def __init__(self, records: List[Dict[str, Any]],
+                 good_bytes: int, torn: Optional[str]) -> None:
+        #: Every intact record, in log order.
+        self.records = records
+        #: Offset one past the last intact record — the truncation
+        #: point when the tail is torn.
+        self.good_bytes = good_bytes
+        #: Human-readable description of a torn tail, ``None`` when
+        #: the image ends exactly on a record boundary.
+        self.torn = torn
+
+
+def scan_records(data: bytes) -> WalScan:
+    """Walk a log image, separating torn tails from real corruption.
+
+    The one crash the append path can suffer is an interrupted final
+    write, so exactly one failure shape is recoverable: the *last*
+    frame is short or fails its CRC and nothing follows it. Any frame
+    that fails *with intact records after it* means acknowledged
+    writes were silently lost — that raises
+    :class:`WalCorruptionError` and is never repaired automatically.
+    Non-monotonic LSNs are corruption too (spliced or replayed logs).
+    """
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    last_lsn = 0
+    size = len(data)
+    while offset < size:
+        if size - offset < HEADER.size:
+            return WalScan(records, offset,
+                           f"{size - offset} trailing bytes are "
+                           f"shorter than a frame header")
+        length, crc = HEADER.unpack_from(data, offset)
+        end = offset + HEADER.size + length
+        if end > size:
+            return WalScan(records, offset,
+                           f"final frame at byte {offset} claims "
+                           f"{length} payload bytes but only "
+                           f"{size - offset - HEADER.size} remain")
+        raw = data[offset + HEADER.size:end]
+        if zlib.crc32(raw) & 0xFFFFFFFF != crc:
+            if end == size:
+                return WalScan(records, offset,
+                               f"final record at byte {offset} "
+                               f"fails its CRC32")
+            raise WalCorruptionError(
+                f"WAL record at byte {offset} fails its CRC32 with "
+                f"{size - end} intact bytes after it — acknowledged "
+                f"records were damaged in place")
+        payload = decode_payload(raw, offset)
+        if payload["lsn"] <= last_lsn:
+            raise WalCorruptionError(
+                f"WAL record at byte {offset} has LSN "
+                f"{payload['lsn']} after LSN {last_lsn} — the log is "
+                f"spliced or rewritten")
+        last_lsn = payload["lsn"]
+        records.append(payload)
+        offset = end
+    return WalScan(records, offset, None)
+
+
+# ----------------------------------------------------------------------
+# GraphDelta wire form
+# ----------------------------------------------------------------------
+def delta_to_wire(delta: GraphDelta) -> Dict[str, Any]:
+    """A ``GraphDelta`` as the JSON object logged and served.
+
+    Node keywords are sorted so the wire form is deterministic — the
+    same delta always produces the same record bytes.
+    """
+    nodes = []
+    for keywords, label, provenance in delta.new_nodes:
+        nodes.append({
+            "keywords": sorted(keywords),
+            "label": label,
+            "provenance": (None if provenance is None
+                           else [provenance[0], provenance[1]]),
+        })
+    return {"nodes": nodes,
+            "edges": [[u, v, w] for u, v, w in delta.new_edges]}
+
+
+def delta_from_wire(payload: Dict[str, Any]) -> GraphDelta:
+    """Rebuild a ``GraphDelta`` from its wire form (trusted input —
+    our own WAL records, already validated at append time)."""
+    nodes: List[Tuple[Set[str], str, Optional[Tuple[str, Any]]]] = []
+    for node in payload.get("nodes", ()):
+        provenance = node.get("provenance")
+        nodes.append((set(node.get("keywords", ())),
+                      node.get("label", ""),
+                      None if provenance is None
+                      else (provenance[0], provenance[1])))
+    edges = [(int(u), int(v), float(w))
+             for u, v, w in payload.get("edges", ())]
+    return GraphDelta(new_nodes=nodes, new_edges=edges)
+
+
+# ----------------------------------------------------------------------
+# boundary validation
+# ----------------------------------------------------------------------
+def _fail(message: str) -> None:
+    raise DeltaValidationError(f"invalid delta: {message}")
+
+
+def _node_of(entry: Any, position: int, next_id: Optional[int],
+             seen_ids: Set[int]
+             ) -> Tuple[Set[str], str, Optional[Tuple[str, Any]]]:
+    """Validate one ``nodes`` entry (see :func:`parse_delta`)."""
+    where = f"nodes[{position}]"
+    if not isinstance(entry, dict):
+        _fail(f"{where} must be an object")
+    keywords = entry.get("keywords", [])
+    if not isinstance(keywords, list) or any(
+            not isinstance(kw, str) or not kw for kw in keywords):
+        _fail(f"{where}.keywords must be a list of non-empty strings")
+    label = entry.get("label", "")
+    if not isinstance(label, str):
+        _fail(f"{where}.label must be a string")
+    provenance = entry.get("provenance")
+    if provenance is not None:
+        if not isinstance(provenance, (list, tuple)) \
+                or len(provenance) != 2 \
+                or not isinstance(provenance[0], str):
+            _fail(f"{where}.provenance must be null or a "
+                  f"[table, key] pair")
+        provenance = (provenance[0], provenance[1])
+    if "id" in entry:
+        node_id = entry["id"]
+        if isinstance(node_id, bool) or not isinstance(node_id, int):
+            _fail(f"{where}.id must be an integer")
+        if node_id in seen_ids:
+            _fail(f"{where}.id {node_id} is a duplicate node id")
+        seen_ids.add(node_id)
+        if next_id is not None and node_id != next_id:
+            _fail(f"{where}.id is {node_id} but new node ids are "
+                  f"assigned densely — expected {next_id}")
+    return set(keywords), label, provenance
+
+
+def parse_delta(payload: Dict[str, Any],
+                base_nodes: Optional[int] = None) -> GraphDelta:
+    """A validated ``GraphDelta`` from an untrusted request payload.
+
+    ``base_nodes`` is the served graph's node count; with it known,
+    edge endpoints are range-checked against ``base_nodes + new``
+    (new nodes are assigned ids densely after the existing ones) and
+    explicit node ``id`` fields must match that dense assignment.
+    Every rejection is a :class:`~repro.exceptions.
+    DeltaValidationError` — an HTTP 400, raised before the delta
+    reaches the WAL or the engine.
+    """
+    nodes_in = payload.get("nodes", [])
+    edges_in = payload.get("edges", [])
+    if not isinstance(nodes_in, list):
+        _fail("'nodes' must be a list")
+    if not isinstance(edges_in, list):
+        _fail("'edges' must be a list")
+    if not nodes_in and not edges_in:
+        _fail("a delta needs at least one new node or edge")
+
+    seen_ids: Set[int] = set()
+    new_nodes = []
+    for position, entry in enumerate(nodes_in):
+        next_id = (None if base_nodes is None
+                   else base_nodes + position)
+        new_nodes.append(_node_of(entry, position, next_id, seen_ids))
+
+    total = None if base_nodes is None else base_nodes + len(nodes_in)
+    new_edges: List[Tuple[int, int, float]] = []
+    for position, entry in enumerate(edges_in):
+        where = f"edges[{position}]"
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            _fail(f"{where} must be a [source, target, weight] "
+                  f"triple")
+        u, v, w = entry
+        for name, endpoint in (("source", u), ("target", v)):
+            if isinstance(endpoint, bool) \
+                    or not isinstance(endpoint, int):
+                _fail(f"{where}.{name} must be an integer node id")
+            if endpoint < 0:
+                _fail(f"{where}.{name} {endpoint} is negative")
+            if total is not None and endpoint >= total:
+                _fail(f"{where}.{name} {endpoint} references an "
+                      f"unknown node (graph has {base_nodes} nodes "
+                      f"+ {len(nodes_in)} new)")
+        if isinstance(w, bool) or not isinstance(w, (int, float)):
+            _fail(f"{where}.weight must be a number")
+        w = float(w)
+        if math.isnan(w) or math.isinf(w):
+            _fail(f"{where}.weight must be finite, got {w}")
+        if w < 0:
+            _fail(f"{where}.weight must be >= 0, got {w}")
+        new_edges.append((int(u), int(v), w))
+    return GraphDelta(new_nodes=new_nodes, new_edges=new_edges)

@@ -1,0 +1,145 @@
+"""Chaos scenarios for the delta WAL's four failpoints.
+
+``wal.append`` fires *before* the frame is written — a failed append
+must acknowledge nothing, log nothing, and apply nothing
+(WAL-before-apply). ``wal.fsync`` fires after write+flush — the frame
+is in the log but the client saw a 500, so restart replays it
+(at-least-once on failure, documented). ``wal.replay.record`` aborts a
+startup replay mid-stream. ``worker.N.delta`` fails one worker's
+broadcast: with a WAL attached the worker is kicked and its respawn
+replays the suffix back into convergence instead of splitting the
+pool's brain.
+"""
+
+import json
+
+from repro import faults
+from repro.datasets.paper_example import FIG4_QUERY, FIG4_RMAX
+from repro.engine import QueryEngine, QuerySpec
+from repro.exceptions import FaultInjectedError
+from repro.parallel import ParallelQueryEngine
+from repro.service import CommunityService
+from repro.snapshot import SnapshotStore
+from repro.wal import WriteAheadLog, read_wal
+
+from chaos_helpers import publish_fig4, wait_until
+
+import pytest
+
+DELTA_BODY = {"edges": [[0, 3, 0.25]]}
+
+
+def post(service, path, payload):
+    status, _template, body, _ctype = service.handle(
+        "POST", path, json.dumps(payload).encode("utf-8"))
+    return status, json.loads(body)
+
+
+@pytest.fixture()
+def served(fig4_store, tmp_path):
+    """A snapshot-backed engine + service with a live WAL."""
+    snap = SnapshotStore(fig4_store).load("latest", verify=False)
+    wal = WriteAheadLog(tmp_path / "deltas.wal", fsync="always")
+    engine = QueryEngine.from_snapshot(snap.path, wal_path=wal)
+    with CommunityService(engine, port=0, wal=wal) as service:
+        yield service, wal, snap
+    wal.close()
+
+
+class TestAppendFailpoint:
+    def test_failed_append_acknowledges_and_applies_nothing(
+            self, served):
+        service, wal, _snap = served
+        faults.activate("wal.append", "once:raise")
+        status, body = post(service, "/admin/delta", DELTA_BODY)
+        assert status == 500
+        assert "failpoint" in body["error"]
+        # WAL-before-apply: no frame on disk, no delta in the engine
+        assert wal.lsn == 0
+        assert read_wal(wal.path) == []
+        assert service.engine.dirty is False
+        # the failure is transient — the retry is acknowledged
+        status, body = post(service, "/admin/delta", DELTA_BODY)
+        assert status == 200
+        assert body["lsn"] == 1
+        assert service.engine.deltas_applied == 1
+
+
+class TestFsyncFailpoint:
+    def test_failed_fsync_keeps_frame_but_not_ack(self, served):
+        service, wal, snap = served
+        faults.activate("wal.fsync", "once:raise")
+        status, _body = post(service, "/admin/delta", DELTA_BODY)
+        assert status == 500
+        # the frame was written+flushed before fsync fired: it is in
+        # the log (and will replay on restart) but was never
+        # acknowledged or applied — at-least-once on failure.
+        assert wal.lsn == 1
+        assert service.engine.dirty is False
+        recovered = QueryEngine.from_snapshot(snap.path)
+        faults.clear()
+        from repro.wal import replay
+        assert replay(recovered, wal) == 1
+        assert recovered.applied_lsn == 1
+        assert recovered.dirty is True
+
+
+class TestReplayFailpoint:
+    def test_aborted_replay_surfaces_not_swallows(self, fig4_store,
+                                                  tmp_path):
+        snap = SnapshotStore(fig4_store).load("latest", verify=False)
+        with WriteAheadLog(tmp_path / "d.wal", fsync="off") as wal:
+            from repro.text.maintenance import GraphDelta
+            wal.append_delta(GraphDelta(new_edges=[(0, 3, 0.25)]),
+                             base=snap.id)
+            faults.activate("wal.replay.record", "once:raise")
+            with pytest.raises(FaultInjectedError):
+                QueryEngine.from_snapshot(snap.path, wal_path=wal)
+            # the fault was transient; recovery then succeeds
+            engine = QueryEngine.from_snapshot(snap.path,
+                                               wal_path=wal)
+            assert engine.deltas_applied == 1
+
+
+class TestWorkerDeltaBroadcast:
+    def test_failed_worker_is_kicked_and_respawn_converges(
+            self, fig4_store, tmp_path, monkeypatch):
+        snap = SnapshotStore(fig4_store).load("latest", verify=False)
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.delta=once:raise")
+        spec = QuerySpec(keywords=tuple(FIG4_QUERY), rmax=FIG4_RMAX)
+        with WriteAheadLog(tmp_path / "d.wal", fsync="off") as wal:
+            with ParallelQueryEngine(str(snap.path), workers=2,
+                                     wal_path=wal) as engine:
+                from repro.text.maintenance import GraphDelta
+                delta = GraphDelta(new_edges=[(0, 3, 0.25)])
+                lsn = wal.append_delta(delta, base=snap.id)
+                pids_before = engine.pool.pids()
+                engine.apply_delta(delta, lsn=lsn)  # kicks worker 0
+                assert wait_until(
+                    lambda: engine.pool.alive == 2
+                    and engine.pool.pids().get(0) not in
+                    (None, pids_before[0]))
+                expected = [c.nodes for c in engine.run_all(spec)]
+                # every worker (including the respawn, which replayed
+                # the WAL suffix) answers from the delta'd graph
+                for _ in range(6):  # round-robins across both
+                    assert [c.nodes
+                            for c in engine.run_all(spec)] \
+                        == expected
+                stats = {s["worker"]: s
+                         for s in engine.worker_stats()}
+                assert len(stats) == 2
+
+    def test_no_wal_broadcast_failure_raises(self, fig4_store,
+                                             monkeypatch):
+        from repro.exceptions import WorkerError
+        snap = SnapshotStore(fig4_store).load("latest", verify=False)
+        monkeypatch.setenv("REPRO_FAILPOINTS",
+                           "worker.0.delta=once:raise")
+        with ParallelQueryEngine(str(snap.path), workers=2) \
+                as engine:
+            from repro.text.maintenance import GraphDelta
+            delta = GraphDelta(new_edges=[(0, 3, 0.25)])
+            with pytest.raises(WorkerError, match="no WAL"):
+                engine.apply_delta(delta, lsn=None)

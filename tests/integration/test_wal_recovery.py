@@ -1,0 +1,227 @@
+"""Crash recovery over a real process boundary (the tentpole proof).
+
+A ``python -m repro serve --snapshot --wal`` process ingests deltas
+over HTTP and is killed *instantly* (``os._exit`` via an armed WAL
+failpoint — no cleanup, no flushing, the moral equivalent of
+``kill -9``) mid-ingest. A fresh process pointed at the same store and
+WAL must come back answering exactly like a twin engine that applied
+the same acknowledged deltas and never crashed.
+
+The two kill points pin down the durability contract precisely:
+
+* killed at ``wal.append`` (before the frame is written): the failed
+  delta was never acknowledged and never logged — the recovered state
+  equals the acked-only twin;
+* killed at ``wal.fsync`` (frame written + flushed, ack never sent):
+  the delta survives in the page cache, so the recovered state equals
+  a twin applying every WAL-retained delta, and the acknowledged
+  prefix is always a subset of what the WAL retained.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_example import FIG4_RMAX
+from repro.engine import QueryEngine
+from repro.service import CommunityService, ServiceClient
+from repro.snapshot import SnapshotStore
+from repro.wal import parse_delta, read_wal
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+QUERY = {"keywords": ["a", "b", "c"], "rmax": FIG4_RMAX}
+
+#: Three deltas; ids are dense after fig4's 13 nodes, so node ids are
+#: 13, 14, 15 as the graph grows one node per acknowledged delta.
+DELTAS = [
+    {"nodes": [{"keywords": ["a"], "label": "w1"}],
+     "edges": [[13, 0, 1.0], [0, 13, 1.0]]},
+    {"nodes": [{"keywords": ["b"], "label": "w2"}],
+     "edges": [[14, 13, 1.0], [13, 14, 1.0]]},
+    {"nodes": [{"keywords": ["c"], "label": "w3"}],
+     "edges": [[15, 2, 0.5], [2, 15, 0.5]]},
+]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    import sys as _sys
+    _sys.path.insert(0, str(REPO_ROOT / "tests" / "chaos"))
+    from chaos_helpers import publish_fig4
+    root = tmp_path / "store"
+    publish_fig4(root)
+    return root
+
+
+def _serve(store_root, wal_path, port_file, failpoints=""):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if failpoints:
+        env["REPRO_FAILPOINTS"] = failpoints
+    else:
+        env.pop("REPRO_FAILPOINTS", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--snapshot", str(store_root), "--port", "0",
+         "--port-file", str(port_file),
+         "--wal", str(wal_path), "--wal-fsync", "always"],
+        env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, cwd=str(REPO_ROOT))
+
+
+def _client_for(port_file):
+    deadline = time.time() + 30
+    while not port_file.exists() and time.time() < deadline:
+        time.sleep(0.1)
+    assert port_file.exists(), "server never bound"
+    host, port = port_file.read_text().split()
+    return ServiceClient(f"http://{host}:{port}", timeout=30.0)
+
+
+def _ingest_until_crash(client, proc):
+    """POST deltas until the server dies; return acked responses."""
+    acked = []
+    for payload in DELTAS:
+        try:
+            acked.append(client.request("POST", "/admin/delta",
+                                        payload))
+        except Exception:  # noqa: BLE001 — the crash we arranged
+            break
+    proc.wait(timeout=30)
+    return acked
+
+
+def _serve_processes(port_file):
+    """Pids whose cmdline mentions ``port_file`` (victim + its
+    orphaned pool workers — fork children share the parent argv)."""
+    needle = str(port_file).encode()
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            cmdline = (Path("/proc") / entry /
+                       "cmdline").read_bytes()
+        except OSError:
+            continue
+        if needle in cmdline:
+            pids.append(int(entry))
+    return pids
+
+
+def _assert_no_orphan_workers(port_file):
+    """The hard-killed parent cannot reap its pool; the workers must
+    notice the orphaning (queue poll timeout) and exit on their own."""
+    deadline = time.time() + 30
+    while _serve_processes(port_file) and time.time() < deadline:
+        time.sleep(0.5)
+    assert _serve_processes(port_file) == []
+
+
+def _twin_answers(store_root, payloads):
+    """``/query`` response of an uncrashed engine applying
+    ``payloads`` live, via the same serializer the server uses."""
+    snap = SnapshotStore(store_root).load("latest", verify=False)
+    engine = QueryEngine.from_snapshot(snap.path)
+    for payload in payloads:
+        engine.apply_delta(parse_delta(payload,
+                                       base_nodes=engine.dbg.n))
+    with CommunityService(engine, port=0) as twin:
+        status, _t, raw, _c = twin.handle(
+            "POST", "/query", json.dumps(QUERY).encode())
+    assert status == 200
+    body = json.loads(raw)
+    return body["count"], body["communities"]
+
+
+def _recovered_answers(store_root, wal_path, tmp_path):
+    """Restart against the same WAL; return (healthz, answers)."""
+    port_file = tmp_path / "recovered.port"
+    proc = _serve(store_root, wal_path, port_file)
+    try:
+        client = _client_for(port_file)
+        health = client.request("GET", "/healthz")
+        body = client.request("POST", "/query", QUERY)
+        return health, (body["count"], body["communities"])
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+class TestKillDuringIngest:
+    def test_kill_at_append_recovers_acked_only(self, store,
+                                                tmp_path):
+        wal_path = tmp_path / "deltas.wal"
+        port_file = tmp_path / "victim.port"
+        proc = _serve(store, wal_path, port_file,
+                      failpoints="wal.append=nth(3):exit")
+        acked = _ingest_until_crash(_client_for(port_file), proc)
+
+        # delta 3 died before its frame was written: never acked,
+        # never logged
+        assert len(acked) == 2
+        assert [r["lsn"] for r in acked] == [1, 2]
+        retained = read_wal(wal_path)
+        assert [r["lsn"] for r in retained] == [1, 2]
+
+        health, answers = _recovered_answers(store, wal_path,
+                                             tmp_path)
+        assert health["deltas_applied"] == 2
+        assert health["dirty"] is True
+        assert health["wal"]["lsn"] == 2
+        assert answers == _twin_answers(store, DELTAS[:2])
+
+    def test_kill_at_fsync_replays_retained_superset(self, store,
+                                                     tmp_path):
+        wal_path = tmp_path / "deltas.wal"
+        port_file = tmp_path / "victim.port"
+        proc = _serve(store, wal_path, port_file,
+                      failpoints="wal.fsync=nth(3):exit")
+        acked = _ingest_until_crash(_client_for(port_file), proc)
+        _assert_no_orphan_workers(port_file)
+
+        # delta 3's frame was written and flushed before the kill:
+        # it survives in the WAL even though the ack was never sent
+        assert len(acked) == 2
+        retained = read_wal(wal_path)
+        assert [r["lsn"] for r in retained] == [1, 2, 3]
+        acked_lsns = {r["lsn"] for r in acked}
+        assert acked_lsns <= {r["lsn"] for r in retained}
+
+        health, answers = _recovered_answers(store, wal_path,
+                                             tmp_path)
+        # recovery materializes every retained delta — the
+        # acknowledged prefix plus the flushed-but-unacked tail
+        assert health["deltas_applied"] == 3
+        assert answers == _twin_answers(store, DELTAS)
+
+    def test_compaction_after_recovery_preserves_answers(
+            self, store, tmp_path, capsys):
+        wal_path = tmp_path / "deltas.wal"
+        port_file = tmp_path / "victim.port"
+        proc = _serve(store, wal_path, port_file,
+                      failpoints="wal.append=nth(3):exit")
+        _ingest_until_crash(_client_for(port_file), proc)
+        expected = _twin_answers(store, DELTAS[:2])
+
+        # offline CLI compaction folds the recovered deltas
+        assert main(["compact", "--wal", str(wal_path),
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "folded 2" in out
+        assert not read_wal(wal_path) or all(
+            r["type"] != "delta" for r in read_wal(wal_path))
+
+        # a server on the compacted snapshot needs no replay and
+        # answers identically
+        health, answers = _recovered_answers(store, wal_path,
+                                             tmp_path)
+        assert health["deltas_applied"] == 0
+        assert health["dirty"] is False
+        assert answers == expected

@@ -1,0 +1,408 @@
+"""Unit tests for the delta write-ahead log (:mod:`repro.wal`).
+
+Covers the frame codec and its recovery taxonomy (torn tail vs real
+corruption), the :class:`WriteAheadLog` append path under each fsync
+policy, truncation after a checkpoint, the linear-history replay
+helpers (``folded_lsn`` / ``pending_deltas`` / ``protected_snapshots``),
+engine replay, and the :func:`parse_delta` boundary validation that
+backs the ``POST /admin/delta`` 400s.
+"""
+
+import struct
+
+import pytest
+
+from repro.datasets.paper_example import FIG4_RMAX, figure4_graph
+from repro.engine import QueryEngine
+from repro.exceptions import DeltaValidationError, WalCorruptionError, \
+    WalError
+from repro.text.inverted_index import CommunityIndex
+from repro.text.maintenance import GraphDelta
+from repro.wal import (
+    HEADER,
+    WalTruncationWarning,
+    WriteAheadLog,
+    base_snapshot,
+    decode_payload,
+    delta_from_wire,
+    delta_to_wire,
+    encode_record,
+    folded_lsn,
+    parse_delta,
+    pending_deltas,
+    protected_snapshots,
+    read_wal,
+    replay,
+    scan_records,
+)
+
+DELTA = GraphDelta(new_nodes=[({"x"}, "n0", ("t", 1))],
+                   new_edges=[(0, 1, 2.5)])
+
+
+def wal_at(tmp_path, name="test.wal", **kwargs):
+    return WriteAheadLog(tmp_path / name, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# frame codec + scan
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_round_trip(self):
+        payload = {"type": "delta", "lsn": 7, "base": "snap",
+                   "delta": delta_to_wire(DELTA)}
+        frame = encode_record(payload)
+        length, _crc = HEADER.unpack_from(frame, 0)
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size:], 0) == payload
+
+    def test_scan_clean_log(self):
+        data = b"".join(encode_record({"type": "compact", "lsn": i,
+                                       "base": None, "through": 0})
+                        for i in (1, 2, 3))
+        scan = scan_records(data)
+        assert [r["lsn"] for r in scan.records] == [1, 2, 3]
+        assert scan.good_bytes == len(data)
+        assert scan.torn is None
+
+    def test_short_header_is_torn(self):
+        frame = encode_record({"type": "compact", "lsn": 1,
+                               "base": None, "through": 0})
+        scan = scan_records(frame + b"\x01\x02")
+        assert len(scan.records) == 1
+        assert scan.good_bytes == len(frame)
+        assert scan.torn is not None
+
+    def test_frame_past_eof_is_torn(self):
+        frame = encode_record({"type": "compact", "lsn": 1,
+                               "base": None, "through": 0})
+        scan = scan_records(frame + frame[:-3])
+        assert scan.good_bytes == len(frame)
+        assert "remain" in scan.torn
+
+    def test_final_crc_failure_is_torn(self):
+        good = encode_record({"type": "compact", "lsn": 1,
+                              "base": None, "through": 0})
+        bad = bytearray(encode_record({"type": "compact", "lsn": 2,
+                                       "base": None, "through": 0}))
+        bad[-1] ^= 0xFF
+        scan = scan_records(good + bytes(bad))
+        assert scan.good_bytes == len(good)
+        assert "CRC32" in scan.torn
+
+    def test_mid_stream_crc_failure_is_corruption(self):
+        first = bytearray(encode_record({"type": "compact", "lsn": 1,
+                                         "base": None, "through": 0}))
+        second = encode_record({"type": "compact", "lsn": 2,
+                                "base": None, "through": 0})
+        first[-1] ^= 0xFF
+        with pytest.raises(WalCorruptionError, match="intact bytes"):
+            scan_records(bytes(first) + second)
+
+    def test_crc_clean_garbage_json_is_corruption(self):
+        import zlib
+        raw = b"not json at all"
+        frame = HEADER.pack(len(raw),
+                            zlib.crc32(raw) & 0xFFFFFFFF) + raw
+        with pytest.raises(WalCorruptionError, match="not JSON"):
+            scan_records(frame)
+
+    def test_unknown_record_type_is_corruption(self):
+        frame = encode_record({"type": "mystery", "lsn": 1})
+        with pytest.raises(WalCorruptionError, match="recognized"):
+            scan_records(frame)
+
+    def test_non_monotonic_lsn_is_corruption(self):
+        frames = (encode_record({"type": "compact", "lsn": 2,
+                                 "base": None, "through": 0})
+                  + encode_record({"type": "compact", "lsn": 2,
+                                   "base": None, "through": 0}))
+        with pytest.raises(WalCorruptionError, match="spliced"):
+            scan_records(frames)
+
+    def test_oversize_record_rejected_at_encode(self):
+        from repro.wal import MAX_RECORD_BYTES
+        with pytest.raises(ValueError, match="frame bound"):
+            encode_record({"type": "delta", "lsn": 1,
+                           "pad": "x" * (MAX_RECORD_BYTES + 1)})
+
+    def test_delta_wire_round_trip(self):
+        wire = delta_to_wire(DELTA)
+        back = delta_from_wire(wire)
+        assert back.new_nodes == DELTA.new_nodes
+        assert back.new_edges == DELTA.new_edges
+        assert delta_to_wire(back) == wire
+
+
+# ----------------------------------------------------------------------
+# WriteAheadLog append path
+# ----------------------------------------------------------------------
+class TestWriteAheadLog:
+    def test_lsn_sequence_and_counters(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            assert wal.lsn == 0
+            assert wal.append_delta(DELTA, base="s1") == 1
+            assert wal.append_delta(DELTA, base="s1") == 2
+            assert wal.lsn == 2
+            assert wal.appends == 2
+            assert wal.pending_count == 2
+            assert wal.wal_bytes == wal.path.stat().st_size
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            wal_at(tmp_path, fsync="sometimes")
+
+    def test_always_policy_fsyncs_per_append(self, tmp_path):
+        with wal_at(tmp_path, fsync="always") as wal:
+            wal.append_delta(DELTA, base=None)
+            wal.append_delta(DELTA, base=None)
+            assert wal.fsyncs == 2
+
+    def test_batch_policy_fsyncs_every_n(self, tmp_path):
+        with wal_at(tmp_path, fsync="batch", batch_records=3) as wal:
+            for _ in range(7):
+                wal.append_delta(DELTA, base=None)
+            assert wal.fsyncs == 2  # after appends 3 and 6
+
+    def test_off_policy_never_fsyncs(self, tmp_path):
+        with wal_at(tmp_path, fsync="off") as wal:
+            wal.append_delta(DELTA, base=None)
+            wal.sync()
+            assert wal.fsyncs == 0
+
+    def test_checkpoint_forces_fsync(self, tmp_path):
+        with wal_at(tmp_path, fsync="batch", batch_records=100) as wal:
+            wal.append_delta(DELTA, base="s1")
+            assert wal.fsyncs == 0
+            wal.append_checkpoint("s2", 1)
+            assert wal.fsyncs >= 1
+            assert wal.pending_count == 0
+
+    def test_append_after_close_raises(self, tmp_path):
+        wal = wal_at(tmp_path)
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append_delta(DELTA, base=None)
+
+    def test_reopen_continues_lsn_sequence(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            wal.append_delta(DELTA, base="s1")
+            wal.append_delta(DELTA, base="s1")
+        with wal_at(tmp_path) as wal:
+            assert wal.lsn == 2
+            assert wal.append_delta(DELTA, base="s1") == 3
+            assert len(wal.records()) == 3
+
+    def test_open_truncates_torn_tail_with_warning(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            wal.append_delta(DELTA, base="s1")
+            path = wal.path
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:  # simulate a torn append
+            handle.write(b"\x99" * 7)
+        with pytest.warns(WalTruncationWarning, match="torn tail"):
+            wal = WriteAheadLog(path)
+        assert path.stat().st_size == intact
+        assert wal.lsn == 1
+        assert wal.truncations == 1
+        wal.close()
+
+    def test_open_refuses_mid_stream_damage(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            wal.append_delta(DELTA, base="s1")
+            wal.append_delta(DELTA, base="s1")
+            path = wal.path
+        data = bytearray(path.read_bytes())
+        data[HEADER.size + 1] ^= 0xFF  # first record's payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(path)
+
+    def test_truncate_drops_folded_prefix(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            for _ in range(4):
+                wal.append_delta(DELTA, base="s1")
+            size_before = wal.wal_bytes
+            assert wal.truncate(2) == 2
+            assert [r["lsn"] for r in wal.records()] == [3, 4]
+            assert wal.wal_bytes < size_before
+            assert wal.truncate(2) == 0  # idempotent
+            # the suffix survives a reopen byte-identical
+            assert wal.append_delta(DELTA, base="s1") == 5
+        assert [r["lsn"] for r in read_wal(tmp_path / "test.wal")] \
+            == [3, 4, 5]
+
+    def test_as_dict_shape(self, tmp_path):
+        with wal_at(tmp_path) as wal:
+            wal.append_delta(DELTA, base="s1")
+            info = wal.as_dict()
+        assert info["lsn"] == 1
+        assert info["pending_deltas"] == 1
+        assert info["fsync"] == "always"
+        for key in ("path", "bytes", "records", "appends", "fsyncs",
+                    "truncations", "replayed"):
+            assert key in info
+
+
+# ----------------------------------------------------------------------
+# linear-history helpers
+# ----------------------------------------------------------------------
+def history(tmp_path):
+    """s1 + 2 deltas, checkpoint to s2 folding both, 1 more delta."""
+    wal = wal_at(tmp_path, name="history.wal", fsync="off")
+    wal.append_delta(DELTA, base="s1")
+    wal.append_delta(DELTA, base="s1")
+    wal.append_checkpoint("s2", 2)
+    wal.append_delta(DELTA, base="s2")
+    return wal
+
+
+class TestHistoryHelpers:
+    def test_folded_lsn_frontier(self, tmp_path):
+        records = history(tmp_path).records()
+        assert folded_lsn(records) == 2
+        assert folded_lsn(records, "s2") == 2
+
+    def test_older_snapshot_replays_full_history(self, tmp_path):
+        records = history(tmp_path).records()
+        assert folded_lsn(records, "s1") == 0
+        assert [r["lsn"] for r in pending_deltas(records, "s1")] \
+            == [1, 2, 4]
+
+    def test_foreign_snapshot_refused(self, tmp_path):
+        records = history(tmp_path).records()
+        with pytest.raises(WalError, match="does not describe"):
+            folded_lsn(records, "someone-elses-snapshot")
+
+    def test_empty_log_accepts_any_snapshot(self):
+        assert folded_lsn([], "anything") == 0
+        assert pending_deltas([], "anything") == []
+
+    def test_base_snapshot_tracks_checkpoints(self, tmp_path):
+        wal = history(tmp_path)
+        assert base_snapshot(wal.records()) == "s2"
+        assert protected_snapshots(wal) == {"s2"}
+
+    def test_protected_includes_pending_bases(self, tmp_path):
+        wal = wal_at(tmp_path, fsync="off")
+        wal.append_delta(DELTA, base="s1")
+        assert protected_snapshots(wal) == {"s1"}
+        assert protected_snapshots(str(wal.path)) == {"s1"}
+
+    def test_read_wal_missing_file_is_empty(self, tmp_path):
+        assert read_wal(tmp_path / "nope.wal") == []
+
+    def test_read_wal_tolerates_torn_tail_without_repair(self,
+                                                         tmp_path):
+        wal = wal_at(tmp_path)
+        wal.append_delta(DELTA, base="s1")
+        wal.close()
+        with open(wal.path, "ab") as handle:
+            handle.write(struct.pack("<I", 5))
+        damaged = wal.path.stat().st_size
+        assert len(read_wal(wal.path)) == 1
+        assert wal.path.stat().st_size == damaged  # untouched
+
+
+# ----------------------------------------------------------------------
+# engine replay
+# ----------------------------------------------------------------------
+class TestReplay:
+    def test_replay_needs_snapshot_anchor(self, fig4, tmp_path):
+        engine = QueryEngine(fig4)
+        engine.build_index(radius=FIG4_RMAX)
+        with pytest.raises(WalError, match="snapshot_id"):
+            replay(engine, [])
+
+    def test_replay_matches_live_application(self, tmp_path):
+        from repro.snapshot import SnapshotStore
+        dbg = figure4_graph()
+        index = CommunityIndex.build(dbg, FIG4_RMAX)
+        snap = SnapshotStore(tmp_path / "store").publish(
+            dbg, index, provenance={})
+        wal = wal_at(tmp_path, fsync="off")
+        delta = GraphDelta(new_edges=[(0, 3, 0.25)])
+        lsn = wal.append_delta(delta, base=snap.id)
+
+        live = QueryEngine.from_snapshot(snap.path)
+        live.apply_delta(delta, lsn=lsn)
+        replayed = QueryEngine.from_snapshot(snap.path,
+                                             wal_path=wal)
+        assert replayed.deltas_applied == 1
+        assert replayed.applied_lsn == lsn
+        assert wal.replayed == 1
+        assert (replayed.dbg.n, replayed.dbg.m) \
+            == (live.dbg.n, live.dbg.m)
+        from repro.engine.spec import QuerySpec
+        spec = QuerySpec(keywords=("a", "b", "c"), rmax=FIG4_RMAX)
+        assert [c.nodes for c in replayed.run_all(spec)] \
+            == [c.nodes for c in live.run_all(spec)]
+
+    def test_replay_is_idempotent_per_lsn(self, tmp_path):
+        from repro.snapshot import SnapshotStore
+        dbg = figure4_graph()
+        index = CommunityIndex.build(dbg, FIG4_RMAX)
+        snap = SnapshotStore(tmp_path / "store").publish(
+            dbg, index, provenance={})
+        wal = wal_at(tmp_path, fsync="off")
+        wal.append_delta(GraphDelta(new_edges=[(0, 3, 0.25)]),
+                         base=snap.id)
+        engine = QueryEngine.from_snapshot(snap.path, wal_path=wal)
+        n_after = engine.dbg.m
+        # a broadcast re-delivering LSN 1 is a no-op
+        engine.apply_delta(GraphDelta(new_edges=[(0, 3, 0.25)]),
+                           lsn=1)
+        assert engine.dbg.m == n_after
+        assert engine.deltas_applied == 1
+
+
+# ----------------------------------------------------------------------
+# boundary validation (satellite: typed 400s)
+# ----------------------------------------------------------------------
+class TestParseDelta:
+    BASE = 13  # fig4 node count
+
+    def good(self):
+        return {"nodes": [{"keywords": ["q"], "label": "new"}],
+                "edges": [[0, self.BASE, 1.0]]}
+
+    def test_accepts_valid_delta(self):
+        delta = parse_delta(self.good(), base_nodes=self.BASE)
+        assert delta.node_count() == 1
+        assert delta.new_edges == [(0, self.BASE, 1.0)]
+
+    def test_accepts_explicit_dense_ids(self):
+        payload = {"nodes": [{"keywords": ["q"], "id": self.BASE}]}
+        assert parse_delta(payload,
+                           base_nodes=self.BASE).node_count() == 1
+
+    @pytest.mark.parametrize("payload, message", [
+        ({}, "at least one"),
+        ({"nodes": "x"}, "'nodes' must be a list"),
+        ({"edges": {}}, "'edges' must be a list"),
+        ({"nodes": [42]}, "must be an object"),
+        ({"nodes": [{"keywords": "q"}]}, "non-empty strings"),
+        ({"nodes": [{"keywords": [""]}]}, "non-empty strings"),
+        ({"nodes": [{"keywords": ["q"], "label": 7}]}, "label"),
+        ({"nodes": [{"keywords": ["q"], "provenance": ["t"]}]},
+         "provenance"),
+        ({"nodes": [{"keywords": ["q"], "id": "a"}]}, "integer"),
+        ({"nodes": [{"id": 13}, {"id": 13}]}, "duplicate"),
+        ({"nodes": [{"id": 20}]}, "densely"),
+        ({"edges": [[0, 1]]}, "triple"),
+        ({"edges": [[0.5, 1, 1.0]]}, "integer node id"),
+        ({"edges": [[True, 1, 1.0]]}, "integer node id"),
+        ({"edges": [[-1, 1, 1.0]]}, "negative"),
+        ({"edges": [[0, 99, 1.0]]}, "unknown node"),
+        ({"edges": [[0, 1, "w"]]}, "number"),
+        ({"edges": [[0, 1, float("nan")]]}, "finite"),
+        ({"edges": [[0, 1, float("inf")]]}, "finite"),
+        ({"edges": [[0, 1, -2.0]]}, ">= 0"),
+    ])
+    def test_rejections(self, payload, message):
+        with pytest.raises(DeltaValidationError, match=message):
+            parse_delta(payload, base_nodes=self.BASE)
+
+    def test_unknown_base_skips_range_checks(self):
+        # without base_nodes the endpoint range cannot be validated
+        parse_delta({"edges": [[0, 99, 1.0]]})
